@@ -1,0 +1,46 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every experiment (E1..E12, see DESIGN.md §4) produces a small result table.
+:func:`report` prints it *and* writes it under ``benchmarks/results/`` so the
+series survive pytest's output capturing and can be pasted into
+EXPERIMENTS.md.  Assertions in each bench check the paper-claim *shape*
+(who wins, which way the curve bends), not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import os
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, title: str, header: list[str], rows: list[list]) -> str:
+    """Format, print, and persist one experiment's result table."""
+    widths = [
+        max(len(str(header[i])), *(len(_fmt(row[i])) for row in rows))
+        for i in range(len(header))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(_fmt(cell).rjust(w) for cell, w in zip(row, widths)))
+    text = "\n".join(lines) + "\n"
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as f:
+        f.write(text)
+    print(f"\n{text}")
+    return text
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)

@@ -1,0 +1,134 @@
+"""E11 -- Multiple standard query languages over the same content (§3.2 C6).
+
+Claim: "we fully expect that a content integration solution must support
+multiple standard query languages (e.g. SQL and XPath today ...) as well as
+multiple output formats (e.g. SQL result sets and XML documents)."
+
+Setup: the integrated MRO catalog published across four sites.  A set of
+logically equivalent (SQL, XPath) query pairs runs against the same engine;
+answers must agree exactly, and we measure the latency of each surface
+(the XML path pays to materialize the XML view -- its documented overhead).
+"""
+
+import time
+
+from _bench_util import report
+from repro.core import Table
+from repro.core.system import CATALOG_SCHEMA
+from repro.federation import FederatedEngine, FederationCatalog
+from repro.sim import SimClock
+from repro.workloads import generate_mro
+
+
+def build_engine():
+    workload = generate_mro(seed=55, supplier_count=6, products_per_supplier=30,
+                            with_taxonomies=False)
+    rows = [
+        {
+            "sku": p["sku"], "name": p["name"], "price": round(p["price"], 2),
+            "currency": p["currency"], "qty": p["qty"], "supplier": p["supplier"],
+        }
+        for p in workload.all_products()
+    ]
+    table = Table.from_dicts(CATALOG_SCHEMA, rows).extended("catalog")
+    catalog = FederationCatalog(SimClock())
+    names = [catalog.make_site(f"s{i}").name for i in range(4)]
+    catalog.load_fragmented(table, 2, [[names[0], names[1]], [names[2], names[3]]])
+    return FederatedEngine(catalog)
+
+
+PAIRS = [
+    (
+        "supplier filter",
+        "select sku from catalog where supplier = 'supplier-002'",
+        "//row[supplier='supplier-002']/sku/text()",
+    ),
+    (
+        "out of stock",
+        "select sku from catalog where qty = 0",
+        "//row[qty='0']/sku/text()",
+    ),
+    (
+        "name contains ink",
+        "select sku from catalog where name contains 'ink'",
+        "//row[contains(name,'ink')]/sku/text()",
+    ),
+    (
+        "currency tag",
+        "select sku from catalog where currency = 'FRF'",
+        "//row[currency='FRF']/sku/text()",
+    ),
+]
+
+
+def test_e11_sql_and_xpath_agree(benchmark):
+    engine = build_engine()
+    rows = []
+    for label, sql, path in PAIRS:
+        started = time.perf_counter()
+        sql_answer = sorted(engine.query(sql, advance_clock=False).table.column("sku"))
+        sql_seconds = time.perf_counter() - started
+
+        started = time.perf_counter()
+        xpath_answer = sorted(engine.xpath_query("catalog", path))
+        xpath_seconds = time.perf_counter() - started
+
+        assert sql_answer == xpath_answer, label
+        rows.append([label, len(sql_answer), sql_seconds * 1000,
+                     xpath_seconds * 1000])
+
+    report(
+        "e11_sql_xpath",
+        "E11: SQL vs XPath over the same integrated catalog (answers equal)",
+        ["query", "answer rows", "SQL ms (wall)", "XPath ms (wall)"],
+        rows,
+    )
+    assert all(row[1] >= 0 for row in rows)
+
+    benchmark(lambda: engine.xpath_query(
+        "catalog", "//row[supplier='supplier-002']/sku/text()"
+    ))
+
+
+def test_e11_xquery_tomorrow(benchmark):
+    """The paper's "SQL and XQuery tomorrow": FLWOR over the same catalog."""
+    engine = build_engine()
+    sql_answer = sorted(
+        engine.query(
+            "select sku from catalog where qty > 100 and supplier = 'supplier-001' "
+            "order by sku",
+            advance_clock=False,
+        ).table.column("sku")
+    )
+    flwor = (
+        "for $p in //row "
+        "where $p/qty > 100 and $p/supplier = 'supplier-001' "
+        "order by $p/sku "
+        "return <hit>{$p/sku/text()}</hit>"
+    )
+    xquery_answer = sorted(e.text for e in engine.xquery("catalog", flwor))
+    assert sql_answer == xquery_answer
+
+    report(
+        "e11_xquery",
+        "E11 extension: SQL vs XQuery (FLWOR) answer agreement",
+        ["surface", "answer rows"],
+        [["SQL", len(sql_answer)], ["XQuery FLWOR", len(xquery_answer)]],
+    )
+    benchmark(lambda: engine.xquery("catalog", flwor))
+
+
+def test_e11_xml_output_format(benchmark):
+    """The 'multiple output formats' half: XML documents out of SQL content."""
+    from repro.xmlkit import parse_xml
+
+    engine = build_engine()
+    document = engine.xml_view("catalog")
+    # Well-formed, round-trippable XML with one element per row.
+    reparsed = parse_xml(document.to_string())
+    assert len(reparsed.child_elements("row")) == 180
+    first = reparsed.child_elements("row")[0]
+    assert first.first("sku") is not None
+    assert first.first("price") is not None
+
+    benchmark(lambda: engine.xml_view("catalog").to_string())

@@ -1,0 +1,153 @@
+"""E1 -- Warehousing breaks on volatile content (§3.2 C5).
+
+Claim: "warehousing systems are built solely around the 'fetch in advance'
+paradigm.  To deal with volatile data, they suggest refreshing the warehouse
+more frequently, which is neither scalable nor sufficiently close to real
+time."
+
+Setup: the hotel market (50 chains) with continuous bookings/rate moves.
+We sweep the warehouse refresh interval and measure (a) the error of the
+traveler query's answers (phantom offers + missed vacancies) and (b) the
+refresh bandwidth spent per hour -- against the federation answering the
+same query fetch-on-demand.
+
+Expected shape: warehouse error falls only as refresh cost explodes; the
+federation sits at zero error for a flat per-query cost.
+"""
+
+import random
+
+import pytest
+
+from _bench_util import report
+from repro.connect.source import LiveSource
+from repro.federation import FederatedEngine, FederationCatalog
+from repro.federation.engine import LIVE_ONLY
+from repro.sim import EventLoop, SimClock
+from repro.warehouse import EtlJob, Warehouse
+from repro.workloads import generate_hotels
+from repro.workloads.hotels import AVAILABILITY_SCHEMA, STATIC_SCHEMA
+
+QUERY = (
+    "select s.hotel_id from hotel_static s "
+    "join hotel_availability a on s.hotel_id = a.hotel_id "
+    "where s.miles_to_airport <= 10 and s.has_health_club = true "
+    "and a.corporate_rate <= 200 and a.rooms_available > 0"
+)
+
+HORIZON = 3600.0  # one simulated hour
+QUERY_EVERY = 120.0
+UPDATE_INTERVAL = 1.0  # one booking/rate move per simulated second
+
+
+def truth_ids(market):
+    return {
+        h["hotel_id"]
+        for h in market.hotels
+        if h["miles_to_airport"] <= 10
+        and h["has_health_club"]
+        and h["corporate_rate"] <= 200
+        and h["rooms_available"] > 0
+    }
+
+
+def answer_error(table, market):
+    answered = set(table.column("hotel_id"))
+    truth = truth_ids(market)
+    return len(answered - truth) + len(truth - answered)
+
+
+def run_warehouse(refresh_interval: float) -> tuple[float, float]:
+    """Returns (mean answer error, refresh seconds spent per hour)."""
+    clock = SimClock()
+    loop = EventLoop(clock)
+    market = generate_hotels(seed=1, chain_count=50, hotels_per_chain=4)
+    market.schedule_volatility(loop, random.Random(2), UPDATE_INTERVAL)
+
+    warehouse = Warehouse(clock)
+    warehouse.add_job(
+        EtlJob("hotel_static",
+               LiveSource("static", STATIC_SCHEMA, market.static_rows, 0.5))
+    )
+    warehouse.add_job(
+        EtlJob("hotel_availability",
+               LiveSource("avail", AVAILABILITY_SCHEMA, market.availability_rows, 2.0))
+    )
+    warehouse.refresh()
+    warehouse.schedule_refresh(loop, refresh_interval)
+
+    errors = []
+    t = QUERY_EVERY
+    while t <= HORIZON:
+        loop.run_until(t)
+        errors.append(answer_error(warehouse.query(QUERY).table, market))
+        t += QUERY_EVERY
+    return sum(errors) / len(errors), warehouse.refresh_seconds_total
+
+
+def run_federation() -> tuple[float, float]:
+    """Returns (mean answer error, mean per-query response seconds)."""
+    clock = SimClock()
+    loop = EventLoop(clock)
+    market = generate_hotels(seed=1, chain_count=50, hotels_per_chain=4)
+    market.schedule_volatility(loop, random.Random(2), UPDATE_INTERVAL)
+
+    catalog = FederationCatalog(clock)
+    chain_sites = {
+        chain: catalog.make_site(f"res-{i:02d}").name
+        for i, chain in enumerate(market.chains)
+    }
+    market.register_sources(catalog, chain_sites)
+    engine = FederatedEngine(catalog)
+
+    errors = []
+    latencies = []
+    t = QUERY_EVERY
+    while t <= HORIZON:
+        loop.run_until(t)
+        result = engine.query(QUERY, max_staleness=LIVE_ONLY)
+        errors.append(answer_error(result.table, market))
+        latencies.append(result.report.response_seconds)
+        t += QUERY_EVERY
+    return sum(errors) / len(errors), sum(latencies) / len(latencies)
+
+
+def test_e1_warehouse_staleness_vs_federation(benchmark):
+    intervals = [3600.0, 900.0, 300.0, 60.0]
+    rows = []
+    errors_by_interval = {}
+    for interval in intervals:
+        error, refresh_cost = run_warehouse(interval)
+        errors_by_interval[interval] = error
+        rows.append([f"warehouse@{interval:.0f}s", error, refresh_cost, "-"])
+
+    fed_error, fed_latency = run_federation()
+    rows.append(["federation (live)", fed_error, 0.0, fed_latency])
+
+    report(
+        "e1_staleness",
+        "E1: traveler-query error vs refresh policy (1h, 1 update/s, 200 hotels)",
+        ["system", "mean answer error", "refresh s/hour", "query latency s"],
+        rows,
+    )
+
+    # Paper shape: the federation is exactly fresh; the warehouse only
+    # approaches freshness by refreshing more, paying proportionally.
+    assert fed_error == 0.0
+    assert errors_by_interval[3600.0] > errors_by_interval[60.0]
+    assert errors_by_interval[900.0] > 0
+    cost_frequent = 2.5 * (HORIZON / 60.0)
+    cost_rare = 2.5 * (HORIZON / 3600.0)
+    assert cost_frequent / cost_rare == pytest.approx(60.0)
+
+    # Benchmark kernel: one live federated query under the running market.
+    clock = SimClock()
+    market = generate_hotels(seed=1, chain_count=50, hotels_per_chain=4)
+    catalog = FederationCatalog(clock)
+    chain_sites = {
+        chain: catalog.make_site(f"res-{i:02d}").name
+        for i, chain in enumerate(market.chains)
+    }
+    market.register_sources(catalog, chain_sites)
+    engine = FederatedEngine(catalog)
+    benchmark(lambda: engine.query(QUERY, max_staleness=LIVE_ONLY, advance_clock=False))

@@ -1,0 +1,149 @@
+"""E3 -- Agoric vs centralized optimizer scalability (§3.2 C8).
+
+Claim: "a federator must scale to hundreds, if not thousands, of sites ...
+we see no way for compile-time, centralized cost-based optimizers to provide
+required scalability or adaptivity."
+
+Setup: an MRO catalog in 4 fragments with 3 replicas each, inside
+federations of 4 to 512 sites.  Per query we measure the optimization
+latency charged (bid round / statistics collection + enumeration) and how
+many sites each optimizer had to talk to.
+
+Expected shape: the agoric broker's work is O(replicas of the queried
+fragments) -- flat in federation size -- while the centralized optimizer's
+statistics collection grows linearly with the number of sites.
+
+An ablation compares agoric greedy all-replica bidding against sampled
+bidding (contact at most k replicas), the knob Mariposa brokers use.
+"""
+
+import random
+
+from _bench_util import report
+from repro.core import DataType, Field, Schema, Table
+from repro.federation import AgoricOptimizer, CentralizedOptimizer, FederationCatalog
+from repro.sim import SimClock
+from repro.sql import build_plan, parse_sql
+
+SITE_COUNTS = [4, 16, 64, 256, 512]
+FRAGMENTS = 4
+REPLICATION = 3
+
+
+def build_catalog(site_count: int) -> FederationCatalog:
+    catalog = FederationCatalog(SimClock())
+    names = [f"s{i:03d}" for i in range(site_count)]
+    for name in names:
+        catalog.make_site(name)
+    schema = Schema(
+        "catalog",
+        (Field("sku", DataType.STRING), Field("price", DataType.FLOAT)),
+    )
+    table = Table(schema, [(f"A-{i}", float(i)) for i in range(400)])
+    placement = [
+        [names[(i * 7 + r) % site_count] for r in range(REPLICATION)]
+        for i in range(FRAGMENTS)
+    ]
+    catalog.load_fragmented(table, FRAGMENTS, placement)
+    return catalog
+
+
+def plan_for(catalog):
+    statement = parse_sql("select sku from catalog where price > 100")
+    fields = catalog.binding_fields({"catalog": "catalog"})
+    return build_plan(statement, fields)
+
+
+def test_e3_agoric_flat_centralized_linear(benchmark):
+    rows = []
+    agoric_costs = {}
+    central_costs = {}
+    for site_count in SITE_COUNTS:
+        catalog = build_catalog(site_count)
+        plan = plan_for(catalog)
+
+        agoric = AgoricOptimizer(catalog)
+        # stats_refresh_interval=0: every query pays for fresh statistics,
+        # the centralized optimizer's honest per-query cost under volatility.
+        central = CentralizedOptimizer(catalog, stats_refresh_interval=0.0)
+
+        agoric_plan = agoric.optimize(plan_for(catalog))
+        central_plan = central.optimize(plan)
+
+        agoric_costs[site_count] = agoric_plan.optimization_seconds
+        central_costs[site_count] = central_plan.optimization_seconds
+        rows.append(
+            [
+                site_count,
+                agoric_plan.optimization_seconds,
+                agoric_plan.sites_contacted,
+                central_plan.optimization_seconds,
+                central_plan.sites_contacted,
+            ]
+        )
+
+    report(
+        "e3_optimizer_scaling",
+        "E3: optimization cost vs federation size (4 fragments x 3 replicas)",
+        ["sites", "agoric opt s", "agoric contacted", "central opt s", "central contacted"],
+        rows,
+    )
+
+    # Paper shape: agoric contacts only the replicas (constant); centralized
+    # must consult the whole federation (linear) and its per-query
+    # optimization latency grows with it.
+    first, last = SITE_COUNTS[0], SITE_COUNTS[-1]
+    assert all(r[2] == FRAGMENTS * REPLICATION for r in rows)
+    assert rows[-1][4] == last
+    growth_central = central_costs[last] / central_costs[first]
+    growth_agoric = agoric_costs[last] / agoric_costs[first]
+    assert growth_central > 5.0
+    assert growth_agoric < 3.0
+
+    catalog = build_catalog(256)
+    agoric = AgoricOptimizer(catalog)
+    benchmark(lambda: agoric.optimize(plan_for(catalog)))
+
+
+def test_e3_ablation_bid_sampling(benchmark):
+    """Ablation: all-replica bidding vs contacting at most k replicas."""
+    catalog = FederationCatalog(SimClock())
+    names = [f"s{i:02d}" for i in range(32)]
+    for name in names:
+        catalog.make_site(name)
+    schema = Schema("wide", (Field("sku", DataType.STRING),))
+    table = Table(schema, [(f"A-{i}",) for i in range(320)])
+    # One fragment replicated on every site: a worst case for full bidding.
+    catalog.load_fragmented(table, 1, [names])
+
+    def plan():
+        statement = parse_sql("select sku from wide")
+        return build_plan(statement, catalog.binding_fields({"wide": "wide"}))
+
+    rows = []
+    for sample in [None, 8, 3]:
+        optimizer = AgoricOptimizer(catalog, sample_size=sample,
+                                    rng=random.Random(5))
+        physical = optimizer.optimize(plan())
+        rows.append(
+            [
+                "all replicas" if sample is None else f"sample {sample}",
+                physical.sites_contacted,
+                physical.optimization_seconds,
+                physical.total_price,
+            ]
+        )
+
+    report(
+        "e3_bid_sampling",
+        "E3 ablation: bid sampling on a fully replicated fragment (32 sites)",
+        ["bidding", "contacted", "opt seconds", "plan price"],
+        rows,
+    )
+    assert rows[0][1] == 32
+    assert rows[2][1] == 3
+    # Sampling trades a little price optimality for contact cost.
+    assert rows[2][3] >= rows[0][3]
+
+    optimizer = AgoricOptimizer(catalog, sample_size=3, rng=random.Random(5))
+    benchmark(lambda: optimizer.optimize(plan()))

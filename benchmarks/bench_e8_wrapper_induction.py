@@ -1,0 +1,213 @@
+"""E8 -- Minimizing the cost per wrapper (§3.1 C1).
+
+Claim: "what is really needed is an integration of semi-automatic wrapping
+(since no automatic scheme we have seen is close to foolproof) with simple
+fix-by-example graphical interfaces.  The research community is encouraged
+to continue working on minimizing the cost per wrapper."
+
+Setup: supplier sites in all three generated layouts.  For each site the
+content manager labels k = 1..4 example records on the first catalog page;
+the inducer learns an LR wrapper, which is then scored on a *different*
+page of the same site.  We report extraction accuracy per (layout, k) and
+the number of fix-by-example rounds needed to reach perfect extraction --
+the "cost per wrapper" in human actions.
+
+Expected shape: accuracy is non-decreasing in k, a handful of examples
+suffices, and fix-by-example converges in a bounded number of rounds.
+"""
+
+from _bench_util import report
+from repro.connect import SimulatedWeb, WebClient, WrapperInducer
+from repro.connect.sitegen import build_supplier_site, format_price
+from repro.core.errors import WrapperError
+from repro.sim import SimClock
+from repro.workloads import generate_mro
+
+FIELDS = ("sku", "name", "price", "qty")
+LAYOUTS = ["table", "divs", "dl"]
+MAX_EXAMPLES = 4
+
+
+def build_site(layout: str, seed: int):
+    workload = generate_mro(seed=seed, supplier_count=1, products_per_supplier=60,
+                            with_taxonomies=False)
+    spec = workload.suppliers[0]
+    web = SimulatedWeb(SimClock())
+    supplier = build_supplier_site(
+        f"{spec.name}.example", spec.products, layout=layout,
+        price_style=spec.price_style, page_size=25,
+    )
+    web.register(supplier.site)
+    client = WebClient(web)
+    page1 = client.get(supplier.catalog_url(1)).body
+    page2 = client.get(supplier.catalog_url(2)).body
+    truth1 = [_record(p, spec.price_style) for p in spec.products[:25]]
+    truth2 = [_record(p, spec.price_style) for p in spec.products[25:50]]
+    return page1, truth1, page2, truth2
+
+
+def _record(product, price_style):
+    return {
+        "sku": product["sku"],
+        "name": product["name"],
+        "price": format_price(product["price"], product["currency"], price_style),
+        "qty": str(product["qty"]),
+    }
+
+
+def accuracy_for_examples(layout: str, k: int, seed: int) -> float:
+    page1, truth1, page2, truth2 = build_site(layout, seed)
+    inducer = WrapperInducer(FIELDS)
+    for example in truth1[:k]:
+        inducer.add_example(page1, example)
+    try:
+        wrapper = inducer.learn()
+    except WrapperError:
+        return 0.0
+    return WrapperInducer.accuracy(wrapper, page2, truth2)
+
+
+def fix_rounds_to_perfect(layout: str, seed: int, max_rounds: int = 10) -> int:
+    """Human actions (examples given) until the unseen page extracts 100%."""
+    page1, truth1, page2, truth2 = build_site(layout, seed)
+    inducer = WrapperInducer(FIELDS)
+    inducer.add_example(page1, truth1[0])
+    examples_given = 1
+    for _ in range(max_rounds):
+        try:
+            wrapper = inducer.learn()
+        except WrapperError:
+            wrapper = None
+        if wrapper is not None and WrapperInducer.accuracy(wrapper, page2, truth2) == 1.0:
+            return examples_given
+        # The manager marks the first misread record as a fresh example.
+        extracted = wrapper.extract(page2) if wrapper is not None else []
+        normalized = [
+            {k: " ".join(v.split()) for k, v in r.items()} for r in extracted
+        ]
+        misread = next(
+            (t for t in truth2
+             if {k: " ".join(str(v).split()) for k, v in t.items()} not in normalized),
+            None,
+        )
+        if misread is None:
+            return examples_given
+        inducer.add_example(page2, misread)
+        examples_given += 1
+    return examples_given
+
+
+def test_e8_induction_accuracy_vs_examples(benchmark):
+    rows = []
+    accuracy = {}
+    for layout in LAYOUTS:
+        row = [layout]
+        for k in range(1, MAX_EXAMPLES + 1):
+            scores = [accuracy_for_examples(layout, k, seed) for seed in (1, 2, 3)]
+            mean = sum(scores) / len(scores)
+            accuracy[(layout, k)] = mean
+            row.append(mean)
+        rows.append(row)
+
+    report(
+        "e8_wrapper_induction",
+        "E8: unseen-page extraction accuracy vs labeled examples (3 seeds/cell)",
+        ["layout"] + [f"k={k}" for k in range(1, MAX_EXAMPLES + 1)],
+        rows,
+    )
+
+    for layout in LAYOUTS:
+        series = [accuracy[(layout, k)] for k in range(1, MAX_EXAMPLES + 1)]
+        # Non-decreasing in examples, and a handful of examples suffices.
+        assert all(b >= a - 1e-9 for a, b in zip(series, series[1:]))
+        assert series[MAX_EXAMPLES - 1] >= 0.95
+
+    page1, truth1, _, _ = build_site("table", 1)
+    def kernel():
+        inducer = WrapperInducer(FIELDS)
+        inducer.add_example(page1, truth1[0])
+        inducer.add_example(page1, truth1[1])
+        return inducer.learn()
+    benchmark(kernel)
+
+
+def _render_disjunctive(records):
+    """A site whose rows follow *two* templates: sale items grow an inline
+    ``<em>(sale)</em>`` inside the SKU cell.  LR (left/right delimiter)
+    wrappers cannot express the optional decoration -- the paper's point
+    that "no automatic scheme we have seen is close to foolproof"."""
+    rows = []
+    for i, r in enumerate(records):
+        decoration = " <em>(sale)</em>" if i % 3 == 0 else ""
+        rows.append(
+            f"<tr class='item'><td class='sku'>{r['sku']}{decoration}</td>"
+            f"<td class='name'>{r['name']}</td></tr>"
+        )
+    return ("<html><body><table class='catalog'>"
+            + "".join(rows) + "</table></body></html>")
+
+
+def test_e8_disjunctive_template_needs_expert_fallback(benchmark):
+    records = [
+        {"sku": f"SUP-{i:03d}", "name": f"part {i}"} for i in range(20)
+    ]
+    page = _render_disjunctive(records)
+
+    # Semi-automatic induction from clean rows: sale rows extract the SKU
+    # with the decoration markup embedded -- wrong.
+    inducer = WrapperInducer(("sku", "name"))
+    inducer.add_example(page, records[1])
+    inducer.add_example(page, records[2])
+    induced = inducer.learn()
+    induced_accuracy = WrapperInducer.accuracy(induced, page, records)
+
+    # Adding a sale-row example makes the templates *contradict*: induction
+    # honestly refuses rather than guessing.
+    inducer.add_example(page, records[0])
+    try:
+        repaired = inducer.learn()
+        repaired_accuracy = WrapperInducer.accuracy(repaired, page, records)
+    except WrapperError:
+        repaired_accuracy = float("nan")
+
+    # The expert fallback (§4: "expert users can also customize wrappers
+    # directly"): a hand-written regex wrapper nails both templates.
+    from repro.connect import RegexWrapper
+
+    expert = RegexWrapper(
+        r"<td class='sku'>(?P<sku>[\w-]+)(?: <em>[^<]*</em>)?</td>"
+        r"<td class='name'>(?P<name>[^<]+)</td>"
+    )
+    expert_accuracy = WrapperInducer.accuracy(expert, page, records)
+
+    report(
+        "e8_disjunctive",
+        "E8: disjunctive row templates -- induction is not foolproof",
+        ["wrapper", "accuracy"],
+        [
+            ["induced (2 clean examples)", induced_accuracy],
+            ["induced (+1 sale example)", repaired_accuracy],
+            ["expert regex fallback", expert_accuracy],
+        ],
+    )
+    assert induced_accuracy < 1.0        # sale rows misread
+    assert expert_accuracy == 1.0        # the manual escape hatch works
+    benchmark(lambda: expert.extract(page))
+
+
+def test_e8_fix_by_example_converges(benchmark):
+    rows = []
+    for layout in LAYOUTS:
+        rounds = [fix_rounds_to_perfect(layout, seed) for seed in (1, 2, 3)]
+        rows.append([layout, sum(rounds) / len(rounds), max(rounds)])
+
+    report(
+        "e8_fix_by_example",
+        "E8: human examples needed until an unseen page extracts perfectly",
+        ["layout", "mean examples", "worst case"],
+        rows,
+    )
+    # Cost per wrapper is a handful of clicks, not a programming task.
+    assert all(row[2] <= 4 for row in rows)
+
+    benchmark(lambda: fix_rounds_to_perfect("divs", 1))

@@ -1,0 +1,166 @@
+"""Supplier enablement at registry scale.
+
+§3.1 C2: "Home Depot is reputed to have 60,000 suppliers.  Specifying
+60,000 transformations is a daunting task, and some very high-level
+mechanism is clearly required ... standards activity, perhaps a
+generalization of UDDI, is another promising direction."  §3.1 C4 names the
+problem *supplier enablement*.
+
+This example runs the high-level mechanism end to end:
+
+1. suppliers publish UDDI-like listings (fields, layout, currency hints);
+2. the integrator discovers the ones that can serve its vertical;
+3. field mappings auto-configure from the listings (schema matcher +
+   accumulated field-name synonyms), with only genuine ambiguities queued
+   for a human;
+4. a wrapper is *trained* per layout from one marked example;
+5. an ingestion workflow (scrape -> normalize -> publish) runs per
+   supplier, with one supplier's broken feed skipping only its own branch;
+6. catalog payloads cross the public network through secure channels.
+
+Run with:  python examples/supplier_enablement.py
+"""
+
+from repro.connect import (
+    SupplierListing,
+    SupplierRegistry,
+    WrapperTrainingSession,
+)
+from repro.connect.sitegen import build_supplier_site, format_price
+from repro.connect.simweb import WebClient
+from repro.core.system import ContentIntegrationSystem
+from repro.federation import SecureNetwork, seal, unseal
+from repro.federation.secure import establish_session
+from repro.core.system import CATALOG_SCHEMA
+from repro.workbench import SynonymTable, Workflow, WorkflowContext, WorkflowStep
+from repro.workloads import generate_mro
+
+SUPPLIERS = 6
+
+
+def main() -> None:
+    system = ContentIntegrationSystem(seed=7)
+    system.catalog.network = SecureNetwork()  # §4: SSL between components
+    workload = generate_mro(seed=7, supplier_count=SUPPLIERS,
+                            products_per_supplier=20, with_taxonomies=False)
+    sites = system.add_compute_sites(4)
+
+    # --- 1. suppliers publish into the registry -----------------------------
+    field_synonyms = SynonymTable()
+    field_synonyms.add_group(["sku", "part_num", "item code"])
+    field_synonyms.add_group(["qty", "stock"])
+    registry = SupplierRegistry(field_synonyms=field_synonyms)
+
+    for spec in workload.suppliers:
+        site = build_supplier_site(
+            f"{spec.name}.example", spec.products,
+            layout=spec.layout, price_style=spec.price_style,
+        )
+        system.register_supplier(site)
+        registry.publish(
+            SupplierListing(
+                supplier=spec.name,
+                host=site.host,
+                catalog_url=site.catalog_url(),
+                access="scrape",
+                fields=("sku", "name", "price", "qty"),
+                layout_hint=spec.layout,
+                currency=spec.currency,
+                price_style=spec.price_style,
+            )
+        )
+    print(f"registry holds {len(registry)} supplier listings")
+
+    # --- 2+3. discover and auto-configure ------------------------------------
+    discovered = registry.discover(required_fields={"sku", "name", "price", "qty"})
+    # The integrator needs the four *scraped* fields mapped; currency and
+    # supplier identity come from the listing metadata, not the page.
+    scraped_needs = CATALOG_SCHEMA.project(["sku", "name", "price", "qty"])
+    automatic = 0
+    for listing in discovered:
+        plan = registry.enablement_plan(listing.supplier, scraped_needs)
+        if plan.automatic:
+            automatic += 1
+    print(f"discovered {len(discovered)} usable suppliers; "
+          f"{automatic} enabled with zero human decisions")
+
+    # --- 4. train one wrapper per supplier from a single marked example ------
+    trained = {}
+    human_actions = 0
+    client = WebClient(system.web)
+    for listing in discovered:
+        spec = next(s for s in workload.suppliers if s.name == listing.supplier)
+        page = client.get(listing.catalog_url).body
+        example = {
+            "sku": spec.products[0]["sku"],
+            "name": spec.products[0]["name"],
+            "price": format_price(spec.products[0]["price"], spec.currency,
+                                  spec.price_style),
+            "qty": str(spec.products[0]["qty"]),
+        }
+        session = WrapperTrainingSession(("sku", "name", "price", "qty"), page)
+        session.mark_record(example)
+        trained[listing.supplier] = session.accept()
+        human_actions += session.human_actions
+    print(f"trained {len(trained)} wrappers with {human_actions} human actions "
+          f"({human_actions / len(trained):.1f} per supplier)")
+
+    # --- 5. the ingestion workflow, one branch per supplier -------------------
+    workflow = Workflow("nightly-ingest")
+    saboteur = discovered[2].supplier  # this supplier's site goes down tonight
+
+    for listing in discovered:
+        def scrape(context, upstream, listing=listing):
+            supplier_site = system.suppliers[listing.host]
+            if listing.supplier == saboteur:
+                supplier_site.site.up = False
+            return system.scrape_supplier(listing.host, listing.supplier)
+
+        def normalize(context, upstream, listing=listing):
+            raw = upstream[f"scrape:{listing.supplier}"]
+            return system.normalize(raw, listing.supplier, listing.currency)
+
+        workflow.add_step(WorkflowStep(f"scrape:{listing.supplier}", scrape))
+        workflow.add_step(
+            WorkflowStep(
+                f"normalize:{listing.supplier}", normalize,
+                depends_on=(f"scrape:{listing.supplier}",),
+            )
+        )
+
+    def publish(context, upstream):
+        tables = [t for t in upstream.values() if t is not None]
+        unified = tables[0]
+        for table in tables[1:]:
+            unified = unified.union_all(table)
+        system.publish_catalog(
+            unified, 2, [[sites[0], sites[1]], [sites[2], sites[3]]]
+        )
+        return len(unified)
+
+    workflow.add_step(
+        WorkflowStep(
+            "publish", publish,
+            depends_on=tuple(f"normalize:{l.supplier}" for l in discovered
+                             if l.supplier != saboteur),
+        )
+    )
+
+    run = workflow.run(WorkflowContext())
+    counts = run.counts()
+    print(f"workflow: {counts['ok']} steps ok, {counts['failed']} failed, "
+          f"{counts['skipped']} skipped (only {saboteur}'s branch)")
+    print(f"published catalog rows: {run.output_of('publish')}")
+
+    # --- 6. secure channel demonstration ---------------------------------------
+    key = establish_session("integrator", "big-market", shared_secret=2001)
+    payload = system.query("select count(*) as n from catalog").table.to_dicts()
+    envelope = seal(str(payload), key)
+    print(f"\nsealed catalog summary for the market: {len(envelope)} bytes, "
+          f"opens to {unseal(envelope, key)}")
+    print(f"secure handshakes performed on the federation network: "
+          f"{system.catalog.network.handshakes_performed}")
+
+
+if __name__ == "__main__":
+    main()

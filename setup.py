@@ -1,0 +1,9 @@
+"""Compatibility shim so ``python setup.py develop`` works in offline
+environments lacking the ``wheel`` package (modern ``pip install -e .``
+builds an editable wheel and fails without it).  Configuration lives in
+pyproject.toml; this file adds nothing else.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,209 @@
+"""A scripted browser agent.
+
+Cohera Connect "includes a full-function web browser agent, which can
+automatically navigate complex web pages, correctly managing issues like
+DHTML, JavaScript, cookies, passwords, and HTTPS" (§4).  Our analog drives
+the simulated web: it keeps a current page, fills and submits forms (logins),
+follows links by selector or by link text, and collects pages while walking
+pagination -- all through a :class:`~repro.connect.simweb.WebClient`, so
+cookies and HTTPS policies are honoured automatically.
+
+Navigation can be driven imperatively (call methods) or declaratively via
+:class:`NavigationScript`, which is how trained wrappers store their access
+recipe ("how to access some data", §3.1 C1) next to their parse recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.connect.simweb import HttpResponse, WebClient, build_url, parse_url
+from repro.core.errors import WrapperError
+from repro.htmlkit import Element, parse_html
+
+
+@dataclass(frozen=True)
+class Goto:
+    url: str
+
+
+@dataclass(frozen=True)
+class SubmitForm:
+    """Fill and submit the first form matching ``form_selector``."""
+
+    fields: dict[str, str]
+    form_selector: str = "form"
+
+
+@dataclass(frozen=True)
+class FollowLink:
+    """Follow the first anchor matching a selector or containing text."""
+
+    selector: str = "a"
+    text: str | None = None
+
+
+@dataclass(frozen=True)
+class Collect:
+    """Record the current page body under a label."""
+
+    label: str = "page"
+
+
+@dataclass(frozen=True)
+class CollectAllPages:
+    """Collect the current page, then keep following ``next_selector``."""
+
+    next_selector: str = "a.next"
+    label: str = "page"
+    max_pages: int = 1000
+
+
+Step = Union[Goto, SubmitForm, FollowLink, Collect, CollectAllPages]
+
+
+@dataclass
+class NavigationScript:
+    """A stored access recipe: an ordered list of navigation steps."""
+
+    steps: list[Step] = field(default_factory=list)
+
+
+class BrowserAgent:
+    """Stateful navigation over the simulated web."""
+
+    def __init__(self, client: WebClient) -> None:
+        self.client = client
+        self.current_url: str | None = None
+        self.current_body: str = ""
+        self.collected: list[tuple[str, str]] = []  # (label, body)
+
+    # -- imperative API -----------------------------------------------------
+
+    @property
+    def dom(self) -> Element:
+        return parse_html(self.current_body)
+
+    def goto(self, url: str) -> HttpResponse:
+        response = self.client.get(url)
+        self._land(url, response)
+        return response
+
+    def submit_form(
+        self, fields: dict[str, str], form_selector: str = "form"
+    ) -> HttpResponse:
+        """Fill the named inputs of the first matching form and submit it."""
+        self._require_page()
+        forms = self.dom.select(form_selector)
+        if not forms:
+            raise WrapperError(f"no form matching {form_selector!r} on {self.current_url!r}")
+        form = forms[0]
+        action = form.get("action") or parse_url(self.current_url).path
+        method = (form.get("method") or "get").upper()
+
+        # Pre-fill declared inputs (keeps hidden fields), then overlay values.
+        data: dict[str, str] = {}
+        for input_element in form.find_all("input"):
+            name = input_element.get("name")
+            if name:
+                data[name] = input_element.get("value") or ""
+        data.update(fields)
+
+        target = self._absolutize(action)
+        if method == "POST":
+            response = self.client.post(target, data)
+        else:
+            response = self.client.get(build_url(*_merge_params(target, data)))
+        self._land(target, response)
+        return response
+
+    def follow_link(self, selector: str = "a", text: str | None = None) -> HttpResponse:
+        """Follow the first matching anchor; optionally require link text."""
+        self._require_page()
+        for anchor in self.dom.select(selector):
+            if anchor.tag != "a":
+                continue
+            if text is not None and text.lower() not in anchor.get_text().lower():
+                continue
+            href = anchor.get("href")
+            if not href:
+                continue
+            target = self._absolutize(href)
+            response = self.client.get(target)
+            self._land(target, response)
+            return response
+        raise WrapperError(
+            f"no link matching selector={selector!r} text={text!r} "
+            f"on {self.current_url!r}"
+        )
+
+    def collect(self, label: str = "page") -> None:
+        self._require_page()
+        self.collected.append((label, self.current_body))
+
+    def collect_all_pages(
+        self, next_selector: str = "a.next", label: str = "page", max_pages: int = 1000
+    ) -> int:
+        """Collect this page and every page reachable via the next link."""
+        self._require_page()
+        count = 0
+        for _ in range(max_pages):
+            self.collect(label)
+            count += 1
+            try:
+                self.follow_link(next_selector)
+            except WrapperError:
+                break
+        return count
+
+    # -- declarative API ------------------------------------------------------
+
+    def run(self, script: NavigationScript) -> list[str]:
+        """Execute a stored script; return the collected page bodies."""
+        self.collected.clear()
+        for step in script.steps:
+            if isinstance(step, Goto):
+                self.goto(step.url)
+            elif isinstance(step, SubmitForm):
+                self.submit_form(step.fields, step.form_selector)
+            elif isinstance(step, FollowLink):
+                self.follow_link(step.selector, step.text)
+            elif isinstance(step, Collect):
+                self.collect(step.label)
+            elif isinstance(step, CollectAllPages):
+                self.collect_all_pages(step.next_selector, step.label, step.max_pages)
+            else:
+                raise WrapperError(f"unknown navigation step {step!r}")
+        return [body for _, body in self.collected]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _require_page(self) -> None:
+        if self.current_url is None:
+            raise WrapperError("agent has no current page; goto() first")
+
+    def _land(self, url: str, response: HttpResponse) -> None:
+        self.current_url = url
+        self.current_body = response.body
+
+    def _absolutize(self, href: str) -> str:
+        if "://" in href:
+            return href
+        base = parse_url(self.current_url)
+        if not href.startswith("/"):
+            href = "/" + href
+        path, _, query = href.partition("?")
+        params = {}
+        if query:
+            for pair in query.split("&"):
+                key, _, value = pair.partition("=")
+                params[key] = value
+        return build_url(base.scheme, base.host, path, params)
+
+
+def _merge_params(url: str, extra: dict[str, str]) -> tuple[str, str, str, dict[str, str]]:
+    parsed = parse_url(url)
+    params = dict(parsed.params)
+    params.update(extra)
+    return parsed.scheme, parsed.host, parsed.path, params

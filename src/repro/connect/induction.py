@@ -1,0 +1,259 @@
+"""Semi-automatic wrapper induction ("fix-by-example").
+
+The paper (§3.1 C1) asks for "an integration of semi-automatic wrapping
+(since no automatic scheme we have seen is close to foolproof) with simple
+fix-by-example graphical interfaces".  This module implements the engine of
+that loop, in the LR (left-right delimiter) family of Kushmerick's wrapper
+induction:
+
+1. A content manager marks a handful of example records on a sample page
+   (here: dicts of field -> exact text as it appears in the markup).
+2. :class:`WrapperInducer` finds, for every field, the longest left and
+   right delimiter strings shared by all examples, producing an
+   :class:`InducedWrapper` (a normal
+   :class:`~repro.connect.wrapper.PageWrapper`).
+3. If the wrapper misreads some record on another page, the manager adds
+   that record as a new example -- :meth:`WrapperInducer.fix_by_example` --
+   and the delimiters are re-learned from the enlarged example set.
+
+With one example the delimiters overfit (they may embed another record's
+variable text); each added example shrinks them toward the true page
+template.  Experiment E8 measures exactly this accuracy-vs-examples curve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.connect.wrapper import PageWrapper
+from repro.core.errors import WrapperError
+
+# Delimiters longer than this are truncated: sites never need more context,
+# and unbounded delimiters drag in whole preceding records.
+MAX_DELIMITER = 80
+
+
+def common_suffix(texts: list[str]) -> str:
+    """Longest string that is a suffix of every text in ``texts``."""
+    if not texts:
+        return ""
+    shortest = min(texts, key=len)
+    for length in range(len(shortest), 0, -1):
+        candidate = shortest[-length:]
+        if all(t.endswith(candidate) for t in texts):
+            return candidate
+    return ""
+
+
+def common_prefix(texts: list[str]) -> str:
+    """Longest string that is a prefix of every text in ``texts``."""
+    if not texts:
+        return ""
+    shortest = min(texts, key=len)
+    for length in range(len(shortest), 0, -1):
+        candidate = shortest[:length]
+        if all(t.startswith(candidate) for t in texts):
+            return candidate
+    return ""
+
+
+def _shorten_right(delimiter: str) -> str:
+    """Truncate a right delimiter at the end of its first complete tag.
+
+    A right delimiter is only used to *terminate* a value (``find`` stops at
+    its first occurrence), so any prefix that cannot occur inside a value is
+    as correct as the full common prefix -- and generalizes better.  Two
+    failure modes of the full prefix are cured at once: the last record on a
+    page has no following record to supply the long delimiter, and example
+    values of the next record can leak a shared prefix (``A-1``/``A-2`` leak
+    ``A-``) into it.  Values are text without ``>``, so cutting after the
+    first tag is safe.
+    """
+    first = delimiter.find(">")
+    if first == -1:
+        return delimiter
+    return delimiter[:first + 1]
+
+
+def _shorten_left(delimiter: str) -> str:
+    """Truncate a left delimiter to its last complete-or-partial tag.
+
+    Extraction scans fields sequentially, so a left delimiter only needs to
+    be specific enough to find the *next* occurrence of the field's slot --
+    the nearest enclosing tag (e.g. ``<td class='sku'>``) almost always is.
+    Keeping earlier context would tie the delimiter to whatever preceded the
+    example record (the page header for the first record, the previous
+    record for others), which does not generalize.
+    """
+    last = delimiter.rfind("<")
+    if last == -1:
+        return delimiter
+    return delimiter[last:]
+
+
+@dataclass
+class InducedWrapper(PageWrapper):
+    """A learned LR wrapper: per-field (left, right) delimiter pairs."""
+
+    fields: tuple[str, ...]
+    delimiters: tuple[tuple[str, str], ...]
+
+    def extract(self, markup: str) -> list[dict[str, str]]:
+        records: list[dict[str, str]] = []
+        position = 0
+        first_left = self.delimiters[0][0]
+        while True:
+            start = markup.find(first_left, position)
+            if start == -1:
+                break
+            record: dict[str, str] = {}
+            cursor = start
+            ok = True
+            for (left, right), name in zip(self.delimiters, self.fields):
+                begin = markup.find(left, cursor)
+                if begin == -1:
+                    ok = False
+                    break
+                begin += len(left)
+                end = markup.find(right, begin)
+                if end == -1:
+                    ok = False
+                    break
+                record[name] = markup[begin:end].strip()
+                cursor = end
+            if not ok:
+                break
+            records.append(record)
+            position = max(cursor, start + len(first_left))
+        return records
+
+
+class WrapperInducer:
+    """Learns an :class:`InducedWrapper` from labeled example records."""
+
+    def __init__(self, fields: tuple[str, ...] | list[str]) -> None:
+        if not fields:
+            raise WrapperError("induction needs at least one field")
+        self.fields = tuple(fields)
+        self.examples: list[tuple[str, dict[str, str]]] = []
+
+    # -- example management -------------------------------------------------
+
+    def add_example(self, page: str, record: dict[str, str]) -> None:
+        """Add a labeled example: ``record`` values appear verbatim in ``page``."""
+        missing = [f for f in self.fields if f not in record]
+        if missing:
+            raise WrapperError(f"example record lacks fields {missing!r}")
+        self.examples.append((page, record))
+
+    def fix_by_example(self, page: str, record: dict[str, str]) -> InducedWrapper:
+        """The repair loop: add a misread record as an example and re-learn."""
+        self.add_example(page, record)
+        return self.learn()
+
+    # -- learning ------------------------------------------------------------
+
+    def learn(self) -> InducedWrapper:
+        """Induce delimiters from all accumulated examples.
+
+        The order fields appear on the page need not match the order the
+        manager declared them: it is detected from the first example (each
+        value located independently, fields sorted by position).
+        """
+        if not self.examples:
+            raise WrapperError("cannot induce a wrapper from zero examples")
+
+        field_order = self._detect_field_order(*self.examples[0])
+
+        # Locate each example's fields in page order, collecting the context
+        # before each value and after it.
+        before_contexts: dict[str, list[str]] = {f: [] for f in field_order}
+        after_contexts: dict[str, list[str]] = {f: [] for f in field_order}
+
+        for page, record in self.examples:
+            # First pass: locate every field value in page order.
+            positions: list[tuple[int, int]] = []
+            cursor = 0
+            for name in field_order:
+                value = record[name]
+                if not value:
+                    raise WrapperError(
+                        f"example value for field {name!r} is empty; "
+                        "induction needs non-empty field text"
+                    )
+                index = page.find(value, cursor)
+                if index == -1:
+                    raise WrapperError(
+                        f"example value {value!r} for field {name!r} "
+                        "not found in page after previous field"
+                    )
+                positions.append((index, index + len(value)))
+                cursor = index + len(value)
+
+            # Second pass: collect contexts.  The after-context of field i is
+            # bounded by the start of field i+1's value, so a shared prefix of
+            # the *next field's values* can never leak into the delimiter.
+            for i, name in enumerate(field_order):
+                index, end = positions[i]
+                before_contexts[name].append(page[max(0, index - MAX_DELIMITER):index])
+                after_limit = (
+                    positions[i + 1][0]
+                    if i + 1 < len(positions)
+                    else end + MAX_DELIMITER
+                )
+                after_contexts[name].append(page[end:after_limit])
+
+        delimiters = []
+        for name in field_order:
+            left = _shorten_left(common_suffix(before_contexts[name]))
+            right = _shorten_right(common_prefix(after_contexts[name]))
+            if not left or not right:
+                raise WrapperError(
+                    f"no common delimiters for field {name!r}; the examples "
+                    "disagree about the page template"
+                )
+            delimiters.append((left, right))
+        return InducedWrapper(field_order, tuple(delimiters))
+
+    def _detect_field_order(self, page: str, record: dict[str, str]) -> tuple[str, ...]:
+        """Order fields by where their values sit on the example page.
+
+        Each value is located independently (first occurrence).  When any
+        value is missing or two fields collide at one position, fall back to
+        the declared order.
+        """
+        positions: dict[str, int] = {}
+        for name in self.fields:
+            index = page.find(record[name]) if record[name] else -1
+            if index == -1:
+                return self.fields
+            positions[name] = index
+        if len(set(positions.values())) != len(positions):
+            return self.fields
+        return tuple(sorted(self.fields, key=lambda n: positions[n]))
+
+    # -- evaluation -----------------------------------------------------------
+
+    @staticmethod
+    def accuracy(
+        wrapper: InducedWrapper,
+        page: str,
+        truth: list[dict[str, str]],
+    ) -> float:
+        """Fraction of true records the wrapper extracts exactly.
+
+        The measure E8 reports: a record counts only if every field matches
+        the ground truth after whitespace normalization.
+        """
+        if not truth:
+            return 1.0
+        extracted = wrapper.extract(page)
+        normalized = [
+            {k: " ".join(v.split()) for k, v in record.items()} for record in extracted
+        ]
+        hits = 0
+        for true_record in truth:
+            wanted = {k: " ".join(str(v).split()) for k, v in true_record.items()}
+            if wanted in normalized:
+                hits += 1
+        return hits / len(truth)

@@ -1,0 +1,229 @@
+"""Synthetic supplier web sites.
+
+Stands in for the paper's real-world supplier sites.  Each generated site
+serves one supplier's catalog in one of several *layouts* (table-based,
+div-based, definition-list) with site-specific price formatting, optional
+form login with cookie sessions, pagination, and a volatile availability
+endpoint.  The layout variation is the point: wrappers and the wrapper
+inducer must cope with the same heterogeneity the paper's content managers
+faced.
+
+The ``products`` list a site is built over is held *by reference*: mutate a
+product dict (price, qty) and the next page fetch reflects it.  That is how
+Characteristic 5's volatility reaches the web path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from repro.connect.simweb import HttpRequest, HttpResponse, WebSite
+from repro.xmlkit.model import XmlElement, xml_escape
+
+LAYOUTS = ("table", "divs", "dl")
+
+SESSION_COOKIE = "session"
+SESSION_TOKEN = "authenticated-0042"
+
+
+def format_price(amount: float, currency: str, style: str) -> str:
+    """Render a price the way one particular supplier site does.
+
+    Styles: ``symbol`` -> ``$5.00`` / ``F5.00``; ``code-prefix`` ->
+    ``USD 5.00``; ``code-suffix`` -> ``5,00 FRF`` (European decimal comma).
+    """
+    if style == "symbol":
+        symbol = {"USD": "$", "FRF": "F", "EUR": "€", "GBP": "£"}.get(
+            currency, currency + " "
+        )
+        return f"{symbol}{amount:.2f}"
+    if style == "code-prefix":
+        return f"{currency} {amount:.2f}"
+    if style == "code-suffix":
+        return f"{amount:.2f}".replace(".", ",") + f" {currency}"
+    raise ValueError(f"unknown price style {style!r}")
+
+
+@dataclass
+class SupplierSite:
+    """A generated site plus the knobs a test/benchmark needs."""
+
+    host: str
+    site: WebSite
+    products: list[dict[str, Any]]
+    layout: str
+    price_style: str
+    page_size: int
+    requires_login: bool
+    username: str = "buyer"
+    password: str = "secret"
+
+    @property
+    def page_count(self) -> int:
+        return max(1, math.ceil(len(self.products) / self.page_size))
+
+    def catalog_url(self, page: int = 1) -> str:
+        return f"http://{self.host}/catalog?page={page}"
+
+    def login_url(self) -> str:
+        return f"http://{self.host}/login"
+
+
+def build_supplier_site(
+    host: str,
+    products: list[dict[str, Any]],
+    layout: str = "table",
+    price_style: str = "symbol",
+    page_size: int = 25,
+    latency: float = 0.2,
+    requires_login: bool = False,
+    https_only: bool = False,
+) -> SupplierSite:
+    """Build a :class:`WebSite` serving ``products`` in the given layout.
+
+    Each product dict should carry ``sku``, ``name``, ``price`` (float),
+    ``currency``, ``qty`` and may carry ``category`` and ``description``.
+    """
+    if layout not in LAYOUTS:
+        raise ValueError(f"unknown layout {layout!r}; pick one of {LAYOUTS}")
+
+    site = WebSite(host, latency=latency, https_only=https_only)
+    supplier = SupplierSite(
+        host, site, products, layout, price_style, page_size, requires_login
+    )
+
+    def logged_in(request: HttpRequest) -> bool:
+        return request.cookies.get(SESSION_COOKIE) == SESSION_TOKEN
+
+    @site.route("/")
+    def index(request: HttpRequest) -> HttpResponse:
+        pages = "".join(
+            f'<li><a href="/catalog?page={n}">Page {n}</a></li>'
+            for n in range(1, supplier.page_count + 1)
+        )
+        return HttpResponse(
+            body=f"<html><head><title>{host}</title></head><body>"
+            f"<h1>{host} catalog</h1><ul class='pages'>{pages}</ul>"
+            "</body></html>"
+        )
+
+    @site.route("/login")
+    def login(request: HttpRequest) -> HttpResponse:
+        if request.method == "POST":
+            if (
+                request.form.get("user") == supplier.username
+                and request.form.get("password") == supplier.password
+            ):
+                response = HttpResponse.redirect("/catalog?page=1")
+                response.set_cookies[SESSION_COOKIE] = SESSION_TOKEN
+                return response
+            return HttpResponse(status=401, body="<html><body>bad credentials</body></html>")
+        return HttpResponse(
+            body="<html><body><form method='post' action='/login'>"
+            "<input name='user'><input name='password' type='password'>"
+            "<input type='submit' value='Sign in'></form></body></html>"
+        )
+
+    @site.route("/catalog")
+    def catalog(request: HttpRequest) -> HttpResponse:
+        if requires_login and not logged_in(request):
+            return HttpResponse.redirect("/login")
+        try:
+            page = int(request.params.get("page", "1"))
+        except ValueError:
+            page = 1
+        page = min(max(page, 1), supplier.page_count)
+        start = (page - 1) * page_size
+        chunk = products[start:start + page_size]
+        body = _render_catalog_page(host, chunk, layout, price_style, page, supplier.page_count)
+        return HttpResponse(body=body)
+
+    @site.route("/item/")
+    def item_detail(request: HttpRequest) -> HttpResponse:
+        if requires_login and not logged_in(request):
+            return HttpResponse.redirect("/login")
+        sku = request.url.path.rsplit("/", 1)[-1]
+        for product in products:
+            if product["sku"] == sku:
+                description = product.get("description", "")
+                return HttpResponse(
+                    body=f"<html><body><h1 class='name'>{xml_escape(product['name'])}</h1>"
+                    f"<span class='sku'>{xml_escape(sku)}</span>"
+                    f"<span class='price'>{format_price(product['price'], product['currency'], price_style)}</span>"
+                    f"<span class='qty'>{product['qty']}</span>"
+                    f"<p class='description'>{xml_escape(description)}</p>"
+                    "</body></html>"
+                )
+        return HttpResponse.not_found(request.url.path)
+
+    @site.route("/api/availability")
+    def availability(request: HttpRequest) -> HttpResponse:
+        sku = request.params.get("sku", "")
+        for product in products:
+            if product["sku"] == sku:
+                element = XmlElement(
+                    "availability",
+                    {"sku": sku, "qty": str(product["qty"]),
+                     "price": f"{product['price']:.2f}",
+                     "currency": product["currency"]},
+                )
+                return HttpResponse(body=element.to_string(), content_type="text/xml")
+        return HttpResponse(status=404, body="<error>unknown sku</error>", content_type="text/xml")
+
+    return supplier
+
+
+def _render_catalog_page(
+    host: str,
+    chunk: list[dict[str, Any]],
+    layout: str,
+    price_style: str,
+    page: int,
+    page_count: int,
+) -> str:
+    """Render one catalog page in the site's layout."""
+    if layout == "table":
+        rows = "".join(
+            "<tr class='item'>"
+            f"<td class='sku'>{xml_escape(p['sku'])}</td>"
+            f"<td class='name'>{xml_escape(p['name'])}</td>"
+            f"<td class='price'>{format_price(p['price'], p['currency'], price_style)}</td>"
+            f"<td class='qty'>{p['qty']}</td>"
+            "</tr>"
+            for p in chunk
+        )
+        listing = (
+            "<table class='catalog'><tr><th>SKU</th><th>Product</th>"
+            f"<th>Price</th><th>Stock</th></tr>{rows}</table>"
+        )
+    elif layout == "divs":
+        listing = "".join(
+            "<div class='product'>"
+            f"<div class='title'>{xml_escape(p['name'])}</div>"
+            f"<div class='meta'>Item <b class='sku'>{xml_escape(p['sku'])}</b>"
+            f" | In stock: <i class='qty'>{p['qty']}</i></div>"
+            f"<div class='cost'>{format_price(p['price'], p['currency'], price_style)}</div>"
+            "</div>"
+            for p in chunk
+        )
+    else:  # "dl" definition-list layout
+        entries = "".join(
+            f"<dt class='sku'>{xml_escape(p['sku'])}</dt>"
+            f"<dd><span class='name'>{xml_escape(p['name'])}</span> &mdash; "
+            f"<span class='price'>{format_price(p['price'], p['currency'], price_style)}</span>"
+            f" (<span class='qty'>{p['qty']}</span> on hand)</dd>"
+            for p in chunk
+        )
+        listing = f"<dl class='catalog'>{entries}</dl>"
+
+    nav = ""
+    if page < page_count:
+        nav = f"<a class='next' href='/catalog?page={page + 1}'>Next</a>"
+    return (
+        f"<html><head><title>{host} page {page}</title></head><body>"
+        f"<div class='banner'>Special offers this week!</div>"
+        f"{listing}<div class='nav'>{nav}</div>"
+        "</body></html>"
+    )

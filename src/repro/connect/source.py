@@ -1,0 +1,153 @@
+"""The ContentSource protocol: what the federation sees of any connector.
+
+Every way of getting content -- scraping a site, querying an ERP gateway,
+reading a file -- ends in an object with a schema, a ``fetch`` method taking
+optional pushed-down predicates, and cost/availability metadata the
+federated optimizer uses.  This uniformity is what lets the optimizer treat
+"a scraped web site" and "a relational gateway" as interchangeable access
+paths (§3.2).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+from repro.core.errors import QueryError
+from repro.core.records import Table
+from repro.core.schema import Schema
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A simple comparison that sources may evaluate locally (pushdown)."""
+
+    column: str
+    op: str  # one of =, !=, <, <=, >, >=, contains
+    value: Any
+
+    _OPS = {
+        "=": lambda a, b: a == b,
+        "!=": lambda a, b: a != b,
+        "<": lambda a, b: a is not None and a < b,
+        "<=": lambda a, b: a is not None and a <= b,
+        ">": lambda a, b: a is not None and a > b,
+        ">=": lambda a, b: a is not None and a >= b,
+        "contains": lambda a, b: a is not None and str(b).lower() in str(a).lower(),
+    }
+
+    def __post_init__(self) -> None:
+        if self.op not in self._OPS:
+            raise ValueError(f"unsupported predicate operator {self.op!r}")
+
+    def matches(self, row: dict[str, Any]) -> bool:
+        try:
+            return self._OPS[self.op](row.get(self.column), self.value)
+        except TypeError as error:
+            raise QueryError(
+                f"cannot apply {self.column} {self.op} {self.value!r} "
+                f"to value {row.get(self.column)!r}: {error}"
+            ) from error
+
+
+def apply_predicates(table: Table, predicates: Sequence[Predicate]) -> Table:
+    """Filter ``table`` by all ``predicates`` (helper for sources)."""
+    if not predicates:
+        return table
+    return table.where(lambda row: all(p.matches(row.to_dict()) for p in predicates))
+
+
+@dataclass
+class FetchResult:
+    """A fetched table plus the cost actually incurred getting it."""
+
+    table: Table
+    cost_seconds: float = 0.0
+    fetched_at: float = 0.0
+    metadata: dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.table)
+
+
+class ContentSource(abc.ABC):
+    """Abstract base for every connector the federation can query."""
+
+    name: str
+    schema: Schema
+
+    @abc.abstractmethod
+    def fetch(self, predicates: Sequence[Predicate] = ()) -> FetchResult:
+        """Retrieve (a predicate-filtered view of) the source's content."""
+
+    def is_available(self) -> bool:
+        """Whether a fetch right now is expected to succeed."""
+        return True
+
+    def estimated_rows(self) -> int:
+        """Optimizer statistic: expected row count of an unfiltered fetch."""
+        return 1000
+
+    def estimated_cost(self) -> float:
+        """Optimizer statistic: expected seconds for an unfiltered fetch."""
+        return 1.0
+
+
+class LiveSource(ContentSource):
+    """A source over *mutable* operational state (Characteristic 5).
+
+    ``rows_fn`` re-reads the owner's live state on every fetch, so updates
+    between fetches are always visible -- this is the fetch-on-demand path
+    volatile content (hotel rooms, airline seats, spot prices) flows
+    through.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        schema: "Schema",
+        rows_fn,
+        cost_seconds: float = 0.05,
+        estimated_rows: int | None = None,
+    ) -> None:
+        self.name = name
+        self.schema = schema
+        self._rows_fn = rows_fn
+        self._cost = cost_seconds
+        self._estimated_rows = estimated_rows
+
+    def fetch(self, predicates: Sequence[Predicate] = ()) -> FetchResult:
+        table = Table.from_dicts(self.schema, self._rows_fn())
+        return FetchResult(
+            apply_predicates(table, predicates), cost_seconds=self._cost
+        )
+
+    def estimated_rows(self) -> int:
+        if self._estimated_rows is not None:
+            return self._estimated_rows
+        return len(self._rows_fn())
+
+    def estimated_cost(self) -> float:
+        return self._cost
+
+
+class StaticSource(ContentSource):
+    """A trivial in-memory source (used by tests and as cached content)."""
+
+    def __init__(self, name: str, table: Table, cost_seconds: float = 0.0) -> None:
+        self.name = name
+        self.schema = table.schema
+        self._table = table
+        self._cost = cost_seconds
+
+    def fetch(self, predicates: Sequence[Predicate] = ()) -> FetchResult:
+        return FetchResult(
+            apply_predicates(self._table, predicates), cost_seconds=self._cost
+        )
+
+    def estimated_rows(self) -> int:
+        return len(self._table)
+
+    def estimated_cost(self) -> float:
+        return self._cost

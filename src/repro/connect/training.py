@@ -1,0 +1,123 @@
+"""The wrapper training loop (the engine behind a training GUI).
+
+Cohera Connect "comes with an intuitive graphical 'training' interface for
+generating HTML and XML wrappers" (§4).  A GUI is out of scope for a
+library, but the *session logic* behind one is not:
+
+1. The content manager opens a sample page and marks one record
+   (:meth:`WrapperTrainingSession.mark_record`).
+2. The session induces a wrapper and shows what it would extract
+   (:meth:`propose`).
+3. The manager either accepts (:meth:`accept`) or marks a record the
+   proposal got wrong -- which is just another :meth:`mark_record` -- and
+   the loop repeats.
+
+The session records every human action, so the "cost of a person using the
+system to perform a task" (§3.1 themes) is measurable: see
+``human_actions`` and experiment E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.connect.induction import InducedWrapper, WrapperInducer
+from repro.core.errors import WrapperError
+
+
+@dataclass
+class TrainingProposal:
+    """What the current wrapper would extract from the sample page."""
+
+    records: list[dict[str, str]]
+    wrapper: InducedWrapper | None
+    error: str = ""
+
+    @property
+    def learned(self) -> bool:
+        return self.wrapper is not None
+
+
+@dataclass
+class WrapperTrainingSession:
+    """One manager + one sample page + one wrapper-in-progress."""
+
+    fields: tuple[str, ...]
+    page: str
+    human_actions: int = 0
+    accepted: bool = False
+    _inducer: WrapperInducer = field(init=False)
+    _wrapper: InducedWrapper | None = field(init=False, default=None)
+
+    def __post_init__(self) -> None:
+        self.fields = tuple(self.fields)
+        self._inducer = WrapperInducer(self.fields)
+
+    # -- the manager's actions ------------------------------------------------
+
+    def mark_record(self, record: dict[str, str]) -> TrainingProposal:
+        """Mark one record's field values on the page; re-learn; preview."""
+        if self.accepted:
+            raise WrapperError("training session is already accepted")
+        self._inducer.add_example(self.page, record)
+        self.human_actions += 1
+        return self.propose()
+
+    def propose(self) -> TrainingProposal:
+        """Induce from marks so far and preview the extraction."""
+        try:
+            self._wrapper = self._inducer.learn()
+        except WrapperError as error:
+            self._wrapper = None
+            return TrainingProposal([], None, str(error))
+        return TrainingProposal(self._wrapper.extract(self.page), self._wrapper)
+
+    def accept(self) -> InducedWrapper:
+        """The manager signs off; returns the trained wrapper."""
+        if self._wrapper is None:
+            raise WrapperError("nothing to accept: no wrapper learned yet")
+        self.accepted = True
+        self.human_actions += 1
+        return self._wrapper
+
+    # -- convenience driver -----------------------------------------------------
+
+    def train_against(
+        self,
+        truth: list[dict[str, str]],
+        max_rounds: int = 10,
+    ) -> InducedWrapper:
+        """Simulate a diligent manager: mark records until the preview is
+        perfect against ``truth``, then accept.  Used by tests/benchmarks to
+        measure human cost; a real GUI would drive the same calls."""
+        if not truth:
+            raise WrapperError("cannot train against an empty record set")
+        proposal = self.mark_record(truth[0])
+        for _ in range(max_rounds):
+            if proposal.learned and self._matches(proposal.records, truth):
+                return self.accept()
+            misread = self._first_misread(proposal.records, truth)
+            if misread is None:
+                return self.accept()
+            proposal = self.mark_record(misread)
+        raise WrapperError(
+            f"training did not converge within {max_rounds} rounds; "
+            "this page family needs an expert-written wrapper"
+        )
+
+    @staticmethod
+    def _normalize(record: dict[str, str]) -> dict[str, str]:
+        return {k: " ".join(str(v).split()) for k, v in record.items()}
+
+    def _matches(self, extracted: list[dict[str, str]], truth: list[dict[str, str]]) -> bool:
+        extracted_normalized = [self._normalize(r) for r in extracted]
+        return all(self._normalize(t) in extracted_normalized for t in truth)
+
+    def _first_misread(
+        self, extracted: list[dict[str, str]], truth: list[dict[str, str]]
+    ) -> dict[str, str] | None:
+        extracted_normalized = [self._normalize(r) for r in extracted]
+        for record in truth:
+            if self._normalize(record) not in extracted_normalized:
+                return record
+        return None

@@ -1,0 +1,76 @@
+"""Transform-on-demand sources: logical views over any connector.
+
+The paper's data-independence argument (§3.2 C5): "federated systems do not
+distinguish logically between views that transform data on demand, and
+materialized views that have been pre-loaded; the query optimizer treats
+these as alternative physical database designs."
+
+:class:`PipelineSource` is the on-demand half: a
+:class:`~repro.connect.source.ContentSource` that runs a workbench
+:class:`~repro.workbench.transforms.Pipeline` over a base source's rows *at
+fetch time*.  Registered in the federation catalog like any table, it can
+then also be materialized (:meth:`FederatedEngine.create_materialized_view`)
+-- and queries switch between the live-transform and pre-loaded copies with
+the ``max_staleness`` parameter alone, no application change.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.connect.source import (
+    ContentSource,
+    FetchResult,
+    Predicate,
+    apply_predicates,
+)
+from repro.core.schema import Schema
+from repro.workbench.transforms import Pipeline
+
+
+class PipelineSource(ContentSource):
+    """A declarative view: base source -> pipeline -> rows, on demand."""
+
+    def __init__(
+        self,
+        name: str,
+        base: ContentSource,
+        pipeline: Pipeline,
+        transform_cost_per_row: float = 0.00002,
+    ) -> None:
+        self.name = name
+        self.base = base
+        self.pipeline = pipeline
+        self.transform_cost_per_row = transform_cost_per_row
+        # Derive the output schema by transforming a current sample; the
+        # pipeline defines the schema, so this is exact, not a guess.
+        sample = pipeline.run(base.fetch().table, source_name=base.name)
+        self.schema = Schema(name, sample.table.schema.fields)
+        self.last_lineage = sample.lineage
+
+    def fetch(self, predicates: Sequence[Predicate] = ()) -> FetchResult:
+        """Fetch the base live, transform, then filter.
+
+        Predicates apply *after* the transform (they are written against
+        the view's schema).  Lineage for the fetch is kept on
+        ``last_lineage`` so provenance questions reach through the view.
+        """
+        base_result = self.base.fetch()
+        transformed = self.pipeline.run(base_result.table, source_name=self.base.name)
+        self.last_lineage = transformed.lineage
+        table = apply_predicates(transformed.table, predicates)
+        table = table.extended(self.name)
+        cost = base_result.cost_seconds + len(base_result.table) * self.transform_cost_per_row
+        return FetchResult(table, cost_seconds=cost, fetched_at=base_result.fetched_at)
+
+    def is_available(self) -> bool:
+        return self.base.is_available()
+
+    def estimated_rows(self) -> int:
+        return self.base.estimated_rows()
+
+    def estimated_cost(self) -> float:
+        return (
+            self.base.estimated_cost()
+            + self.base.estimated_rows() * self.transform_cost_per_row
+        )

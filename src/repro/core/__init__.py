@@ -1,0 +1,43 @@
+"""Core data model: schemas, records, tables and the system facade.
+
+The paper's §3.1 themes call for "a simple, powerful framework for internal
+content representation at the integrator".  This package is that framework:
+
+* :class:`~repro.core.schema.Schema` / :class:`~repro.core.schema.Field` --
+  typed relational schemas with projection/rename algebra.
+* :class:`~repro.core.records.Table` -- an ordered collection of typed rows
+  bound to a schema; the unit of content flowing between connectors, the
+  workbench and the federation.
+* :class:`~repro.core.values.Money` -- a currency-tagged amount, the canonical
+  example of semantic heterogeneity in the paper (dollars vs francs).
+* :class:`~repro.core.system.ContentIntegrationSystem` -- the top-level
+  facade wiring Connect + Workbench + Integrate together (the "Cohera"
+  analog).
+"""
+
+from repro.core.errors import (
+    ContentIntegrationError,
+    QueryError,
+    SchemaError,
+    SourceUnavailableError,
+    TransformError,
+    WrapperError,
+)
+from repro.core.records import Row, Table
+from repro.core.schema import DataType, Field, Schema
+from repro.core.values import Money
+
+__all__ = [
+    "ContentIntegrationError",
+    "QueryError",
+    "SchemaError",
+    "SourceUnavailableError",
+    "TransformError",
+    "WrapperError",
+    "Row",
+    "Table",
+    "DataType",
+    "Field",
+    "Schema",
+    "Money",
+]

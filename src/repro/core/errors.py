@@ -1,0 +1,48 @@
+"""Exception hierarchy for the content integration system.
+
+Every error raised by :mod:`repro` derives from
+:class:`ContentIntegrationError`, so applications can catch one base class at
+their integration boundary while tests assert on precise subclasses.
+"""
+
+from __future__ import annotations
+
+
+class ContentIntegrationError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ContentIntegrationError):
+    """A schema is malformed, or data does not conform to its schema."""
+
+
+class QueryError(ContentIntegrationError):
+    """A query is syntactically or semantically invalid."""
+
+
+class WrapperError(ContentIntegrationError):
+    """A wrapper failed to fetch or parse content from a source."""
+
+
+class SourceUnavailableError(ContentIntegrationError):
+    """A federated data source (site or web endpoint) is down.
+
+    Carries the source name so availability experiments can attribute the
+    failure.
+    """
+
+    def __init__(self, source: str, message: str = "") -> None:
+        self.source = source
+        super().__init__(message or f"source {source!r} is unavailable")
+
+
+class TransformError(ContentIntegrationError):
+    """A workbench transformation could not be applied to a value or row."""
+
+
+class TaxonomyError(ContentIntegrationError):
+    """A taxonomy operation referenced a missing or conflicting category."""
+
+
+class SyndicationError(ContentIntegrationError):
+    """A syndication rule set is inconsistent or a recipient is unknown."""

@@ -1,0 +1,162 @@
+"""Tables: the unit of content flowing through the system.
+
+A :class:`Table` binds a :class:`~repro.core.schema.Schema` to a list of
+positional rows.  Connectors emit tables, the workbench transforms tables,
+and the federation's physical operators produce and consume tables.
+
+Rows are stored as tuples for compactness; :class:`Row` offers a dict-like
+view when name-based access is more readable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator, Mapping, Sequence
+
+from repro.core.errors import SchemaError
+from repro.core.schema import Schema
+
+
+class Row(Mapping[str, Any]):
+    """An immutable, name-addressable view over one positional row."""
+
+    __slots__ = ("_schema", "_values")
+
+    def __init__(self, schema: Schema, values: Sequence[Any]) -> None:
+        self._schema = schema
+        self._values = tuple(values)
+
+    def __getitem__(self, name: str) -> Any:
+        return self._values[self._schema.index_of(name)]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._schema.field_names)
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    @property
+    def values_tuple(self) -> tuple[Any, ...]:
+        return self._values
+
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    def to_dict(self) -> dict[str, Any]:
+        return dict(zip(self._schema.field_names, self._values))
+
+    def __repr__(self) -> str:
+        return f"Row({self.to_dict()!r})"
+
+
+class Table:
+    """A schema plus an ordered list of conforming rows.
+
+    Construction validates every row against the schema (catching type
+    drift at subsystem boundaries, where it is cheap to diagnose).  Use
+    ``validate=False`` only on hot internal paths that construct rows from
+    already-validated tables.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        rows: Iterable[Sequence[Any]] = (),
+        validate: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.rows: list[tuple[Any, ...]] = [tuple(r) for r in rows]
+        if validate:
+            for row in self.rows:
+                schema.validate_row(row)
+
+    # -- construction helpers ---------------------------------------------
+
+    @classmethod
+    def from_dicts(cls, schema: Schema, dicts: Iterable[Mapping[str, Any]]) -> "Table":
+        """Build a table from mappings; missing keys become None."""
+        names = schema.field_names
+        rows = [tuple(d.get(name) for name in names) for d in dicts]
+        return cls(schema, rows)
+
+    # -- access -------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        for values in self.rows:
+            yield Row(self.schema, values)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        return self.schema.field_names == other.schema.field_names and self.rows == other.rows
+
+    def column(self, name: str) -> list[Any]:
+        """Return all values of one column, in row order."""
+        index = self.schema.index_of(name)
+        return [row[index] for row in self.rows]
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        names = self.schema.field_names
+        return [dict(zip(names, row)) for row in self.rows]
+
+    # -- relational-ish operations used throughout the system ---------------
+
+    def project(self, names: Sequence[str]) -> "Table":
+        """Return a table keeping only the columns in ``names``."""
+        indexes = [self.schema.index_of(n) for n in names]
+        projected = Table(self.schema.project(names), validate=False)
+        projected.rows = [tuple(row[i] for i in indexes) for row in self.rows]
+        return projected
+
+    def where(self, predicate: Callable[[Row], bool]) -> "Table":
+        """Return a table with only rows satisfying ``predicate``."""
+        kept = Table(self.schema, validate=False)
+        kept.rows = [
+            values for values in self.rows if predicate(Row(self.schema, values))
+        ]
+        return kept
+
+    def extended(self, table_name: str | None = None) -> "Table":
+        """Return a shallow copy (rows shared) optionally renaming the schema."""
+        copy = Table(
+            Schema(table_name or self.schema.name, self.schema.fields),
+            validate=False,
+        )
+        copy.rows = list(self.rows)
+        return copy
+
+    def union_all(self, other: "Table") -> "Table":
+        """Concatenate two union-compatible tables."""
+        if not self.schema.union_compatible(other.schema):
+            raise SchemaError(
+                f"tables {self.schema.name!r} and {other.schema.name!r} "
+                "are not union-compatible"
+            )
+        combined = Table(self.schema, validate=False)
+        combined.rows = self.rows + other.rows
+        return combined
+
+    def sorted_by(self, name: str, descending: bool = False) -> "Table":
+        """Return a copy sorted by one column (None sorts first)."""
+        index = self.schema.index_of(name)
+        ordered = Table(self.schema, validate=False)
+        ordered.rows = sorted(
+            self.rows,
+            key=lambda row: (row[index] is not None, row[index]),
+            reverse=descending,
+        )
+        return ordered
+
+    def limit(self, n: int) -> "Table":
+        """Return a copy with at most the first ``n`` rows."""
+        if n < 0:
+            raise ValueError(f"negative limit {n!r}")
+        head = Table(self.schema, validate=False)
+        head.rows = self.rows[:n]
+        return head
+
+    def __repr__(self) -> str:
+        return f"Table({self.schema.name!r}, rows={len(self.rows)})"

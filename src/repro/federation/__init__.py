@@ -1,0 +1,91 @@
+"""Cohera Integrate analog: the federated query processor.
+
+§4: "Cohera Integrate is a federated query processing engine ... based on
+the agoric, federated query processor architecture of the Mariposa system
+... Because of Cohera's scalable agoric optimizer, new compute and cache
+machines can be added to a Cohera installation incrementally."
+
+The pieces:
+
+* :mod:`repro.federation.site` / :mod:`repro.federation.network` -- the
+  machine room: sites with processing rates, load backlogs, prices and
+  failures; a network with latency and transfer costs.
+* :mod:`repro.federation.catalog` -- the federation catalog: global tables,
+  horizontal fragments, replica placement, text indexes and materialized
+  views as alternative access paths.
+* :mod:`repro.federation.views` -- materialized views with refresh policies
+  (fetch-in-advance over federated technology, §3.2 C5).
+* :mod:`repro.federation.cache` -- a semantic predicate-region cache.
+* :mod:`repro.federation.agoric` -- the Mariposa-style bid-based optimizer
+  (live per-site bids; O(replicas) optimization work).
+* :mod:`repro.federation.central` -- the baseline the paper calls
+  unacceptable: a centralized compile-time cost-based optimizer that
+  enumerates site assignments against a periodically refreshed statistics
+  snapshot.
+* :mod:`repro.federation.executor` -- runs physical plans: parallel
+  fragment scans, hash/nested-loop joins, aggregates; produces per-site
+  accounting.
+* :mod:`repro.federation.loadbalance` -- replica-choice policies.
+* :mod:`repro.federation.availability` -- failure injection, placement
+  strategies, availability probes ("some of the content all of the time").
+* :mod:`repro.federation.engine` -- :class:`FederatedEngine`: SQL and XPath
+  in, rows or XML out.
+"""
+
+from repro.federation.agoric import AgoricOptimizer, Bid, BudgetExceededError
+from repro.federation.availability import (
+    AvailabilityProbe,
+    FailureInjector,
+    PlacementStrategy,
+    place_fragments,
+)
+from repro.federation.cache import SemanticCache
+from repro.federation.catalog import FederationCatalog, Fragment, TableEntry
+from repro.federation.central import CentralizedOptimizer
+from repro.federation.engine import FederatedEngine, QueryResult
+from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.federation.loadbalance import (
+    LeastLoadedPolicy,
+    PolicyOptimizer,
+    RandomPolicy,
+    ReplicaPolicy,
+    RoundRobinPolicy,
+    SnapshotLoadPolicy,
+)
+from repro.federation.network import Network
+from repro.federation.secure import SecureNetwork, TamperedPayloadError, seal, unseal
+from repro.federation.site import Site
+from repro.federation.views import MaterializedView
+
+__all__ = [
+    "AgoricOptimizer",
+    "Bid",
+    "BudgetExceededError",
+    "AvailabilityProbe",
+    "FailureInjector",
+    "PlacementStrategy",
+    "place_fragments",
+    "SemanticCache",
+    "FederationCatalog",
+    "Fragment",
+    "TableEntry",
+    "CentralizedOptimizer",
+    "FederatedEngine",
+    "QueryResult",
+    "ExecutionReport",
+    "Executor",
+    "PhysicalPlan",
+    "LeastLoadedPolicy",
+    "PolicyOptimizer",
+    "RandomPolicy",
+    "ReplicaPolicy",
+    "RoundRobinPolicy",
+    "SnapshotLoadPolicy",
+    "Network",
+    "SecureNetwork",
+    "TamperedPayloadError",
+    "seal",
+    "unseal",
+    "Site",
+    "MaterializedView",
+]

@@ -1,0 +1,190 @@
+"""Availability: failures, placement strategies, and content reachability.
+
+§3.2 C8 sets out the design space this module makes measurable:
+
+* a central site delivers all of the content some of the time;
+* fragmentation delivers "*some of the content all of the time*";
+* a hot standby (full replication) delivers everything at double hardware;
+* "a combination of replication and fragmentation can deliver *most of the
+  content all of the time*, and is the design of choice".
+
+:func:`place_fragments` produces the replica placement for each strategy,
+:class:`FailureInjector` schedules site crashes and repairs on the event
+loop, and :class:`AvailabilityProbe` reports what fraction of the catalog's
+rows is reachable at any instant -- experiment E5 sweeps exactly this.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+
+from repro.core.errors import QueryError
+from repro.federation.catalog import FederationCatalog
+from repro.sim.events import EventLoop
+
+
+class PlacementStrategy(enum.Enum):
+    """The §3.2 C8 design points."""
+
+    CENTRAL = "central"  # everything on one site
+    FRAGMENTED = "fragmented"  # spread, no replication
+    HOT_STANDBY = "hot-standby"  # full copy on a second site
+    FRAGMENT_REPLICATE = "fragment+replicate"  # spread with replication factor k
+
+
+def place_fragments(
+    strategy: PlacementStrategy,
+    fragment_count: int,
+    site_names: list[str],
+    replication_factor: int = 2,
+) -> list[list[str]]:
+    """Return ``placement[i]`` = sites holding replicas of fragment ``i``.
+
+    The hardware cost of a placement is the total replica count (the
+    paper's "doubling of all hardware resources" for hot standby).
+    """
+    if not site_names:
+        raise QueryError("no sites to place fragments on")
+    if strategy is PlacementStrategy.CENTRAL:
+        return [[site_names[0]] for _ in range(fragment_count)]
+    if strategy is PlacementStrategy.FRAGMENTED:
+        return [
+            [site_names[i % len(site_names)]] for i in range(fragment_count)
+        ]
+    if strategy is PlacementStrategy.HOT_STANDBY:
+        if len(site_names) < 2:
+            raise QueryError("hot standby needs at least two sites")
+        return [[site_names[0], site_names[1]] for _ in range(fragment_count)]
+    if strategy is PlacementStrategy.FRAGMENT_REPLICATE:
+        if replication_factor < 1:
+            raise QueryError(f"bad replication factor {replication_factor}")
+        factor = min(replication_factor, len(site_names))
+        return [
+            [site_names[(i + r) % len(site_names)] for r in range(factor)]
+            for i in range(fragment_count)
+        ]
+    raise QueryError(f"unknown placement strategy {strategy!r}")
+
+
+def hardware_cost(placement: list[list[str]]) -> int:
+    """Total replica count -- the unit of hardware spend E5 reports."""
+    return sum(len(sites) for sites in placement)
+
+
+class FailureInjector:
+    """Schedules exponential crash/repair cycles for sites.
+
+    Each site independently fails after ~Exp(mttf) and repairs after
+    ~Exp(mttr), driven by the shared event loop, so availability windows
+    interleave deterministically for a given seed.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        catalog: FederationCatalog,
+        mttf: float,
+        mttr: float,
+        rng: random.Random,
+        site_names: list[str] | None = None,
+    ) -> None:
+        if mttf <= 0 or mttr <= 0:
+            raise QueryError("mttf and mttr must be positive")
+        self.loop = loop
+        self.catalog = catalog
+        self.mttf = mttf
+        self.mttr = mttr
+        self.rng = rng
+        self.site_names = site_names or sorted(catalog.sites)
+        self.failures = 0
+        self.repairs = 0
+
+    def start(self) -> None:
+        for name in self.site_names:
+            self._schedule_failure(name)
+
+    def _schedule_failure(self, name: str) -> None:
+        delay = self.rng.expovariate(1.0 / self.mttf)
+        self.loop.schedule_after(delay, lambda: self._fail(name), f"fail:{name}")
+
+    def _schedule_repair(self, name: str) -> None:
+        delay = self.rng.expovariate(1.0 / self.mttr)
+        self.loop.schedule_after(delay, lambda: self._repair(name), f"repair:{name}")
+
+    def _fail(self, name: str) -> None:
+        site = self.catalog.site(name)
+        if site.up:
+            site.up = False
+            self.failures += 1
+        self._schedule_repair(name)
+
+    def _repair(self, name: str) -> None:
+        site = self.catalog.site(name)
+        if not site.up:
+            site.up = True
+            self.repairs += 1
+        self._schedule_failure(name)
+
+
+class AvailabilityProbe:
+    """Measures reachable content over time."""
+
+    def __init__(self, catalog: FederationCatalog) -> None:
+        self.catalog = catalog
+        self.samples: list[tuple[float, float]] = []  # (time, available fraction)
+
+    def available_fraction(self, table_name: str | None = None) -> float:
+        """Row-weighted fraction of content with at least one live replica."""
+        tables = (
+            [self.catalog.entry(table_name)]
+            if table_name is not None
+            else list(self.catalog.tables.values())
+        )
+        total = 0
+        reachable = 0
+        for entry in tables:
+            for fragment in entry.fragments:
+                total += fragment.estimated_rows
+                if any(
+                    self.catalog.site(name).up for name in fragment.replica_sites()
+                ):
+                    reachable += fragment.estimated_rows
+        if total == 0:
+            return 1.0
+        return reachable / total
+
+    def sample(self) -> float:
+        fraction = self.available_fraction()
+        self.samples.append((self.catalog.clock.now(), fraction))
+        return fraction
+
+    def attach_to(self, loop: EventLoop, interval: float) -> None:
+        """Sample availability periodically on the event loop."""
+        loop.schedule_every(interval, self.sample, name="availability-probe")
+
+    def mean_availability(self) -> float:
+        if not self.samples:
+            return self.available_fraction()
+        return sum(f for _, f in self.samples) / len(self.samples)
+
+    def nines(self) -> float:
+        """The "number of nines" of mean availability (§3.2 C8).
+
+        "Five nines" (99.999%) returns 5.0; perfect availability returns
+        ``inf``.  The paper's uptime currency, computable for any run.
+        """
+        import math
+
+        mean = self.mean_availability()
+        if mean >= 1.0:
+            return float("inf")
+        if mean <= 0.0:
+            return 0.0
+        return -math.log10(1.0 - mean)
+
+    def full_availability_fraction(self) -> float:
+        """Fraction of samples where *all* content was reachable."""
+        if not self.samples:
+            return 1.0 if self.available_fraction() == 1.0 else 0.0
+        return sum(1 for _, f in self.samples if f >= 1.0) / len(self.samples)

@@ -1,0 +1,135 @@
+"""Semantic caching of predicate regions.
+
+§3.2 C5 suggests "something closer to semantic caching [3] or prefetching"
+as the flexible fetch-in-advance mechanism.  Entries are keyed by the
+*predicate region* they answered: a request hits when some cached entry's
+region is **weaker or equal** (a superset of rows) -- the residual
+predicates are then applied to the cached rows locally.  Entries expire by
+age and are evicted LRU by total cached rows.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.connect.source import Predicate, apply_predicates
+from repro.core.records import Table
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class CacheEntry:
+    table_name: str
+    region: frozenset[Predicate]
+    table: Table
+    as_of: float
+
+
+def region_covers(cached: frozenset[Predicate], requested: frozenset[Predicate]) -> bool:
+    """True when the cached region is guaranteed to contain the request.
+
+    Sound but conservative: every cached predicate must appear verbatim in
+    the request (the cached constraint set is a subset, hence weaker-or-
+    equal).  Implication reasoning (``price < 5`` covers ``price < 3``) is
+    deliberately left out -- a correct miss is only a performance loss,
+    while an incorrect hit would be a wrong answer.
+    """
+    return cached <= requested
+
+
+class SemanticCache:
+    """An LRU, TTL'd cache of answered predicate regions per table."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        max_rows: int = 100_000,
+        max_staleness: float | None = None,
+    ) -> None:
+        self.clock = clock
+        self.max_rows = max_rows
+        self.max_staleness = max_staleness
+        self._entries: "OrderedDict[tuple[str, frozenset[Predicate]], CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def _expired(self, entry: CacheEntry, max_staleness: float | None) -> bool:
+        limit = max_staleness if max_staleness is not None else self.max_staleness
+        if limit is None:
+            return False
+        return (self.clock.now() - entry.as_of) > limit
+
+    def lookup(
+        self,
+        table_name: str,
+        predicates: "list[Predicate] | tuple[Predicate, ...]" = (),
+        max_staleness: float | None = None,
+    ) -> Table | None:
+        """Return rows satisfying ``predicates`` if some region covers them."""
+        found = self.lookup_entry(table_name, predicates, max_staleness)
+        return found[0] if found is not None else None
+
+    def lookup_entry(
+        self,
+        table_name: str,
+        predicates: "list[Predicate] | tuple[Predicate, ...]" = (),
+        max_staleness: float | None = None,
+    ) -> tuple[Table, float] | None:
+        """Like :meth:`lookup` but also returns the entry's age in seconds."""
+        requested = frozenset(predicates)
+        for key, entry in list(self._entries.items()):
+            if entry.table_name != table_name:
+                continue
+            if self._expired(entry, self.max_staleness):
+                # Dead by the cache's own TTL: evict.
+                del self._entries[key]
+                continue
+            if self._expired(entry, max_staleness):
+                # Too stale for *this* request only; a laxer query may
+                # still use it, so it stays.
+                continue
+            if region_covers(entry.region, requested):
+                self._entries.move_to_end(key)
+                self.hits += 1
+                residual = [p for p in requested if p not in entry.region]
+                return (
+                    apply_predicates(entry.table, residual),
+                    self.clock.now() - entry.as_of,
+                )
+        self.misses += 1
+        return None
+
+    def store(
+        self,
+        table_name: str,
+        predicates: "list[Predicate] | tuple[Predicate, ...]",
+        table: Table,
+    ) -> None:
+        """Remember that ``table`` answers ``predicates`` as of now."""
+        key = (table_name, frozenset(predicates))
+        self._entries[key] = CacheEntry(table_name, key[1], table, self.clock.now())
+        self._entries.move_to_end(key)
+        self._evict()
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop all regions of one table (on known base updates)."""
+        doomed = [k for k, e in self._entries.items() if e.table_name == table_name]
+        for key in doomed:
+            del self._entries[key]
+        return len(doomed)
+
+    def _evict(self) -> None:
+        while self.cached_rows() > self.max_rows and len(self._entries) > 1:
+            self._entries.popitem(last=False)
+
+    def cached_rows(self) -> int:
+        return sum(len(e.table) for e in self._entries.values())
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

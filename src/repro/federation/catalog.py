@@ -1,0 +1,285 @@
+"""The federation catalog: tables, fragments, replicas, indexes, views.
+
+This is the metadata the optimizers plan against: which global tables
+exist, how each is horizontally fragmented, which sites hold replicas of
+each fragment (Characteristic 8's "table fragments, materialized views and
+replicas"), and which text indexes and materialized views offer alternative
+access paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.connect.source import ContentSource, StaticSource
+from repro.core.errors import QueryError
+from repro.core.records import Table
+from repro.core.schema import Schema
+from repro.federation.network import Network
+from repro.federation.site import Site
+from repro.federation.views import MaterializedView
+from repro.ir.inverted_index import InvertedIndex
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class Fragment:
+    """One horizontal fragment of a global table."""
+
+    fragment_id: str
+    table_name: str
+    estimated_rows: int
+    # site name -> the source name registered on that site for this replica
+    replicas: dict[str, str] = field(default_factory=dict)
+
+    def replica_sites(self) -> list[str]:
+        return sorted(self.replicas)
+
+
+@dataclass
+class TableEntry:
+    """Catalog metadata for one global table."""
+
+    name: str
+    schema: Schema
+    fragments: list[Fragment] = field(default_factory=list)
+    text_index: InvertedIndex | None = None
+    text_column: str | None = None
+    key_column: str | None = None
+
+    def estimated_rows(self) -> int:
+        return sum(f.estimated_rows for f in self.fragments)
+
+
+class FederationCatalog:
+    """Sites + tables + placement + views: everything the planner needs."""
+
+    def __init__(self, clock: SimClock | None = None, network: Network | None = None) -> None:
+        self.clock = clock or SimClock()
+        self.network = network or Network()
+        self.sites: dict[str, Site] = {}
+        self.tables: dict[str, TableEntry] = {}
+        self.views: dict[str, MaterializedView] = {}
+
+    # -- sites -----------------------------------------------------------------
+
+    def add_site(self, site: Site) -> Site:
+        if site.name in self.sites:
+            raise QueryError(f"site {site.name!r} already registered")
+        self.sites[site.name] = site
+        return site
+
+    def make_site(self, name: str, **kwargs) -> Site:
+        """Create-and-register convenience (shares the catalog clock)."""
+        return self.add_site(Site(name, self.clock, **kwargs))
+
+    def site(self, name: str) -> Site:
+        if name not in self.sites:
+            raise QueryError(f"unknown site {name!r}")
+        return self.sites[name]
+
+    def up_sites(self) -> list[Site]:
+        return [s for s in self.sites.values() if s.up]
+
+    # -- tables & fragments -----------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema, key_column: str | None = None) -> TableEntry:
+        if name in self.tables or name in self.views:
+            raise QueryError(f"table or view {name!r} already exists")
+        entry = TableEntry(name, schema, key_column=key_column)
+        self.tables[name] = entry
+        return entry
+
+    def entry(self, name: str) -> TableEntry:
+        if name not in self.tables:
+            raise QueryError(f"unknown table {name!r}")
+        return self.tables[name]
+
+    def add_fragment(self, table_name: str, fragment_id: str, estimated_rows: int) -> Fragment:
+        entry = self.entry(table_name)
+        if any(f.fragment_id == fragment_id for f in entry.fragments):
+            raise QueryError(f"fragment {fragment_id!r} already exists on {table_name!r}")
+        fragment = Fragment(fragment_id, table_name, estimated_rows)
+        entry.fragments.append(fragment)
+        return fragment
+
+    def place_replica(self, fragment: Fragment, site_name: str, source: ContentSource) -> None:
+        """Host ``source`` at a site as one replica of ``fragment``."""
+        site = self.site(site_name)
+        local_name = f"{fragment.table_name}/{fragment.fragment_id}"
+        site.host(source, local_name)
+        fragment.replicas[site_name] = local_name
+
+    def drop_replica(self, fragment: Fragment, site_name: str) -> None:
+        local_name = fragment.replicas.pop(site_name, None)
+        if local_name is not None and site_name in self.sites:
+            self.sites[site_name].unhost(local_name)
+
+    # -- bulk loading helpers -----------------------------------------------------
+
+    def load_fragmented(
+        self,
+        table: Table,
+        fragment_count: int,
+        placement: Sequence[Sequence[str]],
+        scan_cost_seconds: float = 0.01,
+    ) -> TableEntry:
+        """Create a table from data, hash-fragmented with explicit placement.
+
+        ``placement[i]`` lists the sites holding replicas of fragment ``i``.
+        Rows are dealt round-robin (a stand-in for hash partitioning that
+        keeps fragments balanced and deterministic).
+        """
+        if fragment_count < 1:
+            raise QueryError("need at least one fragment")
+        if len(placement) != fragment_count:
+            raise QueryError(
+                f"placement has {len(placement)} entries for {fragment_count} fragments"
+            )
+        entry = self.create_table(table.schema.name, table.schema)
+        buckets: list[list[tuple]] = [[] for _ in range(fragment_count)]
+        for i, row in enumerate(table.rows):
+            buckets[i % fragment_count].append(row)
+        for i, rows in enumerate(buckets):
+            fragment = self.add_fragment(table.schema.name, f"f{i}", len(rows))
+            fragment_table = Table(table.schema, rows, validate=False)
+            for site_name in placement[i]:
+                self.place_replica(
+                    fragment,
+                    site_name,
+                    StaticSource(
+                        f"{table.schema.name}.f{i}@{site_name}",
+                        fragment_table,
+                        cost_seconds=scan_cost_seconds,
+                    ),
+                )
+        return entry
+
+    def repartition(
+        self,
+        table_name: str,
+        fragment_count: int,
+        placement: Sequence[Sequence[str]],
+        scan_cost_seconds: float = 0.01,
+    ) -> TableEntry:
+        """Re-deal a fragmented table over a new placement, online.
+
+        §3.2 C8: "if additional scalability is required, the data can be
+        repartitioned over more machines, and the transactions dispersed
+        more widely."  Rows are gathered from one live replica of each
+        current fragment, the old replicas dropped, and the table re-dealt
+        round-robin over the new placement.  The catalog entry object is
+        preserved, so queries planned against the table keep working.
+        """
+        if len(placement) != fragment_count:
+            raise QueryError(
+                f"placement has {len(placement)} entries for {fragment_count} fragments"
+            )
+        entry = self.entry(table_name)
+        if not entry.fragments:
+            raise QueryError(f"table {table_name!r} has no fragments to repartition")
+
+        # Gather current rows from one live replica per fragment.
+        rows: list[tuple] = []
+        for fragment in entry.fragments:
+            live = [s for s in fragment.replica_sites() if self.site(s).up]
+            if not live:
+                raise QueryError(
+                    f"fragment {fragment.fragment_id!r} of {table_name!r} has "
+                    "no live replica to gather from"
+                )
+            source = self.site(live[0]).source(fragment.replicas[live[0]])
+            rows.extend(source.fetch().table.rows)
+
+        for fragment in list(entry.fragments):
+            for site_name in fragment.replica_sites():
+                self.drop_replica(fragment, site_name)
+        entry.fragments.clear()
+
+        buckets: list[list[tuple]] = [[] for _ in range(fragment_count)]
+        for i, row in enumerate(rows):
+            buckets[i % fragment_count].append(row)
+        for i, bucket in enumerate(buckets):
+            fragment = self.add_fragment(table_name, f"f{i}", len(bucket))
+            fragment_table = Table(entry.schema, bucket, validate=False)
+            for site_name in placement[i]:
+                self.place_replica(
+                    fragment,
+                    site_name,
+                    StaticSource(
+                        f"{table_name}.f{i}@{site_name}",
+                        fragment_table,
+                        cost_seconds=scan_cost_seconds,
+                    ),
+                )
+        return entry
+
+    def register_external_table(
+        self,
+        name: str,
+        source: ContentSource,
+        site_name: str,
+        estimated_rows: int | None = None,
+    ) -> TableEntry:
+        """A table served live by one wrapper/gateway source (fetch on demand)."""
+        entry = self.create_table(name, source.schema.project(
+            source.schema.field_names, new_name=name
+        ))
+        fragment = self.add_fragment(
+            name, "f0", estimated_rows or source.estimated_rows()
+        )
+        self.place_replica(fragment, site_name, source)
+        return entry
+
+    # -- text indexes ----------------------------------------------------------------
+
+    def build_text_index(self, table_name: str, column: str, data: Table, key_column: str) -> InvertedIndex:
+        """Index ``column`` of ``data`` keyed by ``key_column`` values.
+
+        This is the "text engine compiled into the query engine" (§4): the
+        engine consults it when a MATCH predicate targets this table.
+        """
+        entry = self.entry(table_name)
+        index = InvertedIndex()
+        key_values = data.column(key_column)
+        text_values = data.column(column)
+        for key, text in zip(key_values, text_values):
+            index.add(key, text or "")
+        entry.text_index = index
+        entry.text_column = column
+        entry.key_column = key_column
+        return index
+
+    # -- views --------------------------------------------------------------------------
+
+    def register_view(self, view: MaterializedView) -> MaterializedView:
+        if view.name in self.views or view.name in self.tables:
+            raise QueryError(f"table or view {view.name!r} already exists")
+        self.views[view.name] = view
+        return view
+
+    def view_for_table(self, table_name: str, max_staleness: float | None) -> MaterializedView | None:
+        """A registered whole-table view fresh enough for ``max_staleness``."""
+        for view in self.views.values():
+            if view.base_table != table_name or not view.covers_whole_table:
+                continue
+            if view.data is None:
+                continue
+            if max_staleness is None or view.staleness(self.clock.now()) <= max_staleness:
+                return view
+        return None
+
+    # -- planner support -------------------------------------------------------------------
+
+    def binding_fields(self, bindings: dict[str, str]) -> dict[str, set[str]]:
+        """Map query bindings (alias -> table name) to their field-name sets."""
+        fields: dict[str, set[str]] = {}
+        for binding, table_name in bindings.items():
+            if table_name in self.tables:
+                fields[binding] = set(self.tables[table_name].schema.field_names)
+            elif table_name in self.views:
+                fields[binding] = set(self.views[table_name].schema.field_names)
+            else:
+                raise QueryError(f"unknown table {table_name!r} in query")
+        return fields

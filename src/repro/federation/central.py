@@ -1,0 +1,216 @@
+"""The baseline: a centralized, compile-time, cost-based optimizer.
+
+§3.2 C8: "we see no way for compile-time, centralized cost-based optimizers
+to provide required scalability or adaptivity.  Hence, almost all of today's
+commercial distributed and heterogeneous systems are unacceptable for
+serious content integration."  To test that claim one must *build* such an
+optimizer, so here it is, with the two properties the paper indicts:
+
+* **Centralized statistics.**  It plans against a statistics snapshot
+  (per-site load, liveness) collected from *every* site in the federation.
+  Collection costs one round trip plus per-site processing, so optimizer
+  latency grows linearly with federation size -- the scalability failure
+  E3 measures.  Between refreshes the snapshot goes stale, so a burst of
+  queries is routed by minutes-old load data -- the adaptivity failure E4
+  measures.
+* **Compile-time enumeration.**  Within a query it *jointly* enumerates
+  fragment-to-site assignments (up to ``max_combinations``) to minimize the
+  estimated makespan under the snapshot, falling back to per-fragment
+  greedy above the cap.  The enumeration is real work, measured and charged.
+
+Given *fresh* statistics and an idle federation it produces excellent plans
+-- the point is not that it is stupid, but that its information model does
+not survive scale and volatility.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+
+from repro.core.errors import QueryError
+from repro.federation.catalog import FederationCatalog, Fragment
+from repro.federation.executor import FragmentChoice, PhysicalPlan, ScanAssignment
+from repro.sql.planner import PlanNode, ScanNode, scans_in
+
+
+class CentralizedOptimizer:
+    """Compile-time cost-based placement using a global statistics snapshot."""
+
+    name = "centralized"
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        stats_refresh_interval: float = 300.0,
+        stats_round_trip_seconds: float = 0.02,
+        per_site_stat_seconds: float = 0.001,
+        per_combination_seconds: float = 2e-6,
+        max_combinations: int = 4096,
+    ) -> None:
+        self.catalog = catalog
+        self.stats_refresh_interval = stats_refresh_interval
+        self.stats_round_trip_seconds = stats_round_trip_seconds
+        self.per_site_stat_seconds = per_site_stat_seconds
+        self.per_combination_seconds = per_combination_seconds
+        self.max_combinations = max_combinations
+        self._snapshot_loads: dict[str, float] = {}
+        self._snapshot_at = float("-inf")
+        self.snapshots_taken = 0
+
+    # -- statistics -----------------------------------------------------------
+
+    def _refresh_stats(self) -> float:
+        """Collect load statistics from every site; returns modeled seconds."""
+        self._snapshot_loads = {
+            name: site.backlog() for name, site in self.catalog.sites.items()
+        }
+        self._snapshot_at = self.catalog.clock.now()
+        self.snapshots_taken += 1
+        return (
+            self.stats_round_trip_seconds
+            + len(self.catalog.sites) * self.per_site_stat_seconds
+        )
+
+    def _stats_cost_if_due(self) -> float:
+        if self.catalog.clock.now() - self._snapshot_at >= self.stats_refresh_interval:
+            return self._refresh_stats()
+        return 0.0
+
+    def snapshot_load(self, site_name: str) -> float:
+        return self._snapshot_loads.get(site_name, 0.0)
+
+    # -- optimization ------------------------------------------------------------
+
+    def optimize(
+        self,
+        plan: PlanNode,
+        coordinator: str | None = None,
+        max_staleness: float | None = None,
+    ) -> PhysicalPlan:
+        started = time.perf_counter()
+        modeled = self._stats_cost_if_due()
+
+        fragment_slots: list[tuple[ScanNode, Fragment, list[str]]] = []
+        assignments: dict[str, ScanAssignment] = {}
+        for scan in scans_in(plan):
+            view = self.catalog.views.get(scan.table)  # view queried by name
+            if view is None or view.data is None:
+                view = self.catalog.view_for_table(scan.table, max_staleness)
+            if view is not None and self.catalog.site(view.site_name).up:
+                assignments[scan.binding] = ScanAssignment(
+                    scan.binding, scan.table, "view", view=view
+                )
+                continue
+            entry = self.catalog.entry(scan.table)
+            if not entry.fragments:
+                raise QueryError(f"table {scan.table!r} has no fragments to scan")
+            assignments[scan.binding] = ScanAssignment(
+                scan.binding, scan.table, "fragments"
+            )
+            for fragment in entry.fragments:
+                live = [
+                    name
+                    for name in fragment.replica_sites()
+                    if self.catalog.site(name).up
+                ]
+                if not live:
+                    raise QueryError(
+                        f"no live replica of {scan.table}/{fragment.fragment_id}"
+                    )
+                fragment_slots.append((scan, fragment, live))
+
+        combinations = 1
+        for _, _, live in fragment_slots:
+            combinations *= len(live)
+            if combinations > self.max_combinations:
+                break
+
+        if fragment_slots and combinations <= self.max_combinations:
+            choice_lists, evaluated = self._exhaustive(fragment_slots)
+            modeled += evaluated * self.per_combination_seconds * max(1, len(fragment_slots))
+        else:
+            choice_lists = self._greedy(fragment_slots)
+            modeled += sum(len(live) for _, _, live in fragment_slots) * 1e-5
+
+        for (scan, fragment, _), site_name in zip(fragment_slots, choice_lists):
+            assignments[scan.binding].choices.append(FragmentChoice(fragment, site_name))
+
+        chosen_coordinator = coordinator or self._pick_coordinator(assignments)
+        elapsed = time.perf_counter() - started
+        return PhysicalPlan(
+            logical=plan,
+            assignments=assignments,
+            coordinator=chosen_coordinator,
+            optimizer=self.name,
+            optimization_seconds=modeled + elapsed,
+            sites_contacted=len(self.catalog.sites),
+            total_price=0.0,
+        )
+
+    def _estimate_makespan(
+        self,
+        fragment_slots: list[tuple[ScanNode, Fragment, list[str]]],
+        choice: tuple[str, ...],
+    ) -> float:
+        """Estimated completion under the snapshot: max per-site finish time."""
+        site_work: dict[str, float] = {}
+        for (scan, fragment, _), site_name in zip(fragment_slots, choice):
+            site = self.catalog.site(site_name)
+            source_name = fragment.replicas[site_name]
+            quote = site.quote_scan(source_name)
+            site_work[site_name] = site_work.get(site_name, 0.0) + quote.seconds
+        return max(
+            self.snapshot_load(name) + work for name, work in site_work.items()
+        )
+
+    def _exhaustive(
+        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str]]]
+    ) -> tuple[tuple[str, ...], int]:
+        best: tuple[str, ...] | None = None
+        best_cost = float("inf")
+        evaluated = 0
+        for choice in itertools.product(*(live for _, _, live in fragment_slots)):
+            evaluated += 1
+            cost = self._estimate_makespan(fragment_slots, choice)
+            if cost < best_cost or (cost == best_cost and (best is None or choice < best)):
+                best = choice
+                best_cost = cost
+        assert best is not None
+        return best, evaluated
+
+    def _greedy(
+        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str]]]
+    ) -> list[str]:
+        """Per-fragment least-snapshot-load choice (above the enumeration cap)."""
+        planned_extra: dict[str, float] = {}
+        chosen: list[str] = []
+        for scan, fragment, live in fragment_slots:
+            def planned_cost(name: str) -> float:
+                site = self.catalog.site(name)
+                quote = site.quote_scan(fragment.replicas[name])
+                return self.snapshot_load(name) + planned_extra.get(name, 0.0) + quote.seconds
+
+            winner = min(live, key=lambda name: (planned_cost(name), name))
+            site = self.catalog.site(winner)
+            quote = site.quote_scan(fragment.replicas[winner])
+            planned_extra[winner] = planned_extra.get(winner, 0.0) + quote.seconds
+            chosen.append(winner)
+        return chosen
+
+    def _pick_coordinator(self, assignments: dict[str, ScanAssignment]) -> str:
+        rows_by_site: dict[str, int] = {}
+        for assignment in assignments.values():
+            for choice in assignment.choices:
+                rows_by_site[choice.site_name] = (
+                    rows_by_site.get(choice.site_name, 0)
+                    + choice.fragment.estimated_rows
+                )
+            if assignment.kind == "view" and assignment.view is not None:
+                rows_by_site.setdefault(assignment.view.site_name, 0)
+        if rows_by_site:
+            return max(rows_by_site.items(), key=lambda kv: (kv[1], kv[0]))[0]
+        up = self.catalog.up_sites()
+        if not up:
+            raise QueryError("no live sites to coordinate the query")
+        return min(site.name for site in up)

@@ -1,0 +1,181 @@
+"""A DB-API 2.0 (PEP 249) style interface to the federated engine.
+
+§4: "Cohera Connect can present a traditional ODBC or JDBC interface to
+query applications."  Python's equivalent of ODBC is the DB-API, so the
+reproduction speaks it: :func:`connect` returns a :class:`Connection` whose
+cursors execute federated SQL with qmark (``?``) parameter binding and
+expose ``description`` / ``rowcount`` / ``fetchone`` / ``fetchmany`` /
+``fetchall`` exactly the way a driver would.  Any DB-API-shaped tool can
+sit on top of the federation unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, Sequence
+
+from repro.core.errors import QueryError
+from repro.core.records import Table
+from repro.federation.engine import FederatedEngine
+
+apilevel = "2.0"
+threadsafety = 1
+paramstyle = "qmark"
+
+
+class InterfaceError(QueryError):
+    """Misuse of the DB-API surface (closed cursor, bad parameters...)."""
+
+
+def _quote_literal(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+def _bind(sql: str, parameters: Sequence[Any]) -> str:
+    """Substitute qmark placeholders, respecting string literals."""
+    pieces = []
+    params = list(parameters)
+    in_string = False
+    for char in sql:
+        if char == "'":
+            in_string = not in_string
+            pieces.append(char)
+        elif char == "?" and not in_string:
+            if not params:
+                raise InterfaceError("more placeholders than parameters")
+            pieces.append(_quote_literal(params.pop(0)))
+        else:
+            pieces.append(char)
+    if params:
+        raise InterfaceError(f"{len(params)} unused parameters")
+    return "".join(pieces)
+
+
+class Cursor:
+    """One statement-at-a-time cursor over the federation."""
+
+    arraysize = 1
+
+    def __init__(self, connection: "Connection") -> None:
+        self._connection = connection
+        self._result: Table | None = None
+        self._position = 0
+        self._closed = False
+
+    # -- DB-API attributes ------------------------------------------------------
+
+    @property
+    def description(self) -> "list[tuple] | None":
+        """Seven-item column descriptors (name, type_code, then Nones)."""
+        if self._result is None:
+            return None
+        return [
+            (f.name, f.dtype.value, None, None, None, None, f.nullable)
+            for f in self._result.schema.fields
+        ]
+
+    @property
+    def rowcount(self) -> int:
+        return -1 if self._result is None else len(self._result)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        self._check_open()
+        bound = _bind(sql, parameters)
+        result = self._connection.engine.query(
+            bound, max_staleness=self._connection.max_staleness
+        )
+        self._result = result.table
+        self._position = 0
+        return self
+
+    def executemany(self, sql: str, seq_of_parameters) -> "Cursor":
+        for parameters in seq_of_parameters:
+            self.execute(sql, parameters)
+        return self
+
+    # -- fetching ---------------------------------------------------------------------
+
+    def fetchone(self) -> "tuple | None":
+        rows = self._rows()
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        rows = self._rows()
+        count = size if size is not None else self.arraysize
+        chunk = rows[self._position:self._position + count]
+        self._position += len(chunk)
+        return list(chunk)
+
+    def fetchall(self) -> list[tuple]:
+        rows = self._rows()
+        remaining = list(rows[self._position:])
+        self._position = len(rows)
+        return remaining
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ----------------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._result = None
+
+    def _check_open(self) -> None:
+        if self._closed or self._connection.closed:
+            raise InterfaceError("cursor or connection is closed")
+
+    def _rows(self) -> list[tuple]:
+        self._check_open()
+        if self._result is None:
+            raise InterfaceError("no statement has been executed")
+        return self._result.rows
+
+
+class Connection:
+    """A DB-API connection wrapping one federated engine."""
+
+    def __init__(self, engine: FederatedEngine, max_staleness: float | None = None) -> None:
+        self.engine = engine
+        self.max_staleness = max_staleness
+        self.closed = False
+
+    def cursor(self) -> Cursor:
+        if self.closed:
+            raise InterfaceError("connection is closed")
+        return Cursor(self)
+
+    def close(self) -> None:
+        self.closed = True
+
+    def commit(self) -> None:
+        """No-op: the federation is read-only; provided for API shape."""
+
+    def rollback(self) -> None:
+        """No-op: the federation is read-only; provided for API shape."""
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def connect(engine: FederatedEngine, max_staleness: float | None = None) -> Connection:
+    """Open a DB-API connection over a federated engine."""
+    return Connection(engine, max_staleness)

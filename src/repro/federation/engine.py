@@ -1,0 +1,472 @@
+"""The federated engine facade: SQL and XPath in, rows or XML out.
+
+This is the integrator's query surface (§3.2 C6):
+
+* :meth:`FederatedEngine.query` -- parse SQL, plan with catalog metadata,
+  optimize (agoric by default, the centralized baseline pluggable), execute
+  across sites, and charge the response time to the simulation clock.
+* :meth:`FederatedEngine.xpath_query` -- the same integrated content as an
+  XML view, queried with XPath.
+* :meth:`FederatedEngine.search` -- the IR surface: synonym/fuzzy/taxonomy
+  expanded search over a table's text index.
+* materialized views -- :meth:`create_materialized_view` /
+  :meth:`refresh_view` / :meth:`schedule_view_refresh` implement the
+  fetch-in-advance half of Characteristic 5; queries opt into staleness
+  with ``max_staleness`` (``None`` = any cached copy is fine,
+  ``LIVE_ONLY`` = must fetch on demand).
+
+``MATCH(column, 'query')`` predicates are rewritten before optimization:
+when the target table has a text index, the predicate leaves the residual
+filter and becomes an index access on the scan -- the paper's "text search
+engine ... fully modeled ... as an access path" (§4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import QueryError
+from repro.core.records import Table
+from repro.federation.agoric import AgoricOptimizer
+from repro.federation.cache import SemanticCache
+from repro.federation.catalog import FederationCatalog
+from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.ir.search import CatalogSearch, SearchMode, SynonymExpander, TaxonomyExpander
+from repro.federation.views import MaterializedView
+from repro.sim.events import EventLoop
+from repro.sim.metrics import MetricsRegistry
+from repro.sql.ast import (
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    InSubquery,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.parser import parse_sql
+from repro.sql.planner import (
+    FilterNode,
+    PlanNode,
+    ScanNode,
+    build_plan,
+    conjoin,
+    scans_in,
+    split_conjuncts,
+)
+from repro.xmlkit.model import XmlElement
+from repro.xmlkit.xpath import xpath
+from repro.xmlkit.xquery import xquery as run_xquery
+
+# Passing this as max_staleness forbids every cached/materialized access
+# path: the query must fetch on demand (staleness can never be negative).
+LIVE_ONLY = -1.0
+
+
+@dataclass
+class QueryResult:
+    """Rows plus full accounting for one query."""
+
+    table: Table
+    report: ExecutionReport
+    plan: PhysicalPlan
+
+
+class FederatedEngine:
+    """The content integrator's federated query processor."""
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        optimizer=None,
+        metrics: MetricsRegistry | None = None,
+        cache: "SemanticCache | None" = None,
+    ) -> None:
+        self.catalog = catalog
+        self.optimizer = optimizer or AgoricOptimizer(catalog)
+        self.executor = Executor(catalog)
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = cache
+        self.synonyms: SynonymExpander | None = None
+        self.taxonomy_expander: TaxonomyExpander | None = None
+
+    # -- SQL --------------------------------------------------------------------
+
+    def query(
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        coordinator: str | None = None,
+        advance_clock: bool = True,
+        budget: float | None = None,
+    ) -> QueryResult:
+        """Answer one SQL query.
+
+        ``max_staleness``: ``None`` accepts any materialized copy, a number
+        bounds acceptable staleness in seconds, :data:`LIVE_ONLY` forces
+        fetch-on-demand.  ``budget`` (agoric optimizer only) caps the total
+        price paid for the plan; an unaffordable market raises
+        :class:`~repro.federation.agoric.BudgetExceededError`.
+        """
+        statement = parse_sql(sql)
+        return self._execute_statement(
+            statement, max_staleness, coordinator, advance_clock, budget
+        )
+
+    def _execute_statement(
+        self,
+        statement,
+        max_staleness: float | None = None,
+        coordinator: str | None = None,
+        advance_clock: bool = True,
+        budget: float | None = None,
+    ) -> QueryResult:
+        # Uncorrelated IN-subqueries run first (semijoin by materialization:
+        # the inner membership set is fetched, then shipped into the outer
+        # query's filter).
+        statement.where = self._rewrite_subqueries(
+            statement.where, max_staleness, advance_clock
+        )
+        statement.having = self._rewrite_subqueries(
+            statement.having, max_staleness, advance_clock
+        )
+        bindings = {statement.table.binding: statement.table.name}
+        for join in statement.joins:
+            bindings[join.table.binding] = join.table.name
+        binding_fields = self.catalog.binding_fields(bindings)
+        plan = build_plan(statement, binding_fields)
+        plan, text_filters = self._extract_text_filters(plan, bindings)
+
+        start = self.catalog.clock.now()
+        if budget is not None:
+            physical = self.optimizer.optimize(
+                plan, coordinator, max_staleness, budget=budget
+            )
+        else:
+            physical = self.optimizer.optimize(plan, coordinator, max_staleness)
+        for binding, (column, query_text) in text_filters.items():
+            if binding in physical.assignments:
+                physical.assignments[binding].text_filter = (column, query_text)
+        if self.cache is not None:
+            self._serve_from_cache(plan, physical, max_staleness)
+
+        table, report = self.executor.execute(physical)
+        report.response_seconds += physical.optimization_seconds
+        if self.cache is not None:
+            self._store_in_cache(plan, physical, report)
+
+        if advance_clock:
+            target = start + report.response_seconds
+            if target > self.catalog.clock.now():
+                self.catalog.clock.advance_to(target)
+
+        self.metrics.counter("queries").inc()
+        self.metrics.histogram("query.response_seconds").observe(report.response_seconds)
+        self.metrics.histogram("query.staleness_seconds").observe(report.staleness_seconds)
+        return QueryResult(table, report, physical)
+
+    def explain(self, sql: str, max_staleness: float | None = None) -> str:
+        """Render the physical plan for ``sql`` without executing it.
+
+        Shows the logical operator tree with, for every scan, the access
+        path the optimizer chose (fragments at which sites, a materialized
+        view, or a cache region) and what was pushed down.
+        """
+        statement = parse_sql(sql)
+        bindings = {statement.table.binding: statement.table.name}
+        for join in statement.joins:
+            bindings[join.table.binding] = join.table.name
+        binding_fields = self.catalog.binding_fields(bindings)
+        plan = build_plan(statement, binding_fields)
+        plan, text_filters = self._extract_text_filters(plan, bindings)
+        physical = self.optimizer.optimize(plan, None, max_staleness)
+        for binding, (column, query_text) in text_filters.items():
+            if binding in physical.assignments:
+                physical.assignments[binding].text_filter = (column, query_text)
+
+        lines = [
+            f"optimizer: {physical.optimizer}  "
+            f"coordinator: {physical.coordinator}  "
+            f"price: {physical.total_price:.4f}"
+        ]
+        lines.extend(self._explain_node(plan, physical, depth=0))
+        return "\n".join(lines)
+
+    def _explain_node(self, node, physical: PhysicalPlan, depth: int) -> list[str]:
+        from repro.sql.planner import (
+            AggregateNode,
+            FilterNode,
+            JoinNode,
+            LimitNode,
+            ProjectNode,
+            ScanNode,
+            SortNode,
+        )
+
+        pad = "  " * depth
+        if isinstance(node, ScanNode):
+            assignment = physical.assignments[node.binding]
+            if assignment.kind == "view":
+                detail = f"view {assignment.view.name} @ {assignment.view.site_name}"
+            elif assignment.kind == "cache":
+                detail = "semantic cache"
+            else:
+                placed = ", ".join(
+                    f"{c.fragment.fragment_id}@{c.site_name}"
+                    for c in assignment.choices
+                )
+                detail = f"fragments [{placed}]"
+            extras = ""
+            if node.pushdown:
+                predicates = ", ".join(
+                    f"{p.column} {p.op} {p.value!r}" for p in node.pushdown
+                )
+                extras += f" pushdown({predicates})"
+            if assignment.text_filter is not None:
+                extras += f" text-index{assignment.text_filter!r}"
+            return [f"{pad}scan {node.table} as {node.binding}: {detail}{extras}"]
+        label = {
+            FilterNode: "filter",
+            JoinNode: "join",
+            ProjectNode: "project",
+            AggregateNode: "aggregate",
+            SortNode: "sort",
+            LimitNode: "limit",
+        }.get(type(node), type(node).__name__)
+        if isinstance(node, JoinNode):
+            label = f"{node.join_type} join"
+        lines = [f"{pad}{label}"]
+        for child in node.children():
+            lines.extend(self._explain_node(child, physical, depth + 1))
+        return lines
+
+    def _rewrite_subqueries(self, expr, max_staleness, advance_clock):
+        """Replace ``IN (SELECT ...)`` with the materialized value list."""
+        if expr is None:
+            return None
+        if isinstance(expr, InSubquery):
+            inner = self._execute_statement(
+                expr.subquery, max_staleness, advance_clock=advance_clock
+            )
+            if len(inner.table.schema) != 1:
+                raise QueryError(
+                    "IN (SELECT ...) subquery must produce exactly one column, "
+                    f"got {len(inner.table.schema)}"
+                )
+            values = inner.table.column(inner.table.schema.field_names[0])
+            items = tuple(Literal(v) for v in values if v is not None)
+            return InList(expr.operand, items, expr.negated)
+        if isinstance(expr, BinaryOp):
+            return BinaryOp(
+                expr.op,
+                self._rewrite_subqueries(expr.left, max_staleness, advance_clock),
+                self._rewrite_subqueries(expr.right, max_staleness, advance_clock),
+            )
+        if isinstance(expr, UnaryOp):
+            return UnaryOp(
+                expr.op,
+                self._rewrite_subqueries(expr.operand, max_staleness, advance_clock),
+            )
+        return expr
+
+    def _serve_from_cache(self, plan, physical: PhysicalPlan, max_staleness) -> None:
+        """Swap fragment scans for semantic-cache hits (§3.2 C5).
+
+        A region hit replaces the whole distributed scan with local cached
+        rows; the answer's staleness is the entry's age, reported like any
+        other fetch-in-advance path.
+        """
+        for scan in scans_in(plan):
+            assignment = physical.assignments.get(scan.binding)
+            if (
+                assignment is None
+                or assignment.kind != "fragments"
+                or assignment.text_filter is not None
+            ):
+                continue
+            found = self.cache.lookup_entry(
+                scan.table, scan.pushdown, max_staleness
+            )
+            if found is None:
+                continue
+            cached_table, age = found
+            assignment.kind = "cache"
+            assignment.cached_table = cached_table
+            assignment.cached_staleness = age
+            assignment.choices = []
+            self.metrics.counter("cache.scan_hits").inc()
+
+    def _store_in_cache(self, plan, physical: PhysicalPlan, report) -> None:
+        """Remember live fragment-scan results under their predicate region."""
+        for scan in scans_in(plan):
+            table = report.scan_tables.get(scan.binding)
+            if table is None:
+                continue
+            self.cache.store(scan.table, scan.pushdown, table)
+
+    def _extract_text_filters(
+        self, plan: PlanNode, bindings: dict[str, str]
+    ) -> tuple[PlanNode, dict[str, tuple[str, str]]]:
+        """Pull MATCH(col, 'q') conjuncts out of filters into index accesses."""
+        text_filters: dict[str, tuple[str, str]] = {}
+        scan_bindings = {s.binding for s in scans_in(plan)}
+
+        def rewrite(node: PlanNode) -> PlanNode:
+            for attr in ("child", "left", "right"):
+                if hasattr(node, attr):
+                    setattr(node, attr, rewrite(getattr(node, attr)))
+            if not isinstance(node, FilterNode):
+                return node
+            kept = []
+            for conjunct in split_conjuncts(node.condition):
+                binding_column = self._match_conjunct(conjunct, bindings, scan_bindings)
+                if binding_column is not None:
+                    binding, column, query_text = binding_column
+                    text_filters[binding] = (column, query_text)
+                    continue
+                kept.append(conjunct)
+            condition = conjoin(kept)
+            return node.child if condition is None else FilterNode(node.child, condition)
+
+        return rewrite(plan), text_filters
+
+    def _match_conjunct(
+        self,
+        conjunct,
+        bindings: dict[str, str],
+        scan_bindings: set[str],
+    ) -> tuple[str, str, str] | None:
+        if not (
+            isinstance(conjunct, FuncCall)
+            and conjunct.name == "match"
+            and len(conjunct.args) == 2
+            and isinstance(conjunct.args[0], Column)
+            and isinstance(conjunct.args[1], Literal)
+        ):
+            return None
+        column = conjunct.args[0]
+        query_text = str(conjunct.args[1].value)
+        # Resolve which scan the column belongs to.
+        candidates = []
+        for binding in scan_bindings:
+            table_name = bindings[binding]
+            if table_name not in self.catalog.tables:
+                continue
+            entry = self.catalog.tables[table_name]
+            if column.qualifier is not None and column.qualifier != binding:
+                continue
+            if not entry.schema.has_field(column.name):
+                continue
+            if entry.text_index is None or entry.text_column != column.name:
+                continue
+            candidates.append(binding)
+        if len(candidates) != 1:
+            return None  # ambiguous or unindexed: leave as a row-wise predicate
+        return candidates[0], column.name, query_text
+
+    # -- XML / XPath ---------------------------------------------------------------
+
+    def xml_view(self, table_name: str, max_staleness: float | None = None) -> XmlElement:
+        """The integrated content of one table as an XML document."""
+        result = self.query(f"select * from {table_name}", max_staleness=max_staleness)
+        root = XmlElement(table_name)
+        for row in result.table.to_dicts():
+            element = root.element("row")
+            for name, value in row.items():
+                child = element.element(name)
+                if value is not None:
+                    child.append(str(value))
+        return root
+
+    def xpath_query(
+        self,
+        table_name: str,
+        path: str,
+        max_staleness: float | None = None,
+    ) -> "list[XmlElement] | list[str]":
+        """Answer an XPath query over the table's XML view (§3.2 C6)."""
+        return xpath(self.xml_view(table_name, max_staleness), path)
+
+    def xquery(
+        self,
+        table_name: str,
+        query: str,
+        max_staleness: float | None = None,
+    ) -> list[XmlElement]:
+        """Answer a FLWOR query over the table's XML view -- the paper's
+        "SQL and XQuery tomorrow" (§3.2 C6)."""
+        return run_xquery(self.xml_view(table_name, max_staleness), query)
+
+    # -- IR search --------------------------------------------------------------------
+
+    def set_vocabulary(
+        self,
+        synonyms: SynonymExpander | None = None,
+        taxonomy_expander: TaxonomyExpander | None = None,
+    ) -> None:
+        """Attach synonym and taxonomy expansion used by :meth:`search`."""
+        self.synonyms = synonyms
+        self.taxonomy_expander = taxonomy_expander
+
+    def search(
+        self,
+        table_name: str,
+        query_text: str,
+        mode: SearchMode = SearchMode.FULL,
+        limit: int = 10,
+    ):
+        """Ranked IR search over a table's registered text index."""
+        entry = self.catalog.entry(table_name)
+        if entry.text_index is None:
+            raise QueryError(f"table {table_name!r} has no text index")
+        search = CatalogSearch(
+            entry.text_index,
+            synonyms=self.synonyms,
+            taxonomy_expander=self.taxonomy_expander,
+        )
+        return search.search(query_text, mode=mode, limit=limit)
+
+    # -- materialized views -------------------------------------------------------------
+
+    def create_materialized_view(
+        self,
+        name: str,
+        base_table: str,
+        site_name: str,
+        refresh_interval: float | None = None,
+    ) -> MaterializedView:
+        """Register an engine-managed whole-table view and fill it once."""
+        entry = self.catalog.entry(base_table)
+        view = MaterializedView(
+            name=name,
+            base_table=base_table,
+            schema=entry.schema,
+            refresh_fn=None,
+            site_name=site_name,
+            refresh_interval=refresh_interval,
+        )
+        self.catalog.register_view(view)
+        self.refresh_view(view)
+        return view
+
+    def refresh_view(self, view: MaterializedView) -> None:
+        """Re-materialize a view from the live federation (bypassing views)."""
+        result = self.query(
+            f"select * from {view.base_table}", max_staleness=LIVE_ONLY
+        )
+        view.data = result.table
+        view.as_of = self.catalog.clock.now()
+        view.refresh_count += 1
+        view.refresh_cost_seconds += result.report.response_seconds
+        self.metrics.counter("view.refreshes").inc()
+        self.metrics.counter("view.refresh_seconds").inc(result.report.response_seconds)
+
+    def schedule_view_refresh(self, view: MaterializedView, loop: EventLoop) -> None:
+        """Refresh ``view`` on its interval, driven by the event loop."""
+        if view.refresh_interval is None or view.refresh_interval <= 0:
+            raise QueryError(f"view {view.name!r} has no positive refresh interval")
+        loop.schedule_every(
+            view.refresh_interval,
+            lambda: self.refresh_view(view),
+            name=f"refresh:{view.name}",
+        )

@@ -1,0 +1,158 @@
+"""Replica-choice policies.
+
+"Replication allows the load to be shifted arbitrarily across machines.  In
+this case, a strategy for load balancing is required to keep all machines
+equally busy" (§3.2 C8).  These policies decide which replica of a fragment
+serves a scan.  The agoric optimizer effectively *is* a live least-cost
+policy (prices embed load); the centralized baseline is wired to
+:class:`SnapshotLoadPolicy`, whose statistics go stale between refreshes --
+the operational difference E3/E4 measure.
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+
+from repro.core.errors import QueryError
+from repro.federation.catalog import FederationCatalog, Fragment
+
+
+class ReplicaPolicy(abc.ABC):
+    """Chooses one live replica site for a fragment."""
+
+    @abc.abstractmethod
+    def choose(self, fragment: Fragment, catalog: FederationCatalog) -> str:
+        """Return the chosen site name; raises QueryError if none are up."""
+
+    @staticmethod
+    def live_sites(fragment: Fragment, catalog: FederationCatalog) -> list[str]:
+        sites = [
+            name for name in fragment.replica_sites() if catalog.site(name).up
+        ]
+        if not sites:
+            raise QueryError(
+                f"no live replica of fragment {fragment.fragment_id!r} "
+                f"of table {fragment.table_name!r}"
+            )
+        return sites
+
+
+class RandomPolicy(ReplicaPolicy):
+    """Uniform random choice among live replicas."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+
+    def choose(self, fragment: Fragment, catalog: FederationCatalog) -> str:
+        return self.rng.choice(self.live_sites(fragment, catalog))
+
+
+class RoundRobinPolicy(ReplicaPolicy):
+    """Cycles deterministically through each fragment's replicas."""
+
+    def __init__(self) -> None:
+        self._counters: dict[tuple[str, str], int] = {}
+
+    def choose(self, fragment: Fragment, catalog: FederationCatalog) -> str:
+        sites = self.live_sites(fragment, catalog)
+        key = (fragment.table_name, fragment.fragment_id)
+        counter = self._counters.get(key, 0)
+        self._counters[key] = counter + 1
+        return sites[counter % len(sites)]
+
+
+class LeastLoadedPolicy(ReplicaPolicy):
+    """Live backlog inspection (an idealized omniscient balancer)."""
+
+    def choose(self, fragment: Fragment, catalog: FederationCatalog) -> str:
+        sites = self.live_sites(fragment, catalog)
+        return min(sites, key=lambda name: (catalog.site(name).backlog(), name))
+
+
+class PolicyOptimizer:
+    """An optimizer that delegates every replica choice to one policy.
+
+    This closes the loop between the policy zoo above and the optimizer
+    interface: E4's ablation can run the *same* query stream under random,
+    round-robin, live-least-loaded and snapshot policies and compare the
+    resulting site utilization directly against the agoric market.
+    """
+
+    def __init__(self, catalog: FederationCatalog, policy: ReplicaPolicy,
+                 name: str | None = None) -> None:
+        self.catalog = catalog
+        self.policy = policy
+        self.name = name or f"policy:{type(policy).__name__}"
+
+    def optimize(self, plan, coordinator=None, max_staleness=None):
+        from repro.federation.executor import (
+            FragmentChoice,
+            PhysicalPlan,
+            ScanAssignment,
+        )
+        from repro.sql.planner import scans_in
+
+        assignments = {}
+        rows_by_site: dict[str, int] = {}
+        for scan in scans_in(plan):
+            view = self.catalog.views.get(scan.table)
+            if view is None or view.data is None:
+                view = self.catalog.view_for_table(scan.table, max_staleness)
+            if view is not None and self.catalog.site(view.site_name).up:
+                assignments[scan.binding] = ScanAssignment(
+                    scan.binding, scan.table, "view", view=view
+                )
+                continue
+            entry = self.catalog.entry(scan.table)
+            assignment = ScanAssignment(scan.binding, scan.table, "fragments")
+            for fragment in entry.fragments:
+                site_name = self.policy.choose(fragment, self.catalog)
+                assignment.choices.append(FragmentChoice(fragment, site_name))
+                rows_by_site[site_name] = (
+                    rows_by_site.get(site_name, 0) + fragment.estimated_rows
+                )
+            assignments[scan.binding] = assignment
+
+        if coordinator is None:
+            if rows_by_site:
+                coordinator = max(rows_by_site.items(), key=lambda kv: (kv[1], kv[0]))[0]
+            else:
+                up = self.catalog.up_sites()
+                if not up:
+                    raise QueryError("no live sites to coordinate the query")
+                coordinator = min(site.name for site in up)
+        return PhysicalPlan(
+            logical=plan,
+            assignments=assignments,
+            coordinator=coordinator,
+            optimizer=self.name,
+        )
+
+
+class SnapshotLoadPolicy(ReplicaPolicy):
+    """Least-loaded by a *periodically refreshed* statistics snapshot.
+
+    This is how compile-time centralized optimizers see the world: load
+    statistics are collected every ``refresh_interval`` simulated seconds
+    and are stale in between, so a burst of queries all land on the site
+    that was idle at snapshot time.
+    """
+
+    def __init__(self, refresh_interval: float = 60.0) -> None:
+        self.refresh_interval = refresh_interval
+        self._snapshot: dict[str, float] = {}
+        self._snapshot_at = float("-inf")
+
+    def _maybe_refresh(self, catalog: FederationCatalog) -> None:
+        now = catalog.clock.now()
+        if now - self._snapshot_at >= self.refresh_interval:
+            self._snapshot = {
+                name: site.backlog() for name, site in catalog.sites.items()
+            }
+            self._snapshot_at = now
+
+    def choose(self, fragment: Fragment, catalog: FederationCatalog) -> str:
+        self._maybe_refresh(catalog)
+        sites = self.live_sites(fragment, catalog)
+        return min(sites, key=lambda name: (self._snapshot.get(name, 0.0), name))

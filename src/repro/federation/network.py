@@ -1,0 +1,42 @@
+"""The network model between federation sites.
+
+Deliberately simple: a base round-trip latency per site pair (overridable
+for specific pairs -- cross-enterprise WAN links cost more than machine-room
+hops) plus a per-row transfer cost.  Local transfers (same site) are free.
+"""
+
+from __future__ import annotations
+
+
+class Network:
+    """Latency and transfer accounting between named sites."""
+
+    def __init__(
+        self,
+        base_latency: float = 0.02,
+        seconds_per_row: float = 0.00001,
+    ) -> None:
+        self.base_latency = base_latency
+        self.seconds_per_row = seconds_per_row
+        self._pair_latency: dict[tuple[str, str], float] = {}
+
+    def set_latency(self, site_a: str, site_b: str, latency: float) -> None:
+        """Override the latency for one (unordered) pair of sites."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self._pair_latency[self._key(site_a, site_b)] = latency
+
+    def latency(self, site_a: str, site_b: str) -> float:
+        if site_a == site_b:
+            return 0.0
+        return self._pair_latency.get(self._key(site_a, site_b), self.base_latency)
+
+    def transfer_seconds(self, site_a: str, site_b: str, rows: int) -> float:
+        """Total seconds to move ``rows`` from one site to another."""
+        if site_a == site_b:
+            return 0.0
+        return self.latency(site_a, site_b) + rows * self.seconds_per_row
+
+    @staticmethod
+    def _key(site_a: str, site_b: str) -> tuple[str, str]:
+        return (site_a, site_b) if site_a <= site_b else (site_b, site_a)

@@ -1,0 +1,134 @@
+"""Sites: the machines of the federation.
+
+A :class:`Site` hosts :class:`~repro.connect.source.ContentSource` objects
+(fragment replicas, gateway wrappers, materialized view copies), executes
+scans against them at a per-row CPU rate, maintains a decaying work backlog
+(its *load*), and quotes prices for work -- the raw material of the agoric
+protocol.  Sites can be marked down, which is how the availability
+experiments injure the federation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.connect.source import ContentSource, FetchResult, Predicate
+from repro.core.errors import SourceUnavailableError
+from repro.sim.clock import SimClock
+
+
+@dataclass
+class ScanQuote:
+    """A site's estimate for scanning one source."""
+
+    seconds: float  # pure work time
+    queue_delay: float  # backlog ahead of this work
+    rows: int
+
+
+class Site:
+    """One machine: hosted sources, CPU rate, load backlog, pricing."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: SimClock,
+        cpu_seconds_per_row: float = 0.00005,
+        price_per_second: float = 1.0,
+        load_price_factor: float = 1.0,
+    ) -> None:
+        self.name = name
+        self.clock = clock
+        self.cpu_seconds_per_row = cpu_seconds_per_row
+        self.price_per_second = price_per_second
+        self.load_price_factor = load_price_factor
+        self.up = True
+        self.busy_seconds = 0.0  # lifetime work executed (utilization metric)
+        self._sources: dict[str, ContentSource] = {}
+        self._backlog = 0.0
+        self._backlog_as_of = clock.now()
+
+    # -- hosting -----------------------------------------------------------
+
+    def host(self, source: ContentSource, name: str | None = None) -> str:
+        """Register a source on this site; returns its local name."""
+        local_name = name or source.name
+        self._sources[local_name] = source
+        return local_name
+
+    def unhost(self, name: str) -> None:
+        self._sources.pop(name, None)
+
+    def hosts(self, name: str) -> bool:
+        return name in self._sources
+
+    def source(self, name: str) -> ContentSource:
+        if name not in self._sources:
+            raise SourceUnavailableError(
+                self.name, f"site {self.name!r} does not host {name!r}"
+            )
+        return self._sources[name]
+
+    @property
+    def hosted_names(self) -> list[str]:
+        return sorted(self._sources)
+
+    # -- load model ------------------------------------------------------------
+
+    def backlog(self) -> float:
+        """Seconds of queued work remaining right now (drains in real time)."""
+        elapsed = self.clock.now() - self._backlog_as_of
+        return max(0.0, self._backlog - elapsed)
+
+    def enqueue(self, seconds: float) -> float:
+        """Add work to the backlog; returns the queue delay it waited behind."""
+        delay = self.backlog()
+        self._backlog = delay + seconds
+        self._backlog_as_of = self.clock.now()
+        self.busy_seconds += seconds
+        return delay
+
+    # -- scan estimation & execution -----------------------------------------------
+
+    def quote_scan(self, source_name: str, row_fraction: float = 1.0) -> ScanQuote:
+        """Estimate (not execute) a scan -- used when forming bids."""
+        source = self.source(source_name)
+        rows = max(1, int(source.estimated_rows() * row_fraction))
+        seconds = source.estimated_cost() + rows * self.cpu_seconds_per_row
+        return ScanQuote(seconds=seconds, queue_delay=self.backlog(), rows=rows)
+
+    def price_quote(self, quote: ScanQuote) -> float:
+        """The agoric price this site asks for executing ``quote``.
+
+        Load enters the price directly: a busy site asks more, steering
+        work toward idle replicas (the adaptive half of the agoric claim).
+        """
+        return (
+            quote.seconds + quote.queue_delay * self.load_price_factor
+        ) * self.price_per_second
+
+    def execute_scan(
+        self, source_name: str, predicates: Sequence[Predicate] = ()
+    ) -> tuple[FetchResult, float, float]:
+        """Run a scan; returns (result, work_seconds, queue_delay).
+
+        Raises :class:`SourceUnavailableError` when the site is down.
+        """
+        if not self.up:
+            raise SourceUnavailableError(self.name)
+        source = self.source(source_name)
+        result = source.fetch(predicates)
+        work = result.cost_seconds + len(result.table) * self.cpu_seconds_per_row
+        delay = self.enqueue(work)
+        return result, work, delay
+
+    def process(self, rows: int) -> float:
+        """Charge local processing of ``rows`` (joins, aggregation); returns work seconds."""
+        work = rows * self.cpu_seconds_per_row
+        self.enqueue(work)
+        return work
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "DOWN"
+        return f"Site({self.name!r}, {state}, backlog={self.backlog():.3f}s)"

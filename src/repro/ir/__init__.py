@@ -1,0 +1,39 @@
+"""Information retrieval substrate.
+
+Characteristic 7: "content integrators require information retrieval
+capabilities, including synonyms and fuzzy search", and §4 describes a text
+engine "compiled directly into the query engine, and fully modeled by
+the optimizer as an access path".  This package is that engine:
+
+* :mod:`repro.ir.tokenize` -- tokenization and n-grams.
+* :mod:`repro.ir.fuzzy` -- edit distance and n-gram similarity ("drlls:
+  crdlss" must match "cordless drills").
+* :mod:`repro.ir.inverted_index` -- a tf-idf ranked inverted index with a
+  vocabulary n-gram index for fuzzy term expansion.
+* :mod:`repro.ir.search` -- :class:`~repro.ir.search.CatalogSearch`, the
+  combined exact / synonym / fuzzy / taxonomy-expanded search the paper's
+  "India ink" examples call for.
+"""
+
+from repro.ir.fuzzy import (
+    combined_similarity,
+    levenshtein,
+    levenshtein_similarity,
+    ngram_jaccard,
+)
+from repro.ir.inverted_index import InvertedIndex, SearchHit
+from repro.ir.search import CatalogSearch, SearchMode
+from repro.ir.tokenize import ngrams, tokenize
+
+__all__ = [
+    "combined_similarity",
+    "levenshtein",
+    "levenshtein_similarity",
+    "ngram_jaccard",
+    "InvertedIndex",
+    "SearchHit",
+    "CatalogSearch",
+    "SearchMode",
+    "ngrams",
+    "tokenize",
+]

@@ -1,0 +1,31 @@
+"""Tokenization for the IR engine.
+
+Catalog text is short and noisy ("drlls: crdlss"), so tokenization is
+deliberately simple and aggressive: lowercase, split on any non-alphanumeric
+run, drop empty tokens.  N-grams (with padding) feed the fuzzy matcher.
+"""
+
+from __future__ import annotations
+
+import re
+
+_TOKEN_RE = re.compile(r"[a-z0-9]+")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase word tokens of ``text``, in order (duplicates kept)."""
+    return _TOKEN_RE.findall(text.lower())
+
+
+def ngrams(term: str, n: int = 3) -> set[str]:
+    """Character n-grams of a term, padded so short terms still overlap.
+
+    Padding with ``$`` anchors the first and last characters, which makes
+    prefix/suffix agreement count -- important for vowel-dropped typos.
+    """
+    if not term:
+        return set()
+    padded = f"${term.lower()}$"
+    if len(padded) <= n:
+        return {padded}
+    return {padded[i:i + n] for i in range(len(padded) - n + 1)}

@@ -1,0 +1,36 @@
+"""Deterministic simulation substrate.
+
+Every component in :mod:`repro` that needs time or randomness gets it from
+here, never from the wall clock or the global :mod:`random` state.  This is
+what makes the benchmarks in ``benchmarks/`` reproducible bit-for-bit: a
+simulation is fully determined by its seed and its schedule of events.
+
+The substrate has four pieces:
+
+* :class:`~repro.sim.clock.SimClock` -- a logical clock measured in seconds.
+  Components *advance* it explicitly; nothing ever blocks.
+* :class:`~repro.sim.rng.RngRegistry` -- a tree of named, independently
+  seeded random streams, so adding randomness to one subsystem does not
+  perturb another.
+* :class:`~repro.sim.events.EventLoop` -- a discrete-event scheduler driving
+  recurring activities (warehouse refreshes, failures, price updates).
+* :class:`~repro.sim.metrics.MetricsRegistry` -- counters / gauges /
+  histograms that experiments read out at the end of a run.
+"""
+
+from repro.sim.clock import SimClock
+from repro.sim.events import EventLoop, ScheduledEvent
+from repro.sim.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.sim.rng import RngRegistry, derive_seed
+
+__all__ = [
+    "SimClock",
+    "EventLoop",
+    "ScheduledEvent",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RngRegistry",
+    "derive_seed",
+]

@@ -1,0 +1,128 @@
+"""Lightweight metrics used by experiments to read out simulation results.
+
+Benchmarks create one :class:`MetricsRegistry` per run, components record
+into it, and the bench prints the registry summary as its result table.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (queries served, pages fetched...)."""
+
+    name: str
+    value: float = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value that may move in either direction."""
+
+    name: str
+    value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, amount: float) -> None:
+        self.value += amount
+
+
+@dataclass
+class Histogram:
+    """A collection of observations with summary statistics.
+
+    Keeps all samples (simulations here are small enough) so experiments can
+    compute exact percentiles.
+    """
+
+    name: str
+    samples: list[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(value)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def total(self) -> float:
+        return sum(self.samples)
+
+    @property
+    def mean(self) -> float:
+        if not self.samples:
+            return math.nan
+        return self.total / len(self.samples)
+
+    @property
+    def minimum(self) -> float:
+        return min(self.samples) if self.samples else math.nan
+
+    @property
+    def maximum(self) -> float:
+        return max(self.samples) if self.samples else math.nan
+
+    def percentile(self, q: float) -> float:
+        """Return the ``q``-th percentile (0 <= q <= 100), nearest-rank."""
+        if not 0 <= q <= 100:
+            raise ValueError(f"percentile {q!r} out of range [0, 100]")
+        if not self.samples:
+            return math.nan
+        ordered = sorted(self.samples)
+        rank = max(0, math.ceil(q / 100 * len(ordered)) - 1)
+        return ordered[rank]
+
+    @property
+    def stddev(self) -> float:
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        return math.sqrt(variance)
+
+
+class MetricsRegistry:
+    """A namespace of counters, gauges and histograms for one run."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self._histograms:
+            self._histograms[name] = Histogram(name)
+        return self._histograms[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Return a flat ``{name: value}`` view (histograms report means)."""
+        values: dict[str, float] = {}
+        for name, counter in self._counters.items():
+            values[name] = counter.value
+        for name, gauge in self._gauges.items():
+            values[name] = gauge.value
+        for name, histogram in self._histograms.items():
+            values[f"{name}.count"] = float(histogram.count)
+            values[f"{name}.mean"] = histogram.mean
+        return values

@@ -1,0 +1,198 @@
+"""Expression evaluation over row environments.
+
+An *environment* maps column names (both bare ``price`` and qualified
+``h.price``) to values.  Null semantics follow pragmatic SQL behaviour:
+comparisons against None are False (not unknown-propagating three-valued
+logic -- a documented simplification), arithmetic with None yields None,
+and ``IS NULL`` works as expected.
+
+Scalar functions include the object-relational extensions of §4:
+``fuzzy(a, b)`` returns :func:`repro.ir.fuzzy.combined_similarity` and
+``match(column, query)`` is rewritten by the engine before evaluation (it
+only appears here as a fallback substring check so local evaluation is still
+meaningful).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Mapping
+
+from repro.core.errors import QueryError
+from repro.ir.fuzzy import combined_similarity
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    InSubquery,
+    Like,
+    Literal,
+    Star,
+    UnaryOp,
+)
+
+Env = Mapping[str, Any]
+
+
+def like_to_regex(pattern: str) -> "re.Pattern[str]":
+    """Compile a SQL LIKE pattern (``%``/``_`` wildcards) to a regex."""
+    parts = []
+    for char in pattern:
+        if char == "%":
+            parts.append(".*")
+        elif char == "_":
+            parts.append(".")
+        else:
+            parts.append(re.escape(char))
+    return re.compile("".join(parts), re.IGNORECASE | re.DOTALL)
+
+
+def _scalar_fuzzy(a: Any, b: Any) -> float:
+    return combined_similarity(str(a or ""), str(b or ""))
+
+
+def _scalar_match(value: Any, query: Any) -> bool:
+    # Fallback behaviour when the engine has not rewritten MATCH into an IR
+    # access path: case-insensitive all-terms containment.
+    haystack = str(value or "").lower()
+    return all(term in haystack for term in str(query or "").lower().split())
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "upper": lambda v: None if v is None else str(v).upper(),
+    "lower": lambda v: None if v is None else str(v).lower(),
+    "length": lambda v: None if v is None else len(str(v)),
+    "abs": lambda v: None if v is None else abs(v),
+    "round": lambda v, digits=0: None if v is None else round(v, int(digits)),
+    "coalesce": lambda *vs: next((v for v in vs if v is not None), None),
+    "fuzzy": _scalar_fuzzy,
+    "match": _scalar_match,
+}
+
+
+def evaluate(expr: Expr, env: Env) -> Any:
+    """Evaluate ``expr`` against one row environment."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Column):
+        key = expr.qualified
+        if key in env:
+            return env[key]
+        if expr.qualifier is None and expr.name in env:
+            return env[expr.name]
+        raise QueryError(f"unknown column {key!r}")
+    if isinstance(expr, Star):
+        raise QueryError("'*' is only valid in a SELECT list")
+    if isinstance(expr, BinaryOp):
+        return _binary(expr, env)
+    if isinstance(expr, UnaryOp):
+        return _unary(expr, env)
+    if isinstance(expr, FuncCall):
+        return _call(expr, env)
+    if isinstance(expr, InList):
+        value = evaluate(expr.operand, env)
+        if value is None:
+            return False
+        hit = any(evaluate(item, env) == value for item in expr.items)
+        return hit != expr.negated
+    if isinstance(expr, Between):
+        value = evaluate(expr.operand, env)
+        if value is None:
+            return False
+        low = evaluate(expr.low, env)
+        high = evaluate(expr.high, env)
+        hit = low <= value <= high
+        return hit != expr.negated
+    if isinstance(expr, Like):
+        value = evaluate(expr.operand, env)
+        if value is None:
+            return False
+        hit = like_to_regex(expr.pattern).fullmatch(str(value)) is not None
+        return hit != expr.negated
+    if isinstance(expr, InSubquery):
+        raise QueryError(
+            "IN (SELECT ...) must be rewritten by the federated engine "
+            "before row evaluation; evaluate() only sees closed expressions"
+        )
+    raise QueryError(f"cannot evaluate expression {expr!r}")
+
+
+def _binary(expr: BinaryOp, env: Env) -> Any:
+    op = expr.op
+    if op == "and":
+        return bool(evaluate(expr.left, env)) and bool(evaluate(expr.right, env))
+    if op == "or":
+        return bool(evaluate(expr.left, env)) or bool(evaluate(expr.right, env))
+
+    left = evaluate(expr.left, env)
+    right = evaluate(expr.right, env)
+
+    if op in ("=", "!="):
+        if left is None or right is None:
+            equal = left is None and right is None
+        else:
+            equal = left == right
+        return equal if op == "=" else not equal
+    if op in ("<", "<=", ">", ">="):
+        if left is None or right is None:
+            return False
+        try:
+            if op == "<":
+                return left < right
+            if op == "<=":
+                return left <= right
+            if op == ">":
+                return left > right
+            return left >= right
+        except TypeError as error:
+            raise QueryError(
+                f"cannot compare {left!r} {op} {right!r}: {error}"
+            ) from error
+    if op == "contains":
+        if left is None or right is None:
+            return False
+        return str(right).lower() in str(left).lower()
+    if op in ("+", "-", "*", "/"):
+        if left is None or right is None:
+            return None
+        try:
+            if op == "+":
+                return left + right
+            if op == "-":
+                return left - right
+            if op == "*":
+                return left * right
+            if right == 0:
+                raise QueryError("division by zero")
+            return left / right
+        except TypeError as error:
+            raise QueryError(
+                f"bad arithmetic {left!r} {op} {right!r}: {error}"
+            ) from error
+    raise QueryError(f"unknown operator {op!r}")
+
+
+def _unary(expr: UnaryOp, env: Env) -> Any:
+    if expr.op == "not":
+        return not bool(evaluate(expr.operand, env))
+    if expr.op == "-":
+        value = evaluate(expr.operand, env)
+        return None if value is None else -value
+    if expr.op == "is-null":
+        return evaluate(expr.operand, env) is None
+    if expr.op == "is-not-null":
+        return evaluate(expr.operand, env) is not None
+    raise QueryError(f"unknown unary operator {expr.op!r}")
+
+
+def _call(expr: FuncCall, env: Env) -> Any:
+    if expr.star:
+        raise QueryError(f"{expr.name}(*) is only valid as an aggregate")
+    fn = SCALAR_FUNCTIONS.get(expr.name)
+    if fn is None:
+        raise QueryError(f"unknown function {expr.name!r}")
+    args = [evaluate(arg, env) for arg in expr.args]
+    return fn(*args)

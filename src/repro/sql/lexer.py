@@ -1,0 +1,97 @@
+"""The SQL lexer.
+
+Produces a flat token stream for the recursive-descent parser.  Keywords are
+case-insensitive; identifiers keep their original case (they are matched
+case-sensitively against schema field names, which this codebase keeps
+lowercase).  String literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "select", "from", "where", "join", "inner", "left", "outer", "on",
+        "as", "and", "or",
+        "not", "group", "by", "having", "order", "asc", "desc", "limit",
+        "like", "in", "between", "contains", "is", "null", "true", "false",
+        "distinct",
+    }
+)
+
+PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+",
+               "-", "/", ".")
+
+
+class SqlLexError(Exception):
+    """Raised when the query contains characters the lexer cannot consume."""
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # "keyword" | "ident" | "number" | "string" | "punct" | "eof"
+    value: str
+    position: int
+
+
+_IDENT_RE = re.compile(r"[A-Za-z_][A-Za-z_0-9]*")
+_NUMBER_RE = re.compile(r"\d+(\.\d+)?([eE][+-]?\d+)?")
+
+
+def tokenize_sql(text: str) -> list[Token]:
+    """Tokenize ``text``; always ends with an ``eof`` token."""
+    tokens: list[Token] = []
+    position = 0
+    length = len(text)
+    while position < length:
+        char = text[position]
+        if char.isspace():
+            position += 1
+            continue
+        if char == "'":
+            value, position = _read_string(text, position)
+            tokens.append(Token("string", value, position))
+            continue
+        number_match = _NUMBER_RE.match(text, position)
+        if number_match and char.isdigit():
+            tokens.append(Token("number", number_match.group(0), position))
+            position = number_match.end()
+            continue
+        ident_match = _IDENT_RE.match(text, position)
+        if ident_match:
+            word = ident_match.group(0)
+            if word.lower() in KEYWORDS:
+                tokens.append(Token("keyword", word.lower(), position))
+            else:
+                tokens.append(Token("ident", word, position))
+            position = ident_match.end()
+            continue
+        for punct in PUNCTUATION:
+            if text.startswith(punct, position):
+                tokens.append(Token("punct", punct, position))
+                position += len(punct)
+                break
+        else:
+            raise SqlLexError(f"unexpected character {char!r} at offset {position}")
+    tokens.append(Token("eof", "", length))
+    return tokens
+
+
+def _read_string(text: str, position: int) -> tuple[str, int]:
+    """Read a single-quoted literal starting at ``position``."""
+    assert text[position] == "'"
+    pieces = []
+    i = position + 1
+    while i < len(text):
+        char = text[i]
+        if char == "'":
+            if i + 1 < len(text) and text[i + 1] == "'":
+                pieces.append("'")
+                i += 2
+                continue
+            return "".join(pieces), i + 1
+        pieces.append(char)
+        i += 1
+    raise SqlLexError(f"unterminated string literal at offset {position}")

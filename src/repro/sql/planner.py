@@ -1,0 +1,326 @@
+"""Logical planning: AST -> operator tree with predicate pushdown.
+
+The plan shapes are deliberately conventional (scan / filter / join /
+aggregate / project / sort / limit) because the interesting part in this
+reproduction happens *below* the logical plan: the federated optimizers in
+:mod:`repro.federation` decide which site executes each scan (and at what
+price), and the logical tree is what they bid on.
+
+Pushdown: the WHERE clause is split into conjuncts; any conjunct of the form
+``column op literal`` whose column binds to exactly one scan becomes a
+:class:`~repro.connect.source.Predicate` attached to that scan, so sources
+(ERP gateways, scraped sites, fragments) filter locally.  Everything else
+stays in a residual :class:`FilterNode`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.connect.source import Predicate
+from repro.core.errors import QueryError
+from repro.sql.ast import (
+    BinaryOp,
+    Column,
+    Expr,
+    Literal,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Star,
+    columns_in,
+    contains_aggregate,
+)
+
+_PUSHABLE_OPS = {"=", "!=", "<", "<=", ">", ">="}
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "=", "!=": "!="}
+
+
+@dataclass
+class PlanNode:
+    """Base class for logical operators."""
+
+    def children(self) -> list["PlanNode"]:
+        return []
+
+
+@dataclass
+class ScanNode(PlanNode):
+    """Read one base table (through whatever source the catalog maps it to)."""
+
+    table: str
+    binding: str  # alias used in the query
+    pushdown: list[Predicate] = field(default_factory=list)
+
+
+@dataclass
+class FilterNode(PlanNode):
+    child: PlanNode
+    condition: Expr
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class JoinNode(PlanNode):
+    left: PlanNode
+    right: PlanNode
+    condition: Expr
+    join_type: str = "inner"  # "inner" | "left"
+
+    def children(self) -> list[PlanNode]:
+        return [self.left, self.right]
+
+
+@dataclass
+class ProjectNode(PlanNode):
+    child: PlanNode
+    items: list[SelectItem]
+    distinct: bool = False
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class AggregateNode(PlanNode):
+    child: PlanNode
+    group_by: list[Expr]
+    items: list[SelectItem]
+    having: Expr | None = None
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class SortNode(PlanNode):
+    child: PlanNode
+    order_by: list[OrderItem]
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+@dataclass
+class LimitNode(PlanNode):
+    child: PlanNode
+    limit: int
+
+    def children(self) -> list[PlanNode]:
+        return [self.child]
+
+
+def split_conjuncts(expr: Expr | None) -> list[Expr]:
+    """Flatten a WHERE tree into its top-level AND-ed conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, BinaryOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: list[Expr]) -> Expr | None:
+    """Rebuild an AND tree from conjuncts (None when empty)."""
+    if not conjuncts:
+        return None
+    combined = conjuncts[0]
+    for conjunct in conjuncts[1:]:
+        combined = BinaryOp("and", combined, conjunct)
+    return combined
+
+
+def _as_pushable(expr: Expr) -> tuple[Column, str, Any] | None:
+    """Return (column, op, literal) if ``expr`` is a pushable comparison."""
+    if not isinstance(expr, BinaryOp) or expr.op not in _PUSHABLE_OPS:
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, Column) and isinstance(right, Literal):
+        return left, expr.op, right.value
+    if isinstance(left, Literal) and isinstance(right, Column):
+        return right, _FLIPPED[expr.op], left.value
+    return None
+
+
+def _binding_of_column(
+    column: Column,
+    binding_fields: dict[str, set[str]],
+) -> str | None:
+    """Which scan binding does ``column`` belong to, if unambiguous?"""
+    if column.qualifier is not None:
+        return column.qualifier if column.qualifier in binding_fields else None
+    owners = [b for b, fields in binding_fields.items() if column.name in fields]
+    return owners[0] if len(owners) == 1 else None
+
+
+def build_plan(
+    statement: SelectStatement,
+    binding_fields: dict[str, set[str]] | None = None,
+) -> PlanNode:
+    """Build the logical plan for ``statement``.
+
+    ``binding_fields`` maps each table binding (alias) to its field names;
+    when provided, single-table comparison conjuncts are pushed into their
+    scan.  Without it every predicate stays in the residual filter (still
+    correct, just less pushdown).
+    """
+    bindings = [statement.table.binding] + [j.table.binding for j in statement.joins]
+    if len(set(bindings)) != len(bindings):
+        raise QueryError(f"duplicate table binding in query: {bindings!r}")
+
+    scans: dict[str, ScanNode] = {
+        statement.table.binding: ScanNode(statement.table.name, statement.table.binding)
+    }
+    for join in statement.joins:
+        scans[join.table.binding] = ScanNode(join.table.name, join.table.binding)
+
+    # Bindings on the right side of a LEFT JOIN must not have WHERE
+    # predicates pushed into their scan: a pushed predicate would turn the
+    # outer join into an inner one for filtered-out rows.  (Pushing into
+    # the *preserved* side is still safe.)
+    null_extended = {
+        join.table.binding for join in statement.joins if join.join_type == "left"
+    }
+
+    residual: list[Expr] = []
+    if binding_fields is None:
+        residual = split_conjuncts(statement.where)
+    else:
+        for conjunct in split_conjuncts(statement.where):
+            pushable = _as_pushable(conjunct)
+            if pushable is not None:
+                column, op, value = pushable
+                binding = _binding_of_column(column, binding_fields)
+                if (
+                    binding is not None
+                    and binding in scans
+                    and binding not in null_extended
+                ):
+                    scans[binding].pushdown.append(Predicate(column.name, op, value))
+                    continue
+            residual.append(conjunct)
+
+    plan: PlanNode = scans[statement.table.binding]
+    for join in statement.joins:
+        plan = JoinNode(
+            plan, scans[join.table.binding], join.condition, join.join_type
+        )
+
+    residual_condition = conjoin(residual)
+    if residual_condition is not None:
+        plan = FilterNode(plan, residual_condition)
+
+    has_aggregates = bool(statement.group_by) or any(
+        contains_aggregate(item.expr) for item in statement.items
+    )
+    if has_aggregates:
+        _validate_aggregate_items(statement)
+        plan = AggregateNode(plan, statement.group_by, statement.items, statement.having)
+        if statement.order_by:
+            # Post-aggregation, only output columns exist: rewrite each order
+            # key that textually matches a select item into its output name.
+            plan = SortNode(plan, _rewrite_aggregate_order(statement))
+    else:
+        if statement.having is not None:
+            raise QueryError("HAVING requires GROUP BY or aggregates")
+        if statement.order_by:
+            # Sort *below* the projection so order keys may reference any
+            # underlying column; alias references resolve to their item expr.
+            plan = SortNode(plan, _resolve_order_aliases(statement))
+        plan = ProjectNode(plan, statement.items, statement.distinct)
+
+    if statement.limit is not None:
+        plan = LimitNode(plan, statement.limit)
+    return plan
+
+
+def _resolve_order_aliases(statement: SelectStatement) -> list[OrderItem]:
+    """Replace ORDER BY references to select aliases with their expressions."""
+    alias_map = {
+        item.alias: item.expr for item in statement.items if item.alias is not None
+    }
+    resolved = []
+    for order in statement.order_by:
+        expr = order.expr
+        if isinstance(expr, Column) and expr.qualifier is None and expr.name in alias_map:
+            expr = alias_map[expr.name]
+        resolved.append(OrderItem(expr, order.descending))
+    return resolved
+
+
+def _rewrite_aggregate_order(statement: SelectStatement) -> list[OrderItem]:
+    """Map ORDER BY keys onto the aggregate's output column names."""
+    rewritten = []
+    for order in statement.order_by:
+        expr = order.expr
+        for i, item in enumerate(statement.items):
+            if item.alias is not None and isinstance(expr, Column) and expr.name == item.alias:
+                expr = Column(item.alias)
+                break
+            if repr(item.expr) == repr(order.expr):
+                name = item.alias
+                if name is None and isinstance(item.expr, Column):
+                    name = item.expr.name
+                if name is None and hasattr(item.expr, "name"):
+                    name = item.expr.name  # FuncCall output name
+                expr = Column(name or f"col{i}")
+                break
+        rewritten.append(OrderItem(expr, order.descending))
+    return rewritten
+
+
+def _validate_aggregate_items(statement: SelectStatement) -> None:
+    """Non-aggregate select items must appear in GROUP BY."""
+    group_keys = {repr(g) for g in statement.group_by}
+    for item in statement.items:
+        if isinstance(item.expr, Star):
+            raise QueryError("'*' cannot appear with GROUP BY/aggregates")
+        if contains_aggregate(item.expr):
+            continue
+        if repr(item.expr) in group_keys:
+            continue
+        if isinstance(item.expr, Column) and any(
+            isinstance(g, Column) and g.name == item.expr.name for g in statement.group_by
+        ):
+            continue
+        raise QueryError(
+            f"select item {item.expr!r} is neither aggregated nor grouped"
+        )
+
+
+def scans_in(plan: PlanNode) -> list[ScanNode]:
+    """All scan leaves of ``plan`` in left-to-right order."""
+    if isinstance(plan, ScanNode):
+        return [plan]
+    found: list[ScanNode] = []
+    for child in plan.children():
+        found.extend(scans_in(child))
+    return found
+
+
+def referenced_columns(plan: PlanNode) -> list[Column]:
+    """Every column referenced anywhere in the plan's expressions."""
+    columns: list[Column] = []
+    if isinstance(plan, FilterNode):
+        columns.extend(columns_in(plan.condition))
+    elif isinstance(plan, JoinNode):
+        columns.extend(columns_in(plan.condition))
+    elif isinstance(plan, ProjectNode):
+        for item in plan.items:
+            if not isinstance(item.expr, Star):
+                columns.extend(columns_in(item.expr))
+    elif isinstance(plan, AggregateNode):
+        for group in plan.group_by:
+            columns.extend(columns_in(group))
+        for item in plan.items:
+            columns.extend(columns_in(item.expr))
+        if plan.having is not None:
+            columns.extend(columns_in(plan.having))
+    elif isinstance(plan, SortNode):
+        for order in plan.order_by:
+            columns.extend(columns_in(order.expr))
+    for child in plan.children():
+        columns.extend(referenced_columns(child))
+    return columns

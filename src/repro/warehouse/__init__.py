@@ -1,0 +1,26 @@
+"""The data-warehouse baseline the paper argues against.
+
+§3.2 C5: "many vendors are trying to solve content integration problems
+using data warehousing approaches.  Warehousing systems are built solely
+around the 'fetch in advance' paradigm.  To deal with volatile data, they
+suggest refreshing the warehouse more frequently, which is neither scalable
+nor sufficiently close to real time."
+
+To measure that claim we build the warehouse:
+
+* :class:`~repro.warehouse.etl.EtlJob` -- batch Extract-Transform-Load with
+  an *imperative* transform script (the "arbitrary code" whose lost lineage
+  §3.2 C5 criticizes).
+* :class:`~repro.warehouse.warehouse.Warehouse` -- the store plus refresh
+  scheduling.  Internally it is built **over federated technology** (a
+  single-site :class:`~repro.federation.engine.FederatedEngine`) -- the
+  paper itself notes "there is no reason not to build data warehouses over
+  federated database technology" -- so SQL over the warehouse costs exactly
+  the same machinery as SQL over the federation, isolating *policy*
+  (fetch-in-advance vs on-demand) as the only experimental variable.
+"""
+
+from repro.warehouse.etl import EtlJob, EtlRun
+from repro.warehouse.warehouse import Warehouse
+
+__all__ = ["EtlJob", "EtlRun", "Warehouse"]

@@ -1,0 +1,121 @@
+"""Cohera Workbench analog: mapping, transformation and syndication tooling.
+
+The Workbench is where content managers "model, map, transform and syndicate
+content" (§4).  Each module here is one of its tools:
+
+* :mod:`repro.workbench.transforms` -- a declarative transform pipeline
+  (Characteristic 2's homogenization), with a scripting escape hatch.
+* :mod:`repro.workbench.lineage` -- per-row, per-column provenance carried
+  through every pipeline, preserving the data independence the paper says
+  ETL tools "gave up on" (§3.2 C5).
+* :mod:`repro.workbench.normalize` -- currency, unit and delivery-time
+  semantics (dollars vs francs, "two day delivery").
+* :mod:`repro.workbench.synonyms` -- synonym tables ("India ink" = "black
+  ink").
+* :mod:`repro.workbench.taxonomy` -- hierarchical taxonomies (UN/SPSC-like)
+  with browse, search and query expansion (Characteristic 3).
+* :mod:`repro.workbench.matching` -- the semi-automatic taxonomy and schema
+  matcher: system suggestions + human accept/edit, the loop §3.1 C3 calls
+  "absolutely critical".
+* :mod:`repro.workbench.discrepancy` -- rules that detect data problems and
+  guide the content manager through fixing them.
+* :mod:`repro.workbench.syndication` -- custom syndication: buyer-dependent
+  pricing/availability rules and per-recipient output formats
+  (Characteristic 4).
+"""
+
+from repro.workbench.discrepancy import (
+    CrossFieldRule,
+    DiscrepancyDetector,
+    DiscrepancyReport,
+    DuplicateKeyRule,
+    FormatRule,
+    MissingValueRule,
+    RangeRule,
+)
+from repro.workbench.lineage import Lineage, RowOrigin
+from repro.workbench.matching import (
+    MatchDecision,
+    MatchSession,
+    MatchSuggestion,
+    SchemaMatcher,
+    TaxonomyMatcher,
+)
+from repro.workbench.normalize import (
+    CurrencyNormalizer,
+    DeliveryPolicy,
+    DeliveryTimeNormalizer,
+    UnitNormalizer,
+)
+from repro.workbench.synonyms import SynonymTable
+from repro.workbench.taxonomy import Taxonomy, TaxonomyNode
+from repro.workbench.transforms import (
+    AddColumn,
+    CastColumn,
+    DropColumns,
+    FilterRows,
+    MapColumn,
+    MergeColumns,
+    Pipeline,
+    ProjectColumns,
+    RenameColumns,
+    ScriptStep,
+    SplitColumn,
+)
+from repro.workbench.syndication import (
+    AvailabilityRule,
+    PricingRule,
+    Recipient,
+    Syndicator,
+)
+from repro.workbench.workflow import (
+    StepResult,
+    Workflow,
+    WorkflowContext,
+    WorkflowRun,
+    WorkflowStep,
+)
+
+__all__ = [
+    "CrossFieldRule",
+    "DiscrepancyDetector",
+    "DiscrepancyReport",
+    "DuplicateKeyRule",
+    "FormatRule",
+    "MissingValueRule",
+    "RangeRule",
+    "Lineage",
+    "RowOrigin",
+    "MatchDecision",
+    "MatchSession",
+    "MatchSuggestion",
+    "SchemaMatcher",
+    "TaxonomyMatcher",
+    "CurrencyNormalizer",
+    "DeliveryPolicy",
+    "DeliveryTimeNormalizer",
+    "UnitNormalizer",
+    "SynonymTable",
+    "Taxonomy",
+    "TaxonomyNode",
+    "AddColumn",
+    "CastColumn",
+    "DropColumns",
+    "FilterRows",
+    "MapColumn",
+    "MergeColumns",
+    "Pipeline",
+    "ProjectColumns",
+    "RenameColumns",
+    "ScriptStep",
+    "SplitColumn",
+    "AvailabilityRule",
+    "PricingRule",
+    "Recipient",
+    "Syndicator",
+    "StepResult",
+    "Workflow",
+    "WorkflowContext",
+    "WorkflowRun",
+    "WorkflowStep",
+]

@@ -1,0 +1,234 @@
+"""Custom syndication: buyer-dependent content and per-recipient formats.
+
+Characteristic 4: "many sellers have pricing schemes that are
+buyer-dependent ... in some cases seats are 'made available' to top-tier
+customers even when there are no seats left ... both pricing and
+availability can be functionally specified by business rules."  And on
+formatting: integrators may accept whatever arrives ("receiver-makes-right")
+or legislate an XML format suppliers must produce ("sender-makes-right").
+
+* :class:`PricingRule` / :class:`AvailabilityRule` -- ordered business rules
+  keyed on the recipient and the row.
+* :class:`Recipient` -- a buyer (tier, currency, output format, optionally a
+  legislated XML format).
+* :class:`Syndicator` -- applies the matching rules and renders the chosen
+  format: relational rows, CSV, canonical XML, or the recipient's
+  legislated XML.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import SyndicationError
+from repro.core.records import Table
+from repro.xmlkit.model import XmlElement
+
+RowDict = dict[str, Any]
+
+
+@dataclass(frozen=True)
+class LegislatedFormat:
+    """A sender-makes-right XML contract: tags plus output->source mapping."""
+
+    root_tag: str
+    row_tag: str
+    field_map: dict[str, str]  # output element name -> source column
+
+
+@dataclass
+class Recipient:
+    """One buyer receiving a syndicated catalog."""
+
+    name: str
+    tier: str = "standard"  # e.g. standard | preferred | platinum
+    currency: str = "USD"
+    output_format: str = "rows"  # rows | csv | xml
+    legislated: LegislatedFormat | None = None
+
+
+@dataclass
+class PricingRule:
+    """Adjusts price when ``applies(recipient, row)`` holds.
+
+    Matching rules compose in ascending ``priority`` order (lower first),
+    each transforming the price produced by the previous one.
+    """
+
+    name: str
+    applies: Callable[[Recipient, RowDict], bool]
+    adjust: Callable[[float, RowDict], float]
+    priority: int = 100
+
+    @classmethod
+    def tier_discount(cls, tier: str, percent: float, priority: int = 100) -> "PricingRule":
+        """Convenience: ``percent``% off for one tier."""
+        factor = 1.0 - percent / 100.0
+        return cls(
+            name=f"{tier}-{percent:g}pct-discount",
+            applies=lambda recipient, row: recipient.tier == tier,
+            adjust=lambda price, row: price * factor,
+            priority=priority,
+        )
+
+
+@dataclass
+class AvailabilityRule:
+    """Adjusts the quantity shown when ``applies(recipient, row)`` holds."""
+
+    name: str
+    applies: Callable[[Recipient, RowDict], bool]
+    adjust: Callable[[int, RowDict], int]
+    priority: int = 100
+
+    @classmethod
+    def bump_for_tier(cls, tier: str, reserve_column: str = "reserve_qty", priority: int = 100) -> "AvailabilityRule":
+        """The airline "bumping" rule: when sold out, top-tier buyers still
+        see the reserve held back for them."""
+        return cls(
+            name=f"bump-{tier}",
+            applies=lambda recipient, row: recipient.tier == tier,
+            adjust=lambda qty, row: qty if qty > 0 else int(row.get(reserve_column) or 0),
+            priority=priority,
+        )
+
+
+@dataclass
+class SyndicationResult:
+    """The syndicated table plus its rendered payload."""
+
+    recipient: str
+    table: Table
+    payload: Any  # Table | str (csv) | XmlElement
+    output_format: str
+
+
+class Syndicator:
+    """Applies business rules and renders recipient-specific output."""
+
+    def __init__(
+        self,
+        pricing_rules: list[PricingRule] | None = None,
+        availability_rules: list[AvailabilityRule] | None = None,
+        exchange_rates: dict[str, float] | None = None,
+        price_column: str = "price",
+        qty_column: str = "qty",
+        currency_column: str = "currency",
+    ) -> None:
+        """``exchange_rates[c]`` is reference units per one unit of currency
+        ``c`` (any reference works; only ratios are used).  When provided and
+        the table has a ``currency_column``, each recipient receives prices
+        in their own currency."""
+        self.pricing_rules = sorted(pricing_rules or [], key=lambda r: (r.priority, r.name))
+        self.availability_rules = sorted(
+            availability_rules or [], key=lambda r: (r.priority, r.name)
+        )
+        self.exchange_rates = {
+            c.upper(): r for c, r in (exchange_rates or {}).items()
+        }
+        self.price_column = price_column
+        self.qty_column = qty_column
+        self.currency_column = currency_column
+
+    def _convert_currency(self, row: RowDict, recipient: Recipient) -> None:
+        source = row.get(self.currency_column)
+        price = row.get(self.price_column)
+        target = recipient.currency.upper()
+        if not self.exchange_rates or source is None or price is None:
+            return
+        source = str(source).upper()
+        if source == target:
+            return
+        if source not in self.exchange_rates or target not in self.exchange_rates:
+            raise SyndicationError(
+                f"no exchange rate to convert {source} -> {target} "
+                f"for recipient {recipient.name!r}"
+            )
+        row[self.price_column] = price * self.exchange_rates[source] / self.exchange_rates[target]
+        row[self.currency_column] = target
+
+    # -- rule application ----------------------------------------------------
+
+    def _adjusted_rows(self, table: Table, recipient: Recipient) -> list[RowDict]:
+        rows = table.to_dicts()
+        for row in rows:
+            self._convert_currency(row, recipient)
+            price = row.get(self.price_column)
+            if price is not None:
+                for rule in self.pricing_rules:
+                    if rule.applies(recipient, row):
+                        price = rule.adjust(price, row)
+                row[self.price_column] = round(price, 4)
+            qty = row.get(self.qty_column)
+            if qty is not None:
+                for rule in self.availability_rules:
+                    if rule.applies(recipient, row):
+                        qty = rule.adjust(qty, row)
+                row[self.qty_column] = qty
+        return rows
+
+    # -- rendering ------------------------------------------------------------
+
+    def syndicate(self, table: Table, recipient: Recipient) -> SyndicationResult:
+        """Produce ``recipient``'s personalized view of ``table``."""
+        rows = self._adjusted_rows(table, recipient)
+        adjusted = Table.from_dicts(table.schema, rows)
+
+        if recipient.output_format == "rows":
+            payload: Any = adjusted
+        elif recipient.output_format == "csv":
+            payload = self._to_csv(adjusted)
+        elif recipient.output_format == "xml":
+            payload = self._to_xml(adjusted, recipient)
+        else:
+            raise SyndicationError(
+                f"recipient {recipient.name!r} wants unknown format "
+                f"{recipient.output_format!r}"
+            )
+        return SyndicationResult(recipient.name, adjusted, payload, recipient.output_format)
+
+    def _to_csv(self, table: Table) -> str:
+        def cell(value: Any) -> str:
+            text = "" if value is None else str(value)
+            if any(c in text for c in ',"\n'):
+                text = '"' + text.replace('"', '""') + '"'
+            return text
+
+        lines = [",".join(table.schema.field_names)]
+        for row in table.rows:
+            lines.append(",".join(cell(v) for v in row))
+        return "\n".join(lines) + "\n"
+
+    def _to_xml(self, table: Table, recipient: Recipient) -> XmlElement:
+        if recipient.legislated is not None:
+            return self._to_legislated_xml(table, recipient.legislated)
+        root = XmlElement("catalog", {"recipient": recipient.name})
+        for row in table.to_dicts():
+            item = root.element("item")
+            for name, value in row.items():
+                child = item.element(name)
+                if value is not None:
+                    child.append(str(value))
+        return root
+
+    def _to_legislated_xml(self, table: Table, contract: LegislatedFormat) -> XmlElement:
+        missing = [
+            column
+            for column in contract.field_map.values()
+            if not table.schema.has_field(column)
+        ]
+        if missing:
+            raise SyndicationError(
+                f"legislated format needs source columns {missing!r} "
+                "that the catalog does not have (supplier enablement gap)"
+            )
+        root = XmlElement(contract.root_tag)
+        for row in table.to_dicts():
+            element = root.element(contract.row_tag)
+            for output_name, column in contract.field_map.items():
+                child = element.element(output_name)
+                value = row[column]
+                if value is not None:
+                    child.append(str(value))
+        return root

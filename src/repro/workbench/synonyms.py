@@ -1,0 +1,94 @@
+"""Synonym tables.
+
+"A query for 'India ink' should return the same answer as one for 'black
+ink'" (§3.2 C7).  A :class:`SynonymTable` holds equivalence groups of terms
+or phrases; lookups are case-insensitive and whitespace-normalized.  The
+table doubles as a *data-driven mapping* for the transform pipeline
+(Characteristic 2's "synonym tables ... form another step in data
+integration"): :meth:`canonical` rewrites any member to its group's
+canonical term.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def _normalize(term: str) -> str:
+    return " ".join(term.lower().split())
+
+
+class SynonymTable:
+    """Equivalence groups of terms, with a canonical member per group."""
+
+    def __init__(self) -> None:
+        self._group_of: dict[str, int] = {}
+        self._groups: list[list[str]] = []
+        self._canonical: list[str] = []
+
+    def add_group(self, terms: Iterable[str], canonical: str | None = None) -> None:
+        """Register an equivalence group.
+
+        ``canonical`` defaults to the first term.  If any term already
+        belongs to a group, the groups are merged (the existing canonical
+        wins unless ``canonical`` is given explicitly).
+        """
+        normalized = [_normalize(t) for t in terms if _normalize(t)]
+        if not normalized:
+            raise ValueError("synonym group needs at least one non-empty term")
+        canonical_term = _normalize(canonical) if canonical else normalized[0]
+
+        existing_groups = {
+            self._group_of[t] for t in normalized if t in self._group_of
+        }
+        if existing_groups:
+            target = min(existing_groups)
+            # Merge any other touched groups into the target.
+            for group_id in sorted(existing_groups - {target}, reverse=True):
+                for term in self._groups[group_id]:
+                    self._group_of[term] = target
+                self._groups[target].extend(self._groups[group_id])
+                self._groups[group_id] = []
+        else:
+            target = len(self._groups)
+            self._groups.append([])
+            self._canonical.append(canonical_term)
+
+        for term in normalized:
+            if term not in self._group_of:
+                self._group_of[term] = target
+                self._groups[target].append(term)
+        if canonical:
+            self._canonical[target] = canonical_term
+            if canonical_term not in self._group_of:
+                self._group_of[canonical_term] = target
+                self._groups[target].append(canonical_term)
+
+    def expand(self, term: str) -> set[str]:
+        """All members of ``term``'s group (or just the term if unknown)."""
+        normalized = _normalize(term)
+        group_id = self._group_of.get(normalized)
+        if group_id is None:
+            return {normalized} if normalized else set()
+        return set(self._groups[group_id])
+
+    def canonical(self, term: str) -> str:
+        """The canonical member of ``term``'s group (the term if unknown)."""
+        normalized = _normalize(term)
+        group_id = self._group_of.get(normalized)
+        if group_id is None:
+            return normalized
+        return self._canonical[group_id]
+
+    def are_synonyms(self, a: str, b: str) -> bool:
+        normalized_a, normalized_b = _normalize(a), _normalize(b)
+        if normalized_a == normalized_b:
+            return True
+        group_a = self._group_of.get(normalized_a)
+        return group_a is not None and group_a == self._group_of.get(normalized_b)
+
+    def __len__(self) -> int:
+        return sum(1 for g in self._groups if g)
+
+    def __contains__(self, term: str) -> bool:
+        return _normalize(term) in self._group_of

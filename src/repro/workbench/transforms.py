@@ -1,0 +1,379 @@
+"""The declarative transform pipeline.
+
+Characteristic 2 asks for a spectrum of transformation mechanisms: "simple
+transformations ... specified using a simple drag-and-drop GUI, while more
+complex ones could use a scripting language ... ultimately, one must be able
+to construct general transformations in a conventional programming
+language."  A :class:`Pipeline` is the engine under all three: its steps are
+declarative objects (what a GUI would emit), :class:`MapColumn` and
+:class:`AddColumn` accept arbitrary Python callables (the scripting level),
+and :class:`ScriptStep` is the full-programming-language escape hatch.
+
+Every step knows how to update the run's :class:`~repro.workbench.lineage.
+Lineage`; only :class:`ScriptStep` can break row provenance, and only when
+it changes the row count -- making the paper's ETL-versus-declarative
+lineage argument directly measurable (E10).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Sequence
+
+from repro.core.errors import TransformError
+from repro.core.records import Row, Table
+from repro.core.schema import DataType, Field, Schema
+from repro.workbench.lineage import Lineage
+
+
+class TransformStep(abc.ABC):
+    """One declarative transformation over a table."""
+
+    @abc.abstractmethod
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        """Return the transformed table, updating ``lineage`` in place."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One line shown in lineage explanations and GUIs."""
+
+
+class RenameColumns(TransformStep):
+    """Rename columns per an old -> new mapping."""
+
+    def __init__(self, mapping: dict[str, str]) -> None:
+        self.mapping = dict(mapping)
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        renamed = table.extended()
+        renamed.schema = table.schema.rename_fields(self.mapping)
+        for old, new in self.mapping.items():
+            lineage.record_rename(old, new, self.describe())
+        return renamed
+
+    def describe(self) -> str:
+        pairs = ", ".join(f"{o}->{n}" for o, n in sorted(self.mapping.items()))
+        return f"rename({pairs})"
+
+
+class ProjectColumns(TransformStep):
+    """Keep only the named columns, in the given order."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = list(names)
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        dropped = tuple(n for n in table.schema.field_names if n not in self.names)
+        lineage.record_drop(dropped)
+        return table.project(self.names)
+
+    def describe(self) -> str:
+        return f"project({', '.join(self.names)})"
+
+
+class DropColumns(TransformStep):
+    """Remove the named columns."""
+
+    def __init__(self, names: Sequence[str]) -> None:
+        self.names = list(names)
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        keep = [n for n in table.schema.field_names if n not in set(self.names)]
+        lineage.record_drop(tuple(self.names))
+        return table.project(keep)
+
+    def describe(self) -> str:
+        return f"drop({', '.join(self.names)})"
+
+
+_DEFAULT_CASTERS: dict[DataType, Callable[[Any], Any]] = {
+    DataType.STRING: str,
+    DataType.TEXT: str,
+    DataType.INTEGER: lambda v: int(float(v)),
+    DataType.FLOAT: float,
+    DataType.TIMESTAMP: float,
+    DataType.BOOLEAN: lambda v: str(v).lower() in ("true", "yes", "1"),
+}
+
+
+class CastColumn(TransformStep):
+    """Cast one column to a data type, optionally with a custom converter.
+
+    None passes through; conversion failures raise
+    :class:`~repro.core.errors.TransformError` with the offending value.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        converter: Callable[[Any], Any] | None = None,
+    ) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.converter = converter or _DEFAULT_CASTERS.get(dtype)
+        if self.converter is None:
+            raise TransformError(
+                f"no default converter to {dtype.value}; pass one explicitly"
+            )
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        index = table.schema.index_of(self.name)
+        new_rows = []
+        for row in table.rows:
+            value = row[index]
+            if value is not None:
+                try:
+                    value = self.converter(value)
+                except Exception as error:
+                    raise TransformError(
+                        f"cannot cast {row[index]!r} in column {self.name!r} "
+                        f"to {self.dtype.value}: {error}"
+                    ) from error
+            new_rows.append(row[:index] + (value,) + row[index + 1:])
+        new_field = Field(self.name, self.dtype, nullable=True)
+        fields = list(table.schema.fields)
+        fields[index] = new_field
+        result = Table(Schema(table.schema.name, tuple(fields)), validate=False)
+        result.rows = new_rows
+        lineage.record_derivation(self.name, (self.name,), self.describe())
+        return result
+
+    def describe(self) -> str:
+        return f"cast({self.name} as {self.dtype.value})"
+
+
+class MapColumn(TransformStep):
+    """Apply a function to one column's values (None passes through)."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any], Any],
+        description: str = "",
+        dtype: DataType | None = None,
+    ) -> None:
+        self.name = name
+        self.fn = fn
+        self.description = description or f"map({name})"
+        self.dtype = dtype
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        index = table.schema.index_of(self.name)
+        new_rows = [
+            row[:index]
+            + ((self.fn(row[index]) if row[index] is not None else None),)
+            + row[index + 1:]
+            for row in table.rows
+        ]
+        fields = list(table.schema.fields)
+        if self.dtype is not None:
+            fields[index] = Field(self.name, self.dtype, nullable=True)
+        result = Table(Schema(table.schema.name, tuple(fields)), validate=False)
+        result.rows = new_rows
+        lineage.record_derivation(self.name, (self.name,), self.describe())
+        return result
+
+    def describe(self) -> str:
+        return self.description
+
+
+class AddColumn(TransformStep):
+    """Append a computed column (the function sees the whole row)."""
+
+    def __init__(
+        self,
+        name: str,
+        dtype: DataType,
+        fn: Callable[[Row], Any],
+        inputs: Sequence[str] = (),
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.dtype = dtype
+        self.fn = fn
+        self.inputs = tuple(inputs)
+        self.description = description or f"add({name})"
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        schema = table.schema.extend([Field(self.name, self.dtype, nullable=True)])
+        result = Table(schema, validate=False)
+        result.rows = [
+            row + (self.fn(Row(table.schema, row)),) for row in table.rows
+        ]
+        lineage.record_derivation(self.name, self.inputs, self.describe())
+        return result
+
+    def describe(self) -> str:
+        return self.description
+
+
+class SplitColumn(TransformStep):
+    """Split one string column into several new columns."""
+
+    def __init__(
+        self,
+        name: str,
+        into: Sequence[str],
+        splitter: "Callable[[str], Sequence[Any]] | str" = " ",
+        drop_source: bool = True,
+    ) -> None:
+        self.name = name
+        self.into = list(into)
+        self.splitter = splitter
+        self.drop_source = drop_source
+
+    def _split(self, value: str) -> list[Any]:
+        if callable(self.splitter):
+            parts = list(self.splitter(value))
+        else:
+            parts = value.split(self.splitter)
+        parts = parts[:len(self.into)]
+        parts.extend([None] * (len(self.into) - len(parts)))
+        return parts
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        index = table.schema.index_of(self.name)
+        new_fields = [Field(n, DataType.STRING, nullable=True) for n in self.into]
+        schema = table.schema.extend(new_fields)
+        result = Table(schema, validate=False)
+        result.rows = [
+            row + tuple(self._split(row[index]) if row[index] is not None else [None] * len(self.into))
+            for row in table.rows
+        ]
+        for new_name in self.into:
+            lineage.record_derivation(new_name, (self.name,), self.describe())
+        if self.drop_source:
+            return DropColumns([self.name]).apply(result, lineage)
+        return result
+
+    def describe(self) -> str:
+        return f"split({self.name} into {', '.join(self.into)})"
+
+
+class MergeColumns(TransformStep):
+    """Combine several columns into one new column."""
+
+    def __init__(
+        self,
+        inputs: Sequence[str],
+        output: str,
+        joiner: "Callable[[Sequence[Any]], Any] | str" = " ",
+        dtype: DataType = DataType.STRING,
+        drop_inputs: bool = True,
+    ) -> None:
+        self.inputs = list(inputs)
+        self.output = output
+        self.joiner = joiner
+        self.dtype = dtype
+        self.drop_inputs = drop_inputs
+
+    def _join(self, values: Sequence[Any]) -> Any:
+        if callable(self.joiner):
+            return self.joiner(values)
+        return self.joiner.join("" if v is None else str(v) for v in values)
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        indexes = [table.schema.index_of(n) for n in self.inputs]
+        schema = table.schema.extend([Field(self.output, self.dtype, nullable=True)])
+        result = Table(schema, validate=False)
+        result.rows = [
+            row + (self._join([row[i] for i in indexes]),) for row in table.rows
+        ]
+        lineage.record_derivation(self.output, tuple(self.inputs), self.describe())
+        if self.drop_inputs:
+            return DropColumns(self.inputs).apply(result, lineage)
+        return result
+
+    def describe(self) -> str:
+        return f"merge({', '.join(self.inputs)} into {self.output})"
+
+
+class FilterRows(TransformStep):
+    """Keep only rows satisfying a predicate."""
+
+    def __init__(self, predicate: Callable[[Row], bool], description: str = "") -> None:
+        self.predicate = predicate
+        self.description = description or "filter(rows)"
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        kept_indices = [
+            i
+            for i, values in enumerate(table.rows)
+            if self.predicate(Row(table.schema, values))
+        ]
+        result = Table(table.schema, validate=False)
+        result.rows = [table.rows[i] for i in kept_indices]
+        lineage.record_filter(kept_indices, self.describe())
+        return result
+
+    def describe(self) -> str:
+        return self.description
+
+
+class ScriptStep(TransformStep):
+    """The escape hatch: an arbitrary table-to-table function.
+
+    Column lineage is annotated with the script name on every column; if the
+    script changes the row count, row provenance cannot be maintained and
+    the lineage is marked broken -- exactly the property that distinguishes
+    a pile of ETL code from declarative transforms (§3.2 C5).
+    """
+
+    def __init__(self, fn: Callable[[Table], Table], description: str = "script") -> None:
+        self.fn = fn
+        self.description = description
+
+    def apply(self, table: Table, lineage: Lineage) -> Table:
+        result = self.fn(table)
+        if not isinstance(result, Table):
+            raise TransformError(
+                f"script step {self.description!r} must return a Table"
+            )
+        before_columns = set(table.schema.field_names)
+        after_columns = set(result.schema.field_names)
+        lineage.record_drop(tuple(before_columns - after_columns))
+        for name in sorted(after_columns):
+            if name in before_columns:
+                lineage.record_derivation(name, (name,), self.describe())
+            else:
+                lineage.record_derivation(name, (), self.describe())
+        if len(result) != len(table):
+            lineage.mark_broken(self.description)
+        return result
+
+    def describe(self) -> str:
+        return f"script({self.description})"
+
+
+class TransformResult:
+    """A pipeline run's output table plus its lineage."""
+
+    def __init__(self, table: Table, lineage: Lineage) -> None:
+        self.table = table
+        self.lineage = lineage
+
+
+class Pipeline:
+    """An ordered list of transform steps applied as one unit."""
+
+    def __init__(self, name: str, steps: Sequence[TransformStep] = ()) -> None:
+        self.name = name
+        self.steps: list[TransformStep] = list(steps)
+
+    def add(self, step: TransformStep) -> "Pipeline":
+        self.steps.append(step)
+        return self
+
+    def run(self, table: Table, source_name: str | None = None) -> TransformResult:
+        """Apply every step, threading lineage through."""
+        lineage = Lineage(
+            source_name or table.schema.name, len(table), table.schema.field_names
+        )
+        current = table
+        for step in self.steps:
+            current = step.apply(current, lineage)
+        return TransformResult(current, lineage)
+
+    def describe(self) -> list[str]:
+        return [step.describe() for step in self.steps]

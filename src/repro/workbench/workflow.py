@@ -1,0 +1,129 @@
+"""Multi-step content workflows.
+
+Characteristic 2: "some transformations require a multi-step workflow.  A
+transformation infrastructure that supports all these options is
+important."  And §4 describes the Workbench as "a graphical content
+workflow".
+
+A :class:`Workflow` is a DAG of named steps.  Each step's action receives a
+shared :class:`WorkflowContext` (a dict-like scratchpad carrying tables,
+reports, whatever the steps exchange) plus the outputs of the steps it
+depends on.  Running a workflow executes steps in dependency order; a
+failing step marks its transitive dependents *skipped* rather than
+aborting the whole run, so a content manager sees everything that could
+still be done (one supplier's broken feed must not stall the other 59,999).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import TransformError
+
+
+class WorkflowContext(dict):
+    """Shared scratchpad passed to every step."""
+
+
+StepAction = Callable[[WorkflowContext, dict[str, Any]], Any]
+
+
+@dataclass
+class WorkflowStep:
+    name: str
+    action: StepAction
+    depends_on: tuple[str, ...] = ()
+
+
+@dataclass
+class StepResult:
+    name: str
+    status: str  # "ok" | "failed" | "skipped"
+    output: Any = None
+    error: str = ""
+
+
+@dataclass
+class WorkflowRun:
+    """The record of one execution."""
+
+    workflow: str
+    results: dict[str, StepResult] = field(default_factory=dict)
+
+    def output_of(self, name: str) -> Any:
+        result = self.results[name]
+        if result.status != "ok":
+            raise TransformError(
+                f"step {name!r} did not complete (status {result.status!r})"
+            )
+        return result.output
+
+    @property
+    def succeeded(self) -> bool:
+        return all(r.status == "ok" for r in self.results.values())
+
+    def counts(self) -> dict[str, int]:
+        tally = {"ok": 0, "failed": 0, "skipped": 0}
+        for result in self.results.values():
+            tally[result.status] += 1
+        return tally
+
+
+class Workflow:
+    """A named DAG of content-processing steps."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._steps: dict[str, WorkflowStep] = {}
+
+    def step(
+        self, name: str, depends_on: "list[str] | tuple[str, ...]" = ()
+    ) -> Callable[[StepAction], StepAction]:
+        """Decorator registration: ``@workflow.step("normalize", ["scrape"])``."""
+
+        def register(action: StepAction) -> StepAction:
+            self.add_step(WorkflowStep(name, action, tuple(depends_on)))
+            return action
+
+        return register
+
+    def add_step(self, step: WorkflowStep) -> None:
+        if step.name in self._steps:
+            raise TransformError(f"duplicate workflow step {step.name!r}")
+        for dependency in step.depends_on:
+            if dependency not in self._steps:
+                raise TransformError(
+                    f"step {step.name!r} depends on unknown step {dependency!r} "
+                    "(add dependencies before dependents)"
+                )
+        self._steps[step.name] = step
+
+    def topological_order(self) -> list[str]:
+        """Steps in a valid execution order (insertion order is one, since
+        dependencies must exist at registration time)."""
+        return list(self._steps)
+
+    def run(self, context: WorkflowContext | None = None) -> WorkflowRun:
+        """Execute the DAG; failures skip their transitive dependents."""
+        context = context if context is not None else WorkflowContext()
+        run = WorkflowRun(self.name)
+        for name in self.topological_order():
+            step = self._steps[name]
+            blocked = [
+                d for d in step.depends_on if run.results[d].status != "ok"
+            ]
+            if blocked:
+                run.results[name] = StepResult(
+                    name, "skipped",
+                    error=f"upstream not ok: {', '.join(sorted(blocked))}",
+                )
+                continue
+            upstream = {d: run.results[d].output for d in step.depends_on}
+            try:
+                output = step.action(context, upstream)
+            except Exception as error:  # a step failing is data, not a crash
+                run.results[name] = StepResult(name, "failed", error=str(error))
+                continue
+            run.results[name] = StepResult(name, "ok", output=output)
+        return run

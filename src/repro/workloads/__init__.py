@@ -1,0 +1,32 @@
+"""Workload generators mirroring the paper's three vignettes (§1.2).
+
+* :mod:`repro.workloads.mro` -- the MRO-distributor catalog: many suppliers
+  with messy product names, mixed currencies/formats, and their own
+  taxonomies to be mapped onto a UN/SPSC-like master.
+* :mod:`repro.workloads.hotels` -- the Atlanta-traveler scenario: ~fifty
+  chain reservation systems with static amenity data and volatile room
+  availability and rates.
+* :mod:`repro.workloads.supplychain` -- the manufacturer scenario: a tiered
+  supplier network with capacities and unstructured contract documents.
+* :mod:`repro.workloads.queries` -- query mixes and arrival processes for
+  the load/scaling experiments.
+
+All generators are seeded and deterministic.
+"""
+
+from repro.workloads.hotels import HotelMarket, generate_hotels
+from repro.workloads.mro import MroWorkload, SupplierSpec, generate_mro
+from repro.workloads.queries import QueryMix, poisson_arrivals
+from repro.workloads.supplychain import SupplyChain, generate_supply_chain
+
+__all__ = [
+    "HotelMarket",
+    "generate_hotels",
+    "MroWorkload",
+    "SupplierSpec",
+    "generate_mro",
+    "QueryMix",
+    "poisson_arrivals",
+    "SupplyChain",
+    "generate_supply_chain",
+]

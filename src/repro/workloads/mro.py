@@ -1,0 +1,274 @@
+"""The MRO catalog workload.
+
+"Consider a large distributor of so-called 'MRO' goods ... a large MRO
+distributor typically has thousands of suppliers.  Hence the distributor
+must integrate the individual catalogs from each of its suppliers" (§1.2).
+
+:func:`generate_mro` builds that world deterministically from a seed: a
+UN/SPSC-like master taxonomy, a base vocabulary of canonical products with
+real-world synonym sets (including the paper's "India ink" example), and a
+set of suppliers who each sell a corrupted slice of the vocabulary -- their
+own names for things, their own currencies and price formats, their own
+site layouts, and their own taxonomy labels with a known ground-truth
+mapping to the master.  Every integration tool in the workbench has
+something to chew on, and every benchmark can score itself against the
+ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.workbench.synonyms import SynonymTable
+from repro.workbench.taxonomy import Taxonomy
+
+# (canonical name, master category code, synonym names)
+BASE_PRODUCTS: list[tuple[str, str, list[str]]] = [
+    ("black ink", "44.10.1", ["india ink", "fountain pen ink, black"]),
+    ("blue ink", "44.10.1", ["washable blue ink"]),
+    ("pencil lead refills", "44.10.2", ["mechanical pencil lead"]),
+    ("ballpoint pen", "44.12.1", ["biro", "stick pen"]),
+    ("permanent marker", "44.12.2", ["felt marker"]),
+    ("copy paper", "44.20.1", ["xerographic paper", "printer paper"]),
+    ("legal pad", "44.20.2", ["ruled writing pad"]),
+    ("manila folder", "44.20.3", ["file folder"]),
+    ("cordless drill", "27.11.1", ["battery drill", "cordless power drill"]),
+    ("hammer drill", "27.11.2", ["percussion drill"]),
+    ("drill press", "27.11.3", ["bench drill"]),
+    ("hex bolt", "31.16.1", ["hexagon bolt", "hex head cap screw"]),
+    ("lock washer", "31.16.2", ["split washer"]),
+    ("machine screw", "31.16.3", ["pan head screw"]),
+    ("incandescent lightbulb", "39.10.1", ["filament bulb", "light bulb"]),
+    ("fluorescent tube", "39.10.2", ["strip light"]),
+    ("halogen lamp", "39.10.3", ["halogen bulb"]),
+    ("safety goggles", "46.18.1", ["protective eyewear", "safety glasses"]),
+    ("work gloves", "46.18.2", ["leather gloves"]),
+    ("hard hat", "46.18.3", ["safety helmet"]),
+    ("forklift", "24.10.1", ["lift truck", "fork truck"]),
+    ("hand truck", "24.10.2", ["dolly", "sack truck"]),
+    ("pallet jack", "24.10.3", ["pallet truck"]),
+    ("packing tape", "31.20.1", ["carton sealing tape"]),
+    ("stretch wrap", "31.20.2", ["pallet wrap"]),
+]
+
+MASTER_CATEGORIES: list[tuple[str, str, str | None]] = [
+    ("44", "Office supplies", None),
+    ("44.10", "Ink and lead refills", "44"),
+    ("44.10.1", "India ink", "44.10"),
+    ("44.10.2", "Pencil lead", "44.10"),
+    ("44.12", "Writing instruments", "44"),
+    ("44.12.1", "Pens", "44.12"),
+    ("44.12.2", "Markers", "44.12"),
+    ("44.20", "Paper products", "44"),
+    ("44.20.1", "Copy paper", "44.20"),
+    ("44.20.2", "Writing pads", "44.20"),
+    ("44.20.3", "Folders", "44.20"),
+    ("27", "Tools and machinery", None),
+    ("27.11", "Power drills", "27"),
+    ("27.11.1", "Cordless drills", "27.11"),
+    ("27.11.2", "Hammer drills", "27.11"),
+    ("27.11.3", "Drill presses", "27.11"),
+    ("31", "Hardware and packaging", None),
+    ("31.16", "Fasteners", "31"),
+    ("31.16.1", "Bolts", "31.16"),
+    ("31.16.2", "Washers", "31.16"),
+    ("31.16.3", "Screws", "31.16"),
+    ("31.20", "Packaging materials", "31"),
+    ("31.20.1", "Tapes", "31.20"),
+    ("31.20.2", "Wraps", "31.20"),
+    ("39", "Lighting", None),
+    ("39.10", "Lamps and bulbs", "39"),
+    ("39.10.1", "Incandescent bulbs", "39.10"),
+    ("39.10.2", "Fluorescent tubes", "39.10"),
+    ("39.10.3", "Halogen lamps", "39.10"),
+    ("46", "Safety equipment", None),
+    ("46.18", "Personal protection", "46"),
+    ("46.18.1", "Eye protection", "46.18"),
+    ("46.18.2", "Hand protection", "46.18"),
+    ("46.18.3", "Head protection", "46.18"),
+    ("24", "Material handling", None),
+    ("24.10", "Industrial trucks", "24"),
+    ("24.10.1", "Forklifts", "24.10"),
+    ("24.10.2", "Hand trucks", "24.10"),
+    ("24.10.3", "Pallet jacks", "24.10"),
+]
+
+CURRENCIES = ["USD", "USD", "USD", "FRF", "EUR", "GBP"]
+PRICE_STYLES = ["symbol", "code-prefix", "code-suffix"]
+LAYOUTS = ["table", "divs", "dl"]
+
+# Wording substitutions suppliers apply to category labels.
+_LABEL_REWRITES = [
+    ("supplies", "products"),
+    ("and", "&"),
+    ("Pens", "Pens & pencils"),
+    ("drills", "drilling tools"),
+    ("bulbs", "light bulbs"),
+    ("protection", "safety gear"),
+]
+
+
+@dataclass
+class SupplierSpec:
+    """One generated supplier: their catalog, formats and taxonomy."""
+
+    name: str
+    currency: str
+    price_style: str
+    layout: str
+    products: list[dict] = field(default_factory=list)
+    taxonomy: Taxonomy | None = None
+    # supplier category code -> master category code (ground truth)
+    truth_mapping: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class MroWorkload:
+    """The full generated MRO world."""
+
+    master_taxonomy: Taxonomy
+    suppliers: list[SupplierSpec]
+    synonyms: SynonymTable
+    exchange_rates: dict[str, float]
+
+    def all_products(self) -> list[dict]:
+        return [p for s in self.suppliers for p in s.products]
+
+
+def build_master_taxonomy() -> Taxonomy:
+    taxonomy = Taxonomy("unspsc-like")
+    for code, label, parent in MASTER_CATEGORIES:
+        taxonomy.add_category(code, label, parent)
+    return taxonomy
+
+
+def build_synonym_table() -> SynonymTable:
+    table = SynonymTable()
+    for canonical, _, synonyms in BASE_PRODUCTS:
+        table.add_group([canonical, *synonyms], canonical=canonical)
+    return table
+
+
+def corrupt_name(rng: random.Random, canonical: str, synonyms: list[str]) -> str:
+    """A supplier's rendition of a product name.
+
+    Draws from the real synonym set, token reorderings ("ink, black"),
+    vowel-dropped abbreviations and single-character typos -- the exact
+    query/catalog mismatches §3.2 C7 requires the integrator to survive.
+    """
+    roll = rng.random()
+    if roll < 0.35:
+        return canonical
+    if roll < 0.60 and synonyms:
+        return rng.choice(synonyms)
+    if roll < 0.75:
+        tokens = canonical.split()
+        if len(tokens) > 1:
+            rng.shuffle(tokens)
+            return ", ".join(tokens) if rng.random() < 0.5 else " ".join(tokens)
+        return canonical
+    if roll < 0.90:
+        return " ".join(
+            "".join(c for c in token if c not in "aeiou") or token
+            for token in canonical.split()
+        )
+    # typo: drop one interior character of one token
+    tokens = canonical.split()
+    index = rng.randrange(len(tokens))
+    token = tokens[index]
+    if len(token) > 3:
+        cut = rng.randrange(1, len(token) - 1)
+        tokens[index] = token[:cut] + token[cut + 1:]
+    return " ".join(tokens)
+
+
+def _supplier_label(rng: random.Random, label: str) -> str:
+    """A supplier's wording of a master category label."""
+    reworded = label
+    for old, new in _LABEL_REWRITES:
+        if old in reworded and rng.random() < 0.6:
+            reworded = reworded.replace(old, new)
+    if rng.random() < 0.2:
+        reworded = reworded + " (misc)"
+    return reworded
+
+
+def _build_supplier_taxonomy(
+    rng: random.Random,
+    master: Taxonomy,
+    used_codes: set[str],
+    supplier_name: str,
+) -> tuple[Taxonomy, dict[str, str]]:
+    """A supplier taxonomy covering their products, with ground truth."""
+    taxonomy = Taxonomy(supplier_name)
+    truth: dict[str, str] = {}
+    needed: set[str] = set()
+    for code in used_codes:
+        node = master.node(code)
+        needed.add(code)
+        needed.update(a.code for a in node.ancestors())
+    counter = 0
+    # Parents before children: master codes sort that way ("44" < "44.10").
+    for code in sorted(needed):
+        node = master.node(code)
+        counter += 1
+        supplier_code = f"{supplier_name[:3].upper()}-{counter:03d}"
+        parent_code = None
+        if node.parent is not None:
+            parent_code = next(
+                (sc for sc, mc in truth.items() if mc == node.parent.code), None
+            )
+        taxonomy.add_category(
+            supplier_code, _supplier_label(rng, node.label), parent_code
+        )
+        truth[supplier_code] = code
+    return taxonomy, truth
+
+
+def generate_mro(
+    seed: int = 0,
+    supplier_count: int = 10,
+    products_per_supplier: int = 40,
+    with_taxonomies: bool = True,
+) -> MroWorkload:
+    """Generate the deterministic MRO world for ``seed``."""
+    rng = random.Random(seed)
+    master = build_master_taxonomy()
+    synonyms = build_synonym_table()
+    rates = {"USD": 1.0, "FRF": 0.14, "EUR": 1.1, "GBP": 1.5}
+
+    suppliers = []
+    for s in range(supplier_count):
+        name = f"supplier-{s:03d}"
+        spec = SupplierSpec(
+            name=name,
+            currency=rng.choice(CURRENCIES),
+            price_style=rng.choice(PRICE_STYLES),
+            layout=rng.choice(LAYOUTS),
+        )
+        used_codes: set[str] = set()
+        for p in range(products_per_supplier):
+            canonical, category, product_synonyms = rng.choice(BASE_PRODUCTS)
+            used_codes.add(category)
+            base_price = round(rng.uniform(0.5, 400.0), 2)
+            spec.products.append(
+                {
+                    "sku": f"{name.upper()}-{p:04d}",
+                    "name": corrupt_name(rng, canonical, product_synonyms),
+                    "canonical_name": canonical,
+                    "category": category,
+                    "price": base_price,
+                    "currency": spec.currency,
+                    "qty": rng.randrange(0, 500),
+                    "supplier": name,
+                    "description": f"{canonical} supplied by {name}; "
+                    f"ships in {rng.randrange(1, 10)} days",
+                }
+            )
+        if with_taxonomies:
+            spec.taxonomy, spec.truth_mapping = _build_supplier_taxonomy(
+                rng, master, used_codes, name
+            )
+        suppliers.append(spec)
+    return MroWorkload(master, suppliers, synonyms, rates)

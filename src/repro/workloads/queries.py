@@ -1,0 +1,64 @@
+"""Query mixes and arrival processes for the load experiments.
+
+The scaling and load-balancing claims (§3.2 C8) are about behaviour *under
+a stream of queries*.  :class:`QueryMix` emits a deterministic, seeded mix
+of point lookups, range scans and aggregates over a catalog table;
+:func:`poisson_arrivals` produces the arrival times of that stream.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+
+def poisson_arrivals(rng: random.Random, rate_per_second: float, horizon: float) -> list[float]:
+    """Arrival timestamps of a Poisson process over [0, horizon)."""
+    if rate_per_second <= 0:
+        raise ValueError(f"rate must be positive, got {rate_per_second!r}")
+    arrivals = []
+    t = rng.expovariate(rate_per_second)
+    while t < horizon:
+        arrivals.append(t)
+        t += rng.expovariate(rate_per_second)
+    return arrivals
+
+
+@dataclass
+class QueryMix:
+    """A seeded generator of SQL texts over one catalog table.
+
+    ``point_weight`` / ``range_weight`` / ``aggregate_weight`` control the
+    mix; SKUs and price bounds are drawn from the ranges the MRO generator
+    uses, so every query has work to do.
+    """
+
+    table: str = "catalog"
+    sku_prefix: str = "SUPPLIER-000-"
+    sku_count: int = 40
+    max_price: float = 400.0
+    point_weight: float = 0.5
+    range_weight: float = 0.3
+    aggregate_weight: float = 0.2
+
+    def next_query(self, rng: random.Random) -> str:
+        roll = rng.random() * (
+            self.point_weight + self.range_weight + self.aggregate_weight
+        )
+        if roll < self.point_weight:
+            sku = f"{self.sku_prefix}{rng.randrange(self.sku_count):04d}"
+            return f"select * from {self.table} where sku = '{sku}'"
+        if roll < self.point_weight + self.range_weight:
+            low = round(rng.uniform(0, self.max_price * 0.8), 2)
+            high = round(low + rng.uniform(5, self.max_price * 0.2), 2)
+            return (
+                f"select sku, price from {self.table} "
+                f"where price >= {low} and price <= {high}"
+            )
+        return (
+            f"select supplier, count(*) as n, avg(price) as avg_price "
+            f"from {self.table} group by supplier"
+        )
+
+    def batch(self, rng: random.Random, count: int) -> list[str]:
+        return [self.next_query(rng) for _ in range(count)]

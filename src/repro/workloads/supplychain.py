@@ -1,0 +1,187 @@
+"""The supply-chain workload.
+
+"Efficient product scheduling requires the entire supply chain to share
+information ... there may be various contract documents among the
+participants in the supply chain ... such unstructured information must be
+integrated as well as possible with structured data" (§1.2).
+
+:func:`generate_supply_chain` builds a tiered supplier network (each company
+buys one unit from *each* of its suppliers per unit produced), with per-
+company capacities and generated contract prose.  The structured side
+answers the paper's scheduling question -- "can I raise production, and by
+how much?" -- via :meth:`SupplyChain.max_production_increase`; the
+unstructured side (contracts) feeds the IR engine so mixed queries
+("which limiting suppliers have an expedite clause?") exercise structured
+and text search together.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.records import Table
+from repro.core.schema import DataType, Field, Schema
+
+COMPANY_SCHEMA = Schema(
+    "companies",
+    (
+        Field("company", DataType.STRING, nullable=False),
+        Field("tier", DataType.INTEGER),
+        Field("capacity", DataType.INTEGER),
+        Field("output", DataType.INTEGER),
+    ),
+)
+
+EDGE_SCHEMA = Schema(
+    "supply_edges",
+    (
+        Field("buyer", DataType.STRING, nullable=False),
+        Field("supplier", DataType.STRING, nullable=False),
+    ),
+)
+
+CONTRACT_SCHEMA = Schema(
+    "contracts",
+    (
+        Field("contract_id", DataType.STRING, nullable=False),
+        Field("buyer", DataType.STRING),
+        Field("supplier", DataType.STRING),
+        Field("body", DataType.TEXT),
+    ),
+)
+
+_CLAUSES = [
+    "price adjustment clause: unit price may be renegotiated when volume "
+    "changes by more than ten percent",
+    "expedite clause: supplier will support schedule increases on five days "
+    "notice for an expedite fee",
+    "exclusivity clause: buyer sources this subassembly solely from supplier",
+    "penalty clause: late delivery incurs liquidated damages per day",
+    "capacity reservation clause: supplier reserves stated capacity for buyer",
+]
+
+
+@dataclass
+class SupplyNode:
+    """One company in the chain."""
+
+    company: str
+    tier: int
+    capacity: int
+    output: int
+    suppliers: list[str] = field(default_factory=list)
+
+    @property
+    def slack(self) -> int:
+        return max(0, self.capacity - self.output)
+
+
+@dataclass
+class SupplyChain:
+    """The whole network plus its contract documents."""
+
+    root: str
+    nodes: dict[str, SupplyNode] = field(default_factory=dict)
+    contracts: list[dict] = field(default_factory=list)
+
+    def max_production_increase(self, company: str | None = None) -> int:
+        """How many extra units the chain can deliver for ``company``.
+
+        Producing one extra unit needs one extra unit from *every* supplier,
+        so the feasible increase is the company's own slack capped by the
+        minimum feasible increase across its suppliers -- the whole-chain
+        information sharing the paper's vignette is about.
+        """
+        name = company or self.root
+        if name not in self.nodes:
+            raise KeyError(f"unknown company {name!r}")
+        memo: dict[str, int] = {}
+
+        def feasible(company_name: str) -> int:
+            if company_name in memo:
+                return memo[company_name]
+            node = self.nodes[company_name]
+            increase = node.slack
+            for supplier in node.suppliers:
+                increase = min(increase, feasible(supplier))
+            memo[company_name] = increase
+            return increase
+
+        return feasible(name)
+
+    def limiting_companies(self, company: str | None = None) -> list[str]:
+        """Companies whose slack equals the chain bottleneck (the constraint)."""
+        bottleneck = self.max_production_increase(company)
+        name = company or self.root
+        limits = []
+        stack = [name]
+        seen = set()
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            node = self.nodes[current]
+            if node.slack == bottleneck:
+                limits.append(current)
+            stack.extend(node.suppliers)
+        return sorted(limits)
+
+    # -- relational + text projections ----------------------------------------
+
+    def companies_table(self) -> Table:
+        rows = [
+            (n.company, n.tier, n.capacity, n.output)
+            for n in sorted(self.nodes.values(), key=lambda n: n.company)
+        ]
+        return Table(COMPANY_SCHEMA, rows)
+
+    def edges_table(self) -> Table:
+        rows = [
+            (node.company, supplier)
+            for node in sorted(self.nodes.values(), key=lambda n: n.company)
+            for supplier in node.suppliers
+        ]
+        return Table(EDGE_SCHEMA, rows)
+
+    def contracts_table(self) -> Table:
+        return Table.from_dicts(CONTRACT_SCHEMA, self.contracts)
+
+
+def generate_supply_chain(
+    seed: int = 0,
+    depth: int = 3,
+    fanout: int = 3,
+) -> SupplyChain:
+    """A deterministic tiered chain: tier 0 is the manufacturer."""
+    rng = random.Random(seed)
+    chain = SupplyChain(root="manufacturer")
+    chain.nodes["manufacturer"] = SupplyNode(
+        "manufacturer", 0, capacity=rng.randrange(120, 180), output=100
+    )
+    frontier = ["manufacturer"]
+    counter = 0
+    for tier in range(1, depth + 1):
+        next_frontier = []
+        for buyer in frontier:
+            for _ in range(fanout):
+                counter += 1
+                name = f"t{tier}-sup{counter:03d}"
+                output = 100
+                capacity = output + rng.randrange(0, 80)
+                chain.nodes[name] = SupplyNode(name, tier, capacity, output)
+                chain.nodes[buyer].suppliers.append(name)
+                clause = rng.choice(_CLAUSES)
+                chain.contracts.append(
+                    {
+                        "contract_id": f"c{counter:03d}",
+                        "buyer": buyer,
+                        "supplier": name,
+                        "body": f"supply agreement between {buyer} and {name}. "
+                        f"{clause}. governed by the laws of delaware.",
+                    }
+                )
+                next_frontier.append(name)
+        frontier = next_frontier
+    return chain

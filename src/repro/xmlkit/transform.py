@@ -1,0 +1,102 @@
+"""Declarative XML transformation in the spirit of XSLT.
+
+The paper notes that "languages like XSLT also help simplify the parsing and
+transformation into a standard format" (§3.1 C1), and Cohera Connect lets
+expert users "customize wrappers directly with XSLT transformations" (§4).
+
+An :class:`XmlTransformer` holds an ordered list of :class:`TemplateRule`
+objects.  Applying the transformer to an element finds the first rule whose
+pattern matches and invokes its template, which builds output nodes --
+usually recursing into children via :meth:`XmlTransformer.apply_children`.
+With no matching rule, the built-in identity rule copies the element and
+recurses, so a transformer with a single rule can rewrite one tag while
+leaving the rest of the document intact (exactly how XSLT stylesheets are
+commonly written).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.xmlkit.model import XmlElement
+
+OutputNodes = Sequence["XmlElement | str"]
+Template = Callable[[XmlElement, "XmlTransformer"], OutputNodes]
+
+
+@dataclass
+class TemplateRule:
+    """A match pattern plus a template producing output nodes.
+
+    ``pattern`` is an element tag name, ``'*'`` (any element), or
+    ``'tag[attr=value]'`` for an attribute-qualified match.
+    """
+
+    pattern: str
+    template: Template
+
+    def matches(self, element: XmlElement) -> bool:
+        pattern = self.pattern
+        if "[" in pattern:
+            tag, _, condition = pattern.partition("[")
+            condition = condition.rstrip("]")
+            name, _, value = condition.partition("=")
+            if element.attrs.get(name.lstrip("@")) != value.strip("'\""):
+                return False
+            pattern = tag
+        return pattern == "*" or element.tag == pattern
+
+
+class XmlTransformer:
+    """An ordered rule set applied recursively over a document."""
+
+    def __init__(self, rules: Sequence[TemplateRule] = ()) -> None:
+        self.rules: list[TemplateRule] = list(rules)
+
+    def rule(self, pattern: str) -> Callable[[Template], Template]:
+        """Decorator form: ``@transformer.rule("price")``."""
+
+        def register(template: Template) -> Template:
+            self.rules.append(TemplateRule(pattern, template))
+            return template
+
+        return register
+
+    def add_rule(self, pattern: str, template: Template) -> None:
+        self.rules.append(TemplateRule(pattern, template))
+
+    # -- application ----------------------------------------------------------
+
+    def apply(self, element: XmlElement) -> list["XmlElement | str"]:
+        """Transform one element; returns the produced output nodes."""
+        for rule in self.rules:
+            if rule.matches(element):
+                return list(rule.template(element, self))
+        return self._identity(element)
+
+    def apply_children(self, element: XmlElement) -> list["XmlElement | str"]:
+        """Transform all children of ``element`` (template recursion hook)."""
+        output: list[XmlElement | str] = []
+        for child in element.children:
+            if isinstance(child, str):
+                output.append(child)
+            else:
+                output.extend(self.apply(child))
+        return output
+
+    def transform_document(self, root: XmlElement) -> XmlElement:
+        """Apply to a whole document, requiring a single root in the output."""
+        produced = [node for node in self.apply(root) if isinstance(node, XmlElement)]
+        if len(produced) != 1:
+            raise ValueError(
+                f"transforming <{root.tag}> produced {len(produced)} root "
+                "elements; a document transform must produce exactly one"
+            )
+        return produced[0]
+
+    def _identity(self, element: XmlElement) -> list["XmlElement | str"]:
+        copy = XmlElement(element.tag, dict(element.attrs))
+        for node in self.apply_children(element):
+            copy.append(node)
+        return [copy]

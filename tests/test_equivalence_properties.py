@@ -1,0 +1,164 @@
+"""Cross-cutting equivalence properties.
+
+The paper's data-independence argument (§3.2 C5) has a testable core: the
+*answer* to a query must not depend on physical decisions -- predicate
+pushdown, cache hits, replica choice, optimizer brand.  These tests state
+that as properties and drive them with generated tables and queries.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataType, Field, Schema, Table
+from repro.federation import (
+    AgoricOptimizer,
+    CentralizedOptimizer,
+    FederatedEngine,
+    FederationCatalog,
+    SemanticCache,
+)
+from repro.htmlkit import parse_html
+from repro.sim import SimClock
+from repro.sql import build_plan, parse_sql
+from repro.sql.lexer import SqlLexError, tokenize_sql
+
+
+def build_engine(rows, optimizer=None, cache=None, fragment_count=2, seed=0):
+    clock = SimClock()
+    catalog = FederationCatalog(clock)
+    names = [catalog.make_site(f"s{i}").name for i in range(4)]
+    schema = Schema(
+        "t",
+        (
+            Field("k", DataType.INTEGER),
+            Field("v", DataType.INTEGER),
+            Field("tag", DataType.STRING),
+        ),
+    )
+    table = Table(schema, rows, validate=False)
+    placement = [[names[i % 4], names[(i + 1) % 4]] for i in range(fragment_count)]
+    catalog.load_fragmented(table, fragment_count, placement)
+    engine = FederatedEngine(
+        catalog,
+        optimizer=optimizer(catalog) if optimizer else None,
+        cache=cache(clock) if cache else None,
+    )
+    return engine
+
+
+rows_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=-50, max_value=50),
+        st.integers(min_value=-50, max_value=50),
+        st.sampled_from(["a", "b", "c"]),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+query_strategy = st.sampled_from(
+    [
+        "select k, v from t where v > 0",
+        "select k from t where v >= 10 and k < 5",
+        "select k, v, tag from t where tag = 'a'",
+        "select k from t where v > 0 or k = 0",
+        "select tag, count(*) as n from t group by tag order by tag",
+        "select k from t order by v desc, k limit 7",
+        "select distinct tag from t",
+    ]
+)
+
+
+def answer_set(result):
+    return sorted(map(repr, result.table.rows))
+
+
+class TestPhysicalIndependence:
+    @settings(max_examples=25, deadline=None)
+    @given(rows_strategy, query_strategy)
+    def test_pushdown_never_changes_answers(self, rows, sql):
+        engine = build_engine(rows)
+        with_pushdown = engine.query(sql, advance_clock=False)
+
+        # Same logical query, planner blinded to the schema (no pushdown).
+        statement = parse_sql(sql)
+        blind_plan = build_plan(statement)
+        physical = engine.optimizer.optimize(blind_plan)
+        table, _ = engine.executor.execute(physical)
+        assert sorted(map(repr, table.rows)) == answer_set(with_pushdown)
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows_strategy, query_strategy)
+    def test_optimizer_brand_never_changes_answers(self, rows, sql):
+        agoric = build_engine(rows, optimizer=AgoricOptimizer)
+        central = build_engine(rows, optimizer=CentralizedOptimizer)
+        assert answer_set(agoric.query(sql, advance_clock=False)) == answer_set(
+            central.query(sql, advance_clock=False)
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(rows_strategy, query_strategy)
+    def test_cache_hits_never_change_answers(self, rows, sql):
+        engine = build_engine(rows, cache=lambda clock: SemanticCache(clock))
+        cold = engine.query(sql, advance_clock=False)
+        warm = engine.query(sql, advance_clock=False)
+        assert answer_set(cold) == answer_set(warm)
+
+    @settings(max_examples=10, deadline=None)
+    @given(rows_strategy, query_strategy)
+    def test_fragmentation_degree_never_changes_answers(self, rows, sql):
+        one = build_engine(rows, fragment_count=1)
+        four = build_engine(rows, fragment_count=4)
+        assert answer_set(one.query(sql, advance_clock=False)) == answer_set(
+            four.query(sql, advance_clock=False)
+        )
+
+    def test_replica_failure_never_changes_answers(self):
+        rng = random.Random(5)
+        rows = [(i, rng.randrange(-50, 50), rng.choice("abc")) for i in range(50)]
+        sql = "select tag, count(*) as n from t group by tag order by tag"
+        engine = build_engine(rows)
+        healthy = answer_set(engine.query(sql, advance_clock=False))
+        engine.catalog.site("s0").up = False
+        degraded = answer_set(engine.query(sql, advance_clock=False))
+        assert healthy == degraded
+
+
+class TestParserRobustness:
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=200))
+    def test_html_parser_never_raises(self, markup):
+        document = parse_html(markup)
+        assert document.tag == "document"
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.text(max_size=120))
+    def test_sql_lexer_raises_only_its_own_error(self, text):
+        try:
+            tokens = tokenize_sql(text)
+            assert tokens[-1].kind == "eof"
+        except SqlLexError:
+            pass
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.text(max_size=120))
+    def test_sql_parser_raises_only_its_own_errors(self, text):
+        from repro.sql import SqlParseError, parse_sql
+
+        try:
+            parse_sql(text)
+        except (SqlLexError, SqlParseError):
+            pass
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.text(max_size=150))
+    def test_xml_parser_raises_only_its_own_error(self, markup):
+        from repro.xmlkit import XmlParseError, parse_xml
+
+        try:
+            parse_xml(markup)
+        except XmlParseError:
+            pass

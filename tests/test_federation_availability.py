@@ -1,0 +1,210 @@
+"""Tests for placement strategies, failure injection and availability probes."""
+
+import random
+
+import pytest
+
+from repro.core import DataType, Field, Schema, Table
+from repro.core.errors import QueryError
+from repro.federation import (
+    AvailabilityProbe,
+    FailureInjector,
+    FederationCatalog,
+    PlacementStrategy,
+    place_fragments,
+)
+from repro.federation.availability import hardware_cost
+from repro.sim import EventLoop, SimClock
+
+
+SITES = ["s0", "s1", "s2", "s3"]
+
+
+class TestPlacement:
+    def test_central_everything_on_one_site(self):
+        placement = place_fragments(PlacementStrategy.CENTRAL, 4, SITES)
+        assert placement == [["s0"]] * 4
+        assert hardware_cost(placement) == 4
+
+    def test_fragmented_spreads_without_replication(self):
+        placement = place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES)
+        assert [p[0] for p in placement] == SITES
+        assert hardware_cost(placement) == 4
+
+    def test_hot_standby_doubles_hardware(self):
+        placement = place_fragments(PlacementStrategy.HOT_STANDBY, 4, SITES)
+        assert all(p == ["s0", "s1"] for p in placement)
+        assert hardware_cost(placement) == 8  # the paper's "doubling"
+
+    def test_fragment_replicate(self):
+        placement = place_fragments(
+            PlacementStrategy.FRAGMENT_REPLICATE, 4, SITES, replication_factor=2
+        )
+        assert all(len(p) == 2 for p in placement)
+        assert placement[0] == ["s0", "s1"]
+        assert placement[3] == ["s3", "s0"]
+
+    def test_replication_factor_capped_at_site_count(self):
+        placement = place_fragments(
+            PlacementStrategy.FRAGMENT_REPLICATE, 2, ["a", "b"], replication_factor=5
+        )
+        assert all(len(p) == 2 for p in placement)
+
+    def test_hot_standby_needs_two_sites(self):
+        with pytest.raises(QueryError):
+            place_fragments(PlacementStrategy.HOT_STANDBY, 2, ["only"])
+
+    def test_empty_sites_rejected(self):
+        with pytest.raises(QueryError):
+            place_fragments(PlacementStrategy.CENTRAL, 1, [])
+
+
+def build_catalog(placement):
+    catalog = FederationCatalog(SimClock())
+    for name in SITES:
+        catalog.make_site(name)
+    schema = Schema("parts", (Field("sku", DataType.STRING),))
+    table = Table(schema, [(f"A-{i}",) for i in range(40)])
+    catalog.load_fragmented(table, len(placement), placement)
+    return catalog
+
+
+class TestAvailabilityProbe:
+    def test_full_availability_when_all_up(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        assert AvailabilityProbe(catalog).available_fraction() == 1.0
+
+    def test_fragmented_loses_only_a_slice(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        catalog.site("s2").up = False
+        assert AvailabilityProbe(catalog).available_fraction() == pytest.approx(0.75)
+
+    def test_central_loses_everything(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.CENTRAL, 4, SITES))
+        catalog.site("s0").up = False
+        assert AvailabilityProbe(catalog).available_fraction() == 0.0
+
+    def test_replicated_survives_single_failure(self):
+        catalog = build_catalog(
+            place_fragments(PlacementStrategy.FRAGMENT_REPLICATE, 4, SITES, 2)
+        )
+        catalog.site("s0").up = False
+        assert AvailabilityProbe(catalog).available_fraction() == 1.0
+
+    def test_mean_and_full_availability_from_samples(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        probe = AvailabilityProbe(catalog)
+        probe.sample()
+        catalog.site("s0").up = False
+        probe.sample()
+        assert probe.mean_availability() == pytest.approx(0.875)
+        assert probe.full_availability_fraction() == 0.5
+
+    def test_probe_attached_to_loop(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        loop = EventLoop(catalog.clock)
+        probe = AvailabilityProbe(catalog)
+        probe.attach_to(loop, interval=10.0)
+        loop.run_until(55.0)
+        assert len(probe.samples) == 5
+
+
+class TestFailureInjector:
+    def test_failures_and_repairs_occur(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        loop = EventLoop(catalog.clock)
+        injector = FailureInjector(
+            loop, catalog, mttf=100.0, mttr=20.0, rng=random.Random(1)
+        )
+        injector.start()
+        loop.run_until(2000.0)
+        assert injector.failures > 0
+        assert injector.repairs > 0
+
+    def test_availability_degrades_under_failures(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        loop = EventLoop(catalog.clock)
+        probe = AvailabilityProbe(catalog)
+        probe.attach_to(loop, interval=5.0)
+        FailureInjector(loop, catalog, mttf=50.0, mttr=50.0, rng=random.Random(2)).start()
+        loop.run_until(5000.0)
+        assert 0.2 < probe.mean_availability() < 0.95
+
+    def test_replication_beats_fragmentation_under_same_failures(self):
+        results = {}
+        for label, strategy, rf in [
+            ("fragmented", PlacementStrategy.FRAGMENTED, 1),
+            ("replicated", PlacementStrategy.FRAGMENT_REPLICATE, 2),
+        ]:
+            catalog = build_catalog(place_fragments(strategy, 4, SITES, rf))
+            loop = EventLoop(catalog.clock)
+            probe = AvailabilityProbe(catalog)
+            probe.attach_to(loop, interval=5.0)
+            FailureInjector(
+                loop, catalog, mttf=60.0, mttr=30.0, rng=random.Random(3)
+            ).start()
+            loop.run_until(3000.0)
+            results[label] = probe.mean_availability()
+        assert results["replicated"] > results["fragmented"]
+
+    def test_bad_parameters_rejected(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        loop = EventLoop(catalog.clock)
+        with pytest.raises(QueryError):
+            FailureInjector(loop, catalog, mttf=0, mttr=1, rng=random.Random(0))
+
+
+class TestNines:
+    def test_nines_scale(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        probe = AvailabilityProbe(catalog)
+        probe.samples = [(0.0, 0.99999)]
+        assert probe.nines() == pytest.approx(5.0, abs=0.01)
+        probe.samples = [(0.0, 0.9)]
+        assert probe.nines() == pytest.approx(1.0, abs=0.01)
+
+    def test_perfect_availability_is_infinite_nines(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.FRAGMENTED, 4, SITES))
+        probe = AvailabilityProbe(catalog)
+        probe.sample()
+        assert probe.nines() == float("inf")
+
+    def test_zero_availability(self):
+        catalog = build_catalog(place_fragments(PlacementStrategy.CENTRAL, 4, SITES))
+        catalog.site("s0").up = False
+        probe = AvailabilityProbe(catalog)
+        probe.sample()
+        assert probe.nines() == 0.0
+
+
+class TestServingUnderChurn:
+    def test_replicated_federation_answers_through_failures(self):
+        """Queries keep succeeding while sites crash and repair around them."""
+        from repro.federation import FederatedEngine
+
+        catalog = build_catalog(
+            place_fragments(PlacementStrategy.FRAGMENT_REPLICATE, 4, SITES, 3)
+        )
+        loop = EventLoop(catalog.clock)
+        FailureInjector(
+            loop, catalog, mttf=40.0, mttr=20.0, rng=random.Random(9)
+        ).start()
+        engine = FederatedEngine(catalog)
+
+        answered = 0
+        failed = 0
+        for _ in range(60):
+            loop.run_until(catalog.clock.now() + 10.0)
+            if not catalog.up_sites():
+                continue  # total blackout: nothing to ask
+            try:
+                result = engine.query("select count(*) as n from parts")
+            except QueryError:
+                failed += 1
+                continue
+            assert result.table.to_dicts() == [{"n": 40}]
+            answered += 1
+
+        # RF=3 over 4 sites: the vast majority of the hour is servable.
+        assert answered >= 50
+        assert failed <= 10

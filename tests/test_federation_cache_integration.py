@@ -1,0 +1,103 @@
+"""Tests for the semantic cache wired into the federated engine."""
+
+import pytest
+
+from repro.core import DataType, Field, Schema, Table
+from repro.federation import FederatedEngine, FederationCatalog, SemanticCache
+from repro.federation.engine import LIVE_ONLY
+from repro.sim import SimClock
+
+
+def make_engine(cache_staleness=None):
+    clock = SimClock()
+    catalog = FederationCatalog(clock)
+    names = [catalog.make_site(f"s{i}").name for i in range(2)]
+    schema = Schema(
+        "parts",
+        (Field("sku", DataType.STRING), Field("price", DataType.FLOAT)),
+    )
+    table = Table(schema, [(f"A-{i}", float(i)) for i in range(100)])
+    catalog.load_fragmented(table, 1, [names], scan_cost_seconds=1.0)
+    cache = SemanticCache(clock, max_rows=10_000, max_staleness=cache_staleness)
+    return FederatedEngine(catalog, cache=cache), cache
+
+
+class TestEngineCache:
+    def test_second_identical_query_hits_cache(self):
+        engine, cache = make_engine()
+        first = engine.query("select sku from parts where price > 90")
+        second = engine.query("select sku from parts where price > 90")
+        assert first.table == second.table
+        assert second.plan.assignments["parts"].kind == "cache"
+        assert cache.hits >= 1
+
+    def test_cache_hit_is_much_cheaper(self):
+        engine, _ = make_engine()
+        first = engine.query("select sku from parts where price > 90")
+        second = engine.query("select sku from parts where price > 90")
+        assert second.report.response_seconds < first.report.response_seconds / 5
+
+    def test_narrower_query_served_from_wider_region(self):
+        engine, cache = make_engine()
+        engine.query("select sku from parts")  # caches the whole table
+        narrow = engine.query("select sku from parts where price > 95")
+        assert narrow.plan.assignments["parts"].kind == "cache"
+        assert len(narrow.table) == 4
+
+    def test_wider_query_misses_narrow_region(self):
+        engine, _ = make_engine()
+        engine.query("select sku from parts where price > 95")
+        wide = engine.query("select sku from parts")
+        assert wide.plan.assignments["parts"].kind == "fragments"
+        assert len(wide.table) == 100
+
+    def test_live_only_bypasses_cache(self):
+        engine, _ = make_engine()
+        engine.query("select sku from parts")
+        live = engine.query("select sku from parts", max_staleness=LIVE_ONLY)
+        assert live.plan.assignments["parts"].kind == "fragments"
+
+    def test_staleness_bound_respected(self):
+        engine, _ = make_engine()
+        engine.query("select sku from parts")
+        engine.catalog.clock.advance(100.0)
+        stale_ok = engine.query("select sku from parts", max_staleness=200.0)
+        assert stale_ok.plan.assignments["parts"].kind == "cache"
+        assert stale_ok.report.staleness_seconds == pytest.approx(100.0, abs=3.0)
+        too_stale = engine.query("select sku from parts", max_staleness=50.0)
+        assert too_stale.plan.assignments["parts"].kind == "fragments"
+
+    def test_cached_answer_reports_age(self):
+        engine, _ = make_engine()
+        engine.query("select sku from parts")
+        engine.catalog.clock.advance(30.0)
+        result = engine.query("select sku from parts")
+        assert result.report.staleness_seconds == pytest.approx(30.0, abs=3.0)
+
+    def test_no_cache_configured_is_fine(self):
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        catalog.make_site("s0")
+        schema = Schema("t", (Field("a", DataType.INTEGER),))
+        catalog.load_fragmented(Table(schema, [(1,)]), 1, [["s0"]])
+        engine = FederatedEngine(catalog)  # cache=None
+        assert len(engine.query("select a from t").table) == 1
+
+    def test_invalidation_forces_refetch(self):
+        engine, cache = make_engine()
+        engine.query("select sku from parts")
+        cache.invalidate_table("parts")
+        result = engine.query("select sku from parts")
+        assert result.plan.assignments["parts"].kind == "fragments"
+
+    def test_match_queries_not_cached(self):
+        engine, cache = make_engine()
+        data = Table(
+            Schema("parts", engine.catalog.entry("parts").schema.fields),
+            [(f"A-{i}", float(i)) for i in range(100)],
+        )
+        engine.catalog.build_text_index("parts", "sku", data, "sku")
+        engine.query("select sku from parts where match(sku, 'A-7')")
+        # The text-filtered result must not be stored under the bare region.
+        follow_up = engine.query("select sku from parts")
+        assert len(follow_up.table) == 100

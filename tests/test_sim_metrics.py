@@ -1,0 +1,93 @@
+"""Unit tests for the metrics registry."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim import MetricsRegistry
+
+
+class TestCounter:
+    def test_counts_up(self):
+        metrics = MetricsRegistry()
+        metrics.counter("queries").inc()
+        metrics.counter("queries").inc(2)
+        assert metrics.counter("queries").value == 3
+
+    def test_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("q").inc(-1)
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        gauge = MetricsRegistry().gauge("load")
+        gauge.set(5)
+        gauge.add(-2)
+        assert gauge.value == 3
+
+
+class TestHistogram:
+    def test_summary_statistics(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for sample in [1.0, 2.0, 3.0, 4.0]:
+            histogram.observe(sample)
+        assert histogram.count == 4
+        assert histogram.mean == 2.5
+        assert histogram.minimum == 1.0
+        assert histogram.maximum == 4.0
+        assert histogram.total == 10.0
+
+    def test_empty_histogram_reports_nan(self):
+        histogram = MetricsRegistry().histogram("empty")
+        assert math.isnan(histogram.mean)
+        assert math.isnan(histogram.percentile(50))
+
+    def test_percentiles_nearest_rank(self):
+        histogram = MetricsRegistry().histogram("p")
+        for sample in range(1, 101):
+            histogram.observe(float(sample))
+        assert histogram.percentile(50) == 50.0
+        assert histogram.percentile(99) == 99.0
+        assert histogram.percentile(100) == 100.0
+        assert histogram.percentile(0) == 1.0
+
+    def test_percentile_out_of_range_rejected(self):
+        histogram = MetricsRegistry().histogram("p")
+        with pytest.raises(ValueError):
+            histogram.percentile(101)
+
+    def test_stddev_of_constant_series_is_zero(self):
+        histogram = MetricsRegistry().histogram("s")
+        for _ in range(5):
+            histogram.observe(3.0)
+        assert histogram.stddev == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_percentile_is_always_an_observed_sample(self, samples):
+        histogram = MetricsRegistry().histogram("h")
+        for sample in samples:
+            histogram.observe(sample)
+        assert histogram.percentile(50) in samples
+        assert histogram.minimum <= histogram.percentile(50) <= histogram.maximum
+
+
+class TestRegistry:
+    def test_same_name_same_instrument(self):
+        metrics = MetricsRegistry()
+        assert metrics.counter("a") is metrics.counter("a")
+        assert metrics.histogram("b") is metrics.histogram("b")
+        assert metrics.gauge("c") is metrics.gauge("c")
+
+    def test_snapshot_flattens_everything(self):
+        metrics = MetricsRegistry()
+        metrics.counter("served").inc(7)
+        metrics.gauge("load").set(0.5)
+        metrics.histogram("latency").observe(2.0)
+        snapshot = metrics.snapshot()
+        assert snapshot["served"] == 7
+        assert snapshot["load"] == 0.5
+        assert snapshot["latency.count"] == 1.0
+        assert snapshot["latency.mean"] == 2.0

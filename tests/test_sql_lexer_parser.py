@@ -1,0 +1,227 @@
+"""Tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.sql import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    SqlLexError,
+    SqlParseError,
+    Star,
+    UnaryOp,
+    parse_sql,
+    tokenize_sql,
+)
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize_sql("SeLeCt * FrOm t")
+        assert tokens[0].value == "select"
+        assert tokens[0].kind == "keyword"
+
+    def test_identifiers_keep_case(self):
+        tokens = tokenize_sql("select Price from t")
+        assert tokens[1].value == "Price"
+        assert tokens[1].kind == "ident"
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize_sql("select 'it''s' from t")
+        assert tokens[1].value == "it's"
+
+    def test_numbers(self):
+        tokens = tokenize_sql("select 42, 3.14 from t")
+        assert tokens[1].value == "42"
+        assert tokens[3].value == "3.14"
+
+    def test_two_char_operators(self):
+        tokens = tokenize_sql("a <= b <> c >= d != e")
+        values = [t.value for t in tokens if t.kind == "punct"]
+        assert values == ["<=", "<>", ">=", "!="]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(SqlLexError):
+            tokenize_sql("select 'oops from t")
+
+    def test_bad_character_rejected(self):
+        with pytest.raises(SqlLexError):
+            tokenize_sql("select @ from t")
+
+    def test_eof_token_always_present(self):
+        assert tokenize_sql("")[-1].kind == "eof"
+
+
+class TestParserBasics:
+    def test_select_star(self):
+        statement = parse_sql("select * from parts")
+        assert isinstance(statement.items[0].expr, Star)
+        assert statement.table.name == "parts"
+
+    def test_qualified_star(self):
+        statement = parse_sql("select p.* from parts p")
+        star = statement.items[0].expr
+        assert isinstance(star, Star)
+        assert star.qualifier == "p"
+
+    def test_column_list_with_aliases(self):
+        statement = parse_sql("select sku, name as part_name, price total from parts")
+        assert statement.items[0].alias is None
+        assert statement.items[1].alias == "part_name"
+        assert statement.items[2].alias == "total"
+
+    def test_table_alias(self):
+        statement = parse_sql("select * from parts as p")
+        assert statement.table.binding == "p"
+        statement2 = parse_sql("select * from parts p")
+        assert statement2.table.binding == "p"
+
+    def test_distinct(self):
+        assert parse_sql("select distinct sku from parts").distinct
+
+    def test_join_on(self):
+        statement = parse_sql(
+            "select * from parts p join suppliers s on p.supplier_id = s.id"
+        )
+        assert len(statement.joins) == 1
+        join = statement.joins[0]
+        assert join.table.binding == "s"
+        assert isinstance(join.condition, BinaryOp)
+
+    def test_inner_join_keyword(self):
+        statement = parse_sql("select * from a inner join b on a.x = b.x")
+        assert len(statement.joins) == 1
+
+    def test_multiple_joins(self):
+        statement = parse_sql(
+            "select * from a join b on a.x = b.x join c on b.y = c.y"
+        )
+        assert len(statement.joins) == 2
+
+    def test_group_by_having(self):
+        statement = parse_sql(
+            "select sku, count(*) as n from parts group by sku having count(*) > 1"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+
+    def test_order_by_and_limit(self):
+        statement = parse_sql("select * from parts order by price desc, sku limit 5")
+        assert statement.order_by[0].descending
+        assert not statement.order_by[1].descending
+        assert statement.limit == 5
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("select * from t limit 1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlParseError):
+            parse_sql("select * from t banana split extra")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["", "select", "select from t", "select * from", "select * t",
+         "select * from t where", "select * from t join x"],
+    )
+    def test_malformed_statements_rejected(self, bad):
+        with pytest.raises(SqlParseError):
+            parse_sql(bad)
+
+
+class TestParserExpressions:
+    def where(self, text):
+        return parse_sql(f"select * from t where {text}").where
+
+    def test_comparison(self):
+        expr = self.where("price > 10")
+        assert isinstance(expr, BinaryOp)
+        assert expr.op == ">"
+        assert expr.left == Column("price")
+        assert expr.right == Literal(10)
+
+    def test_diamond_normalized_to_bang_equals(self):
+        assert self.where("a <> 1").op == "!="
+
+    def test_and_or_precedence(self):
+        expr = self.where("a = 1 or b = 2 and c = 3")
+        assert expr.op == "or"
+        assert expr.right.op == "and"
+
+    def test_not(self):
+        expr = self.where("not a = 1")
+        assert isinstance(expr, UnaryOp)
+        assert expr.op == "not"
+
+    def test_parentheses_override(self):
+        expr = self.where("(a = 1 or b = 2) and c = 3")
+        assert expr.op == "and"
+        assert expr.left.op == "or"
+
+    def test_arithmetic_precedence(self):
+        expr = self.where("a + b * 2 > 10")
+        assert expr.left.op == "+"
+        assert expr.left.right.op == "*"
+
+    def test_like(self):
+        expr = self.where("name like '%ink%'")
+        assert isinstance(expr, Like)
+        assert expr.pattern == "%ink%"
+
+    def test_not_like(self):
+        assert self.where("name not like 'x%'").negated
+
+    def test_like_needs_string(self):
+        with pytest.raises(SqlParseError):
+            self.where("name like 5")
+
+    def test_in_list(self):
+        expr = self.where("sku in ('A-1', 'A-2')")
+        assert isinstance(expr, InList)
+        assert len(expr.items) == 2
+
+    def test_not_in(self):
+        assert self.where("sku not in ('A-1')").negated
+
+    def test_between(self):
+        expr = self.where("price between 1 and 10")
+        assert isinstance(expr, Between)
+        assert expr.low == Literal(1)
+
+    def test_is_null_and_is_not_null(self):
+        assert self.where("x is null").op == "is-null"
+        assert self.where("x is not null").op == "is-not-null"
+
+    def test_contains(self):
+        expr = self.where("description contains 'ink'")
+        assert expr.op == "contains"
+
+    def test_function_call(self):
+        expr = self.where("fuzzy(name, 'black ink') > 0.8")
+        assert isinstance(expr.left, FuncCall)
+        assert expr.left.name == "fuzzy"
+        assert len(expr.left.args) == 2
+
+    def test_count_star(self):
+        statement = parse_sql("select count(*) from t")
+        call = statement.items[0].expr
+        assert call.star
+
+    def test_qualified_column(self):
+        expr = self.where("p.price = 1")
+        assert expr.left == Column("price", qualifier="p")
+
+    def test_negative_literal(self):
+        expr = self.where("x = -5")
+        assert isinstance(expr.right, UnaryOp)
+
+    def test_boolean_and_null_literals(self):
+        assert self.where("x = true").right == Literal(True)
+        assert self.where("x = null").right == Literal(None)
+
+    def test_string_literal(self):
+        assert self.where("x = 'hello'").right == Literal("hello")

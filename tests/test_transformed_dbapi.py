@@ -1,0 +1,190 @@
+"""Tests for transform-on-demand sources and the DB-API surface."""
+
+import pytest
+
+from repro.connect.source import LiveSource, Predicate
+from repro.connect.transformed import PipelineSource
+from repro.core import DataType, Field, Schema, Table
+from repro.federation import FederatedEngine, FederationCatalog
+from repro.federation.dbapi import InterfaceError, connect
+from repro.federation.engine import LIVE_ONLY
+from repro.sim import SimClock
+from repro.workbench import CastColumn, FilterRows, Pipeline, RenameColumns
+
+
+RAW_SCHEMA = Schema(
+    "raw_feed",
+    (
+        Field("item", DataType.STRING),
+        Field("price_text", DataType.STRING),
+        Field("stock", DataType.STRING),
+    ),
+)
+
+
+def make_state():
+    return [
+        {"item": "A-1", "price_text": "5.00", "stock": "10"},
+        {"item": "A-2", "price_text": "6.50", "stock": "0"},
+        {"item": "A-3", "price_text": "2.25", "stock": "4"},
+    ]
+
+
+def view_pipeline():
+    return Pipeline(
+        "clean",
+        [
+            RenameColumns({"item": "sku"}),
+            CastColumn("price_text", DataType.FLOAT),
+            RenameColumns({"price_text": "price"}),
+            CastColumn("stock", DataType.INTEGER),
+            FilterRows(lambda row: row["stock"] > 0, "in stock"),
+        ],
+    )
+
+
+class TestPipelineSource:
+    def make(self, state):
+        base = LiveSource("feed", RAW_SCHEMA, lambda: list(state), cost_seconds=0.2)
+        return PipelineSource("clean_feed", base, view_pipeline())
+
+    def test_schema_comes_from_the_pipeline(self):
+        source = self.make(make_state())
+        assert source.schema.field_names == ("sku", "price", "stock")
+        assert source.schema.field_named("price").dtype is DataType.FLOAT
+
+    def test_fetch_transforms_on_demand(self):
+        state = make_state()
+        source = self.make(state)
+        result = source.fetch()
+        assert result.table.column("sku") == ["A-1", "A-3"]  # A-2 filtered
+        assert result.table.column("price") == [5.0, 2.25]
+
+    def test_view_is_live(self):
+        state = make_state()
+        source = self.make(state)
+        state[1]["stock"] = "7"  # restock A-2
+        assert source.fetch().table.column("sku") == ["A-1", "A-2", "A-3"]
+
+    def test_predicates_apply_to_view_schema(self):
+        source = self.make(make_state())
+        result = source.fetch([Predicate("price", "<", 3.0)])
+        assert result.table.column("sku") == ["A-3"]
+
+    def test_lineage_reaches_through_the_view(self):
+        source = self.make(make_state())
+        source.fetch()
+        assert source.last_lineage.explain("price")[0] == "source feed(price_text)"
+        assert source.last_lineage.origin_of(1).row_index == 2  # A-3 was raw row 2
+
+    def test_cost_includes_transform(self):
+        source = self.make(make_state())
+        assert source.estimated_cost() > 0.2
+
+    def test_materialized_vs_on_demand_is_one_parameter(self):
+        """The paper's data-independence claim, end to end."""
+        state = make_state()
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        catalog.make_site("s0")
+        catalog.register_external_table("clean_feed", self.make(state), "s0")
+        engine = FederatedEngine(catalog)
+        engine.create_materialized_view("clean_feed_mv", "clean_feed", "s0")
+
+        state[1]["stock"] = "7"  # the world changes
+        cached = engine.query("select sku from clean_feed", max_staleness=None)
+        live = engine.query("select sku from clean_feed", max_staleness=LIVE_ONLY)
+        assert "A-2" not in cached.table.column("sku")
+        assert "A-2" in live.table.column("sku")
+
+
+class TestDbApi:
+    def make_connection(self):
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        names = [catalog.make_site(f"s{i}").name for i in range(2)]
+        schema = Schema(
+            "parts",
+            (Field("sku", DataType.STRING), Field("price", DataType.FLOAT)),
+        )
+        table = Table(schema, [(f"A-{i}", float(i)) for i in range(10)])
+        catalog.load_fragmented(table, 1, [names])
+        return connect(FederatedEngine(catalog))
+
+    def test_execute_and_fetchall(self):
+        with self.make_connection() as connection:
+            cursor = connection.cursor()
+            cursor.execute("select sku, price from parts where price > 7 order by sku")
+            assert cursor.fetchall() == [("A-8", 8.0), ("A-9", 9.0)]
+
+    def test_qmark_parameters(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where price > ? and sku != ?", (6, "A-9"))
+        assert cursor.fetchall() == [("A-7",), ("A-8",)]
+
+    def test_string_parameter_escaping(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where sku = ?", ("it's",))
+        assert cursor.fetchall() == []
+
+    def test_placeholder_inside_literal_ignored(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where sku = '?'")
+        assert cursor.fetchall() == []
+
+    def test_parameter_count_mismatch(self):
+        cursor = self.make_connection().cursor()
+        with pytest.raises(InterfaceError):
+            cursor.execute("select sku from parts where price > ?", ())
+        with pytest.raises(InterfaceError):
+            cursor.execute("select sku from parts", (1,))
+
+    def test_description_and_rowcount(self):
+        cursor = self.make_connection().cursor()
+        assert cursor.description is None
+        cursor.execute("select sku, price from parts")
+        names = [d[0] for d in cursor.description]
+        assert names == ["sku", "price"]
+        assert cursor.rowcount == 10
+
+    def test_fetchone_and_iteration(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts order by sku limit 3")
+        assert cursor.fetchone() == ("A-0",)
+        assert [row[0] for row in cursor] == ["A-1", "A-2"]
+        assert cursor.fetchone() is None
+
+    def test_fetchmany(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts order by sku")
+        assert len(cursor.fetchmany(4)) == 4
+        assert len(cursor.fetchmany(100)) == 6
+
+    def test_closed_cursor_refuses(self):
+        cursor = self.make_connection().cursor()
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.execute("select sku from parts")
+
+    def test_closed_connection_refuses(self):
+        connection = self.make_connection()
+        connection.close()
+        with pytest.raises(InterfaceError):
+            connection.cursor()
+
+    def test_fetch_before_execute_refuses(self):
+        cursor = self.make_connection().cursor()
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+
+    def test_executemany_runs_last(self):
+        cursor = self.make_connection().cursor()
+        cursor.executemany(
+            "select sku from parts where sku = ?", [("A-1",), ("A-2",)]
+        )
+        assert cursor.fetchall() == [("A-2",)]
+
+    def test_commit_rollback_are_noops(self):
+        connection = self.make_connection()
+        connection.commit()
+        connection.rollback()

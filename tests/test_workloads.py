@@ -1,0 +1,206 @@
+"""Tests for the MRO, hotel, supply-chain and query workload generators."""
+
+import random
+
+import pytest
+
+from repro.federation import FederationCatalog, FederatedEngine
+from repro.federation.engine import LIVE_ONLY
+from repro.sim import EventLoop, SimClock
+from repro.workloads import (
+    QueryMix,
+    generate_hotels,
+    generate_mro,
+    generate_supply_chain,
+    poisson_arrivals,
+)
+
+
+class TestMroWorkload:
+    def test_deterministic_for_seed(self):
+        a = generate_mro(seed=7, supplier_count=3, products_per_supplier=10)
+        b = generate_mro(seed=7, supplier_count=3, products_per_supplier=10)
+        assert [s.products for s in a.suppliers] == [s.products for s in b.suppliers]
+        c = generate_mro(seed=8, supplier_count=3, products_per_supplier=10)
+        assert [s.products for s in a.suppliers] != [s.products for s in c.suppliers]
+
+    def test_shape(self):
+        workload = generate_mro(seed=1, supplier_count=5, products_per_supplier=20)
+        assert len(workload.suppliers) == 5
+        assert all(len(s.products) == 20 for s in workload.suppliers)
+        assert len(workload.all_products()) == 100
+
+    def test_products_carry_ground_truth(self):
+        workload = generate_mro(seed=1, supplier_count=2, products_per_supplier=30)
+        for product in workload.all_products():
+            assert product["category"] in workload.master_taxonomy
+            assert product["canonical_name"]
+            assert product["currency"] == next(
+                s.currency for s in workload.suppliers if s.name == product["supplier"]
+            )
+
+    def test_names_are_messy_but_grounded(self):
+        workload = generate_mro(seed=3, supplier_count=4, products_per_supplier=50)
+        products = workload.all_products()
+        exact = sum(1 for p in products if p["name"] == p["canonical_name"])
+        assert 0 < exact < len(products)  # some clean, some corrupted
+
+    def test_supplier_taxonomy_maps_to_master(self):
+        workload = generate_mro(seed=2, supplier_count=2, products_per_supplier=25)
+        supplier = workload.suppliers[0]
+        assert supplier.taxonomy is not None
+        for source_code, master_code in supplier.truth_mapping.items():
+            assert source_code in supplier.taxonomy
+            assert master_code in workload.master_taxonomy
+        # Hierarchy is preserved: parents map to parents.
+        for node in supplier.taxonomy.all_nodes():
+            if node.parent is not None:
+                master_child = workload.master_taxonomy.node(
+                    supplier.truth_mapping[node.code]
+                )
+                master_parent = workload.master_taxonomy.node(
+                    supplier.truth_mapping[node.parent.code]
+                )
+                assert master_child.parent is master_parent
+
+    def test_synonym_table_covers_paper_example(self):
+        workload = generate_mro(seed=0, supplier_count=1)
+        assert workload.synonyms.are_synonyms("india ink", "black ink")
+
+
+class TestHotelWorkload:
+    def test_shape_and_determinism(self):
+        market = generate_hotels(seed=5, chain_count=50, hotels_per_chain=4)
+        assert len(market.chains) == 50
+        assert len(market.hotels) == 200
+        again = generate_hotels(seed=5, chain_count=50, hotels_per_chain=4)
+        assert market.hotels == again.hotels
+
+    def test_traveler_query_ground_truth(self):
+        market = generate_hotels(seed=1, chain_count=10)
+        matches = market.matching_hotels(max_miles=10.0, max_rate=200.0)
+        for hotel in market.hotels:
+            if hotel["hotel_id"] in matches:
+                assert hotel["miles_to_airport"] <= 10.0
+                assert hotel["corporate_rate"] <= 200.0
+                assert hotel["rooms_available"] > 0
+
+    def test_volatility_mutates_market(self):
+        market = generate_hotels(seed=2, chain_count=5)
+        loop = EventLoop(SimClock())
+        market.schedule_volatility(loop, random.Random(3), mean_interval=1.0)
+        before = [dict(h) for h in market.hotels]
+        loop.run_until(100.0)
+        assert market.updates_applied > 50
+        assert [dict(h) for h in market.hotels] != before
+
+    def test_register_sources_serves_live_data(self):
+        clock = SimClock()
+        market = generate_hotels(seed=3, chain_count=4, hotels_per_chain=2)
+        catalog = FederationCatalog(clock)
+        chain_sites = {}
+        for i, chain in enumerate(market.chains):
+            site = catalog.make_site(f"res-{i}")
+            chain_sites[chain] = site.name
+        market.register_sources(catalog, chain_sites)
+        engine = FederatedEngine(catalog)
+
+        live = engine.query(
+            "select * from hotel_availability", max_staleness=LIVE_ONLY
+        )
+        assert len(live.table) == 8
+        hotel = market.hotels[0]
+        hotel["rooms_available"] = 777
+        fresh = engine.query(
+            f"select rooms_available from hotel_availability "
+            f"where hotel_id = '{hotel['hotel_id']}'",
+            max_staleness=LIVE_ONLY,
+        )
+        assert fresh.table.column("rooms_available") == [777]
+
+    def test_static_table_registered(self):
+        clock = SimClock()
+        market = generate_hotels(seed=3, chain_count=3, hotels_per_chain=2)
+        catalog = FederationCatalog(clock)
+        chain_sites = {
+            chain: catalog.make_site(f"res-{i}").name
+            for i, chain in enumerate(market.chains)
+        }
+        market.register_sources(catalog, chain_sites)
+        engine = FederatedEngine(catalog)
+        result = engine.query(
+            "select s.name from hotel_static s join hotel_availability a "
+            "on s.hotel_id = a.hotel_id where a.rooms_available > 0"
+        )
+        truth = {h["hotel_id"] for h in market.hotels if h["rooms_available"] > 0}
+        assert len(result.table) == len(truth)
+
+
+class TestSupplyChain:
+    def test_shape(self):
+        chain = generate_supply_chain(seed=1, depth=2, fanout=3)
+        assert len(chain.nodes) == 1 + 3 + 9
+        assert len(chain.contracts) == 12
+
+    def test_max_increase_is_chain_bottleneck(self):
+        chain = generate_supply_chain(seed=4, depth=3, fanout=2)
+        increase = chain.max_production_increase()
+        slacks = [n.slack for n in chain.nodes.values()]
+        assert increase == min(slacks) or increase >= 0
+        assert increase <= chain.nodes[chain.root].slack
+
+    def test_bottleneck_identified(self):
+        chain = generate_supply_chain(seed=4, depth=2, fanout=2)
+        limiting = chain.limiting_companies()
+        bottleneck = chain.max_production_increase()
+        assert all(chain.nodes[c].slack == bottleneck for c in limiting)
+        assert limiting
+
+    def test_tightening_a_supplier_lowers_the_bound(self):
+        chain = generate_supply_chain(seed=5, depth=2, fanout=2)
+        victim = next(iter(chain.nodes["manufacturer"].suppliers))
+        chain.nodes[victim].output = chain.nodes[victim].capacity  # zero slack
+        assert chain.max_production_increase() == 0
+
+    def test_unknown_company_rejected(self):
+        with pytest.raises(KeyError):
+            generate_supply_chain().max_production_increase("ghost-co")
+
+    def test_tables(self):
+        chain = generate_supply_chain(seed=1, depth=2, fanout=2)
+        assert len(chain.companies_table()) == len(chain.nodes)
+        assert len(chain.edges_table()) == sum(
+            len(n.suppliers) for n in chain.nodes.values()
+        )
+        assert len(chain.contracts_table()) == len(chain.contracts)
+
+    def test_contracts_mention_parties(self):
+        chain = generate_supply_chain(seed=2, depth=1, fanout=2)
+        for contract in chain.contracts:
+            assert contract["buyer"] in contract["body"]
+            assert contract["supplier"] in contract["body"]
+
+
+class TestQueryMix:
+    def test_poisson_arrivals_sorted_and_within_horizon(self):
+        arrivals = poisson_arrivals(random.Random(1), rate_per_second=2.0, horizon=100.0)
+        assert arrivals == sorted(arrivals)
+        assert all(0 <= t < 100.0 for t in arrivals)
+        assert 120 < len(arrivals) < 280  # ~200 expected
+
+    def test_poisson_rate_must_be_positive(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(random.Random(1), 0.0, 10.0)
+
+    def test_mix_is_deterministic_per_seed(self):
+        mix = QueryMix()
+        a = mix.batch(random.Random(9), 20)
+        b = mix.batch(random.Random(9), 20)
+        assert a == b
+
+    def test_mix_contains_all_kinds(self):
+        mix = QueryMix()
+        batch = mix.batch(random.Random(0), 100)
+        assert any("where sku =" in q for q in batch)
+        assert any("price >=" in q for q in batch)
+        assert any("group by" in q for q in batch)

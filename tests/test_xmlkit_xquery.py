@@ -1,0 +1,143 @@
+"""Tests for the XQuery FLWOR subset."""
+
+import pytest
+
+from repro.xmlkit import XQueryError, parse_xml, xquery
+
+DOC = parse_xml(
+    """
+<hotels>
+  <row><hotel_id>h1</hotel_id><name>Chain Hotel One</name>
+       <rate>150</rate><rooms>3</rooms><club>true</club></row>
+  <row><hotel_id>h2</hotel_id><name>Budget Inn</name>
+       <rate>80</rate><rooms>0</rooms><club>false</club></row>
+  <row><hotel_id>h3</hotel_id><name>Chain Hotel Two</name>
+       <rate>220</rate><rooms>5</rooms><club>true</club></row>
+  <row><hotel_id>h4</hotel_id><name>Airport Suites</name>
+       <rate>120</rate><rooms>2</rooms><club>true</club></row>
+</hotels>
+"""
+)
+
+
+class TestFlworBasics:
+    def test_for_return_constructs_elements(self):
+        results = xquery(DOC, "for $h in //row return <id>{$h/hotel_id/text()}</id>")
+        assert [r.text for r in results] == ["h1", "h2", "h3", "h4"]
+        assert all(r.tag == "id" for r in results)
+
+    def test_where_numeric_comparison(self):
+        results = xquery(
+            DOC,
+            "for $h in //row where $h/rate < 160 "
+            "return <id>{$h/hotel_id/text()}</id>",
+        )
+        assert [r.text for r in results] == ["h1", "h2", "h4"]
+
+    def test_where_and_or(self):
+        results = xquery(
+            DOC,
+            "for $h in //row where $h/rooms > 0 and $h/rate <= 150 "
+            "or $h/hotel_id = 'h3' return <id>{$h/hotel_id/text()}</id>",
+        )
+        assert [r.text for r in results] == ["h1", "h3", "h4"]
+
+    def test_where_contains(self):
+        results = xquery(
+            DOC,
+            "for $h in //row where contains($h/name, 'Chain') "
+            "return <id>{$h/hotel_id/text()}</id>",
+        )
+        assert [r.text for r in results] == ["h1", "h3"]
+
+    def test_order_by_ascending_numeric(self):
+        results = xquery(
+            DOC,
+            "for $h in //row order by $h/rate "
+            "return <id>{$h/hotel_id/text()}</id>",
+        )
+        assert [r.text for r in results] == ["h2", "h4", "h1", "h3"]
+
+    def test_order_by_descending(self):
+        results = xquery(
+            DOC,
+            "for $h in //row order by $h/rate descending "
+            "return <id>{$h/hotel_id/text()}</id>",
+        )
+        assert [r.text for r in results] == ["h3", "h1", "h4", "h2"]
+
+    def test_full_flwor_paper_style(self):
+        # The traveler query, XQuery edition.
+        results = xquery(
+            DOC,
+            "for $h in //row "
+            "where $h/rooms > 0 and $h/rate <= 200 and $h/club = 'true' "
+            "order by $h/rate "
+            "return <offer hotel=\"{$h/hotel_id/text()}\">{$h/rate/text()}</offer>",
+        )
+        assert [(r.get("hotel"), r.text) for r in results] == [
+            ("h4", "120"), ("h1", "150"),
+        ]
+
+    def test_template_with_nested_elements(self):
+        results = xquery(
+            DOC,
+            "for $h in //row where $h/hotel_id = 'h1' return "
+            "<hotel><id>{$h/hotel_id/text()}</id><price>{$h/rate/text()}</price></hotel>",
+        )
+        assert results[0].first("price").text == "150"
+
+    def test_hole_values_are_escaped(self):
+        doc = parse_xml("<r><row><name>a &amp; b &lt; c</name></row></r>")
+        results = xquery(doc, "for $x in //row return <n>{$x/name/text()}</n>")
+        assert results[0].text == "a & b < c"
+
+    def test_missing_path_renders_empty(self):
+        results = xquery(DOC, "for $h in //row[1] return <x>{$h/ghost/text()}</x>")
+        assert results[0].text == ""
+
+    def test_variable_itself_is_full_text(self):
+        results = xquery(
+            DOC, "for $h in //row[1] return <all>{$h}</all>"
+        )
+        assert "h1" in results[0].text
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "select * from t",
+            "for $h in //row",  # no return
+            "for $h in //row return notxml",
+            "for $h in //row where ??? return <x/>",
+            "for $h in //row where $other/rate > 1 return <x/>",
+            "for $h in //row return <x>{$h/name/text()</x>",  # broken template
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XQueryError):
+            xquery(DOC, bad)
+
+
+class TestEngineSurface:
+    def test_engine_xquery_over_integrated_content(self):
+        from repro.core import DataType, Field, Schema, Table
+        from repro.federation import FederatedEngine, FederationCatalog
+        from repro.sim import SimClock
+
+        catalog = FederationCatalog(SimClock())
+        catalog.make_site("s0")
+        schema = Schema(
+            "parts", (Field("sku", DataType.STRING), Field("price", DataType.FLOAT))
+        )
+        catalog.load_fragmented(
+            Table(schema, [("A-1", 5.0), ("A-2", 50.0), ("A-3", 2.0)]), 1, [["s0"]]
+        )
+        engine = FederatedEngine(catalog)
+        results = engine.xquery(
+            "parts",
+            "for $p in //row where $p/price < 10 order by $p/price "
+            "return <cheap sku=\"{$p/sku/text()}\"/>",
+        )
+        assert [r.get("sku") for r in results] == ["A-3", "A-1"]
