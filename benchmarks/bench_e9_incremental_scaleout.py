@@ -84,6 +84,7 @@ def test_e9_scaleout_without_downtime(benchmark):
 
         phase_latencies = []
         used_sites = set()
+        fetched = shipped = 0
         for sql in mix.batch(rng, BURST):
             try:
                 result = engine.query(sql, advance_clock=False)
@@ -92,17 +93,23 @@ def test_e9_scaleout_without_downtime(benchmark):
                 continue
             phase_latencies.append(result.report.response_seconds)
             used_sites.update(result.report.site_work)
+            fetched += result.report.rows_fetched
+            shipped += result.report.rows_shipped
         mean_latency = sum(phase_latencies) / len(phase_latencies)
         peak_backlog = max(s.backlog() for s in catalog.sites.values())
         latencies_by_phase[target_sites] = mean_latency
-        rows.append([target_sites, mean_latency, peak_backlog, len(used_sites)])
+        rows.append(
+            [target_sites, mean_latency, peak_backlog, len(used_sites),
+             fetched, shipped]
+        )
         # Drain backlogs between phases (constant offered load per phase).
         clock.advance(3600.0)
 
     report(
         "e9_incremental_scaleout",
         f"E9: {BURST}-query bursts while doubling the machine count",
-        ["sites", "mean latency s", "peak backlog s", "distinct sites used"],
+        ["sites", "mean latency s", "peak backlog s", "distinct sites used",
+         "rows fetched", "rows shipped"],
         rows,
     )
 

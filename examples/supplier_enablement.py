@@ -141,8 +141,9 @@ def main() -> None:
     workflow.add_step(
         WorkflowStep(
             "publish", publish,
-            depends_on=tuple(f"normalize:{l.supplier}" for l in discovered
-                             if l.supplier != saboteur),
+            depends_on=tuple(f"normalize:{listing.supplier}"
+                             for listing in discovered
+                             if listing.supplier != saboteur),
         )
     )
 

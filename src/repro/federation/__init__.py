@@ -22,9 +22,14 @@ The pieces:
   unacceptable: a centralized compile-time cost-based optimizer that
   enumerates site assignments against a periodically refreshed statistics
   snapshot.
-* :mod:`repro.federation.executor` -- runs physical plans: parallel
-  fragment scans, hash/nested-loop joins, aggregates; produces per-site
-  accounting.
+* :mod:`repro.federation.physical` -- the physical operator IR: site-side
+  operators (SiteScan/SiteFilter/SiteProject/PartialAggregate) charge the
+  owning site, an explicit Ship crosses the network model, and streaming
+  coordinator operators (joins, final aggregation, sort, limit) each
+  record rows in/out, seconds and placement.
+* :mod:`repro.federation.executor` -- compiles physical plans into that
+  operator tree and drives it: parallel fragment scans, per-site
+  accounting, EXPLAIN ANALYZE stats.
 * :mod:`repro.federation.loadbalance` -- replica-choice policies.
 * :mod:`repro.federation.availability` -- failure injection, placement
   strategies, availability probes ("some of the content all of the time").
@@ -44,6 +49,7 @@ from repro.federation.catalog import FederationCatalog, Fragment, TableEntry
 from repro.federation.central import CentralizedOptimizer
 from repro.federation.engine import FederatedEngine, QueryResult
 from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.federation.physical import OperatorStats, PhysicalPlanner
 from repro.federation.loadbalance import (
     LeastLoadedPolicy,
     PolicyOptimizer,
@@ -75,6 +81,8 @@ __all__ = [
     "ExecutionReport",
     "Executor",
     "PhysicalPlan",
+    "OperatorStats",
+    "PhysicalPlanner",
     "LeastLoadedPolicy",
     "PolicyOptimizer",
     "RandomPolicy",

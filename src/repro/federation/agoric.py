@@ -52,7 +52,7 @@ class BudgetExceededError(ContentIntegrationError):
             f"cheapest plan costs {required:.4f}, over the budget {budget:.4f}"
         )
 from repro.federation.catalog import FederationCatalog
-from repro.federation.executor import FragmentChoice, PhysicalPlan, ScanAssignment
+from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 from dataclasses import dataclass

@@ -30,7 +30,7 @@ import time
 
 from repro.core.errors import QueryError
 from repro.federation.catalog import FederationCatalog, Fragment
-from repro.federation.executor import FragmentChoice, PhysicalPlan, ScanAssignment
+from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 

@@ -16,6 +16,7 @@ from typing import Any, Iterator, Sequence
 from repro.core.errors import QueryError
 from repro.core.records import Table
 from repro.federation.engine import FederatedEngine
+from repro.federation.physical import ExecutionReport, PhysicalPlan
 
 apilevel = "2.0"
 threadsafety = 1
@@ -66,6 +67,10 @@ class Cursor:
         self._result: Table | None = None
         self._position = 0
         self._closed = False
+        # Accounting for the last executed statement, mirroring what
+        # FederatedEngine.query returns (driver users get the same numbers).
+        self.last_plan: PhysicalPlan | None = None
+        self.last_report: ExecutionReport | None = None
 
     # -- DB-API attributes ------------------------------------------------------
 
@@ -92,6 +97,8 @@ class Cursor:
             bound, max_staleness=self._connection.max_staleness
         )
         self._result = result.table
+        self.last_plan = result.plan
+        self.last_report = result.report
         self._position = 0
         return self
 
@@ -135,6 +142,8 @@ class Cursor:
     def close(self) -> None:
         self._closed = True
         self._result = None
+        self.last_plan = None
+        self.last_report = None
 
     def _check_open(self) -> None:
         if self._closed or self._connection.closed:

@@ -15,10 +15,15 @@ This is the integrator's query surface (§3.2 C6):
   with ``max_staleness`` (``None`` = any cached copy is fine,
   ``LIVE_ONLY`` = must fetch on demand).
 
-``MATCH(column, 'query')`` predicates are rewritten before optimization:
-when the target table has a text index, the predicate leaves the residual
-filter and becomes an index access on the scan -- the paper's "text search
-engine ... fully modeled ... as an access path" (§4).
+Before optimization the logical plan runs through the engine's rewrite
+pipeline (:mod:`repro.sql.rewrite`): ``MATCH(column, 'query')`` predicates
+become text-index access paths -- the paper's "text search engine ... fully
+modeled ... as an access path" (§4) -- then residual single-binding filters,
+projection pruning, and partial/final aggregate splitting move work onto
+the sites that own the rows.  The optimizers place the scans; the physical
+operator layer (:mod:`repro.federation.physical`) executes the annotated
+plan and :meth:`FederatedEngine.explain` with ``analyze=True`` shows the
+per-operator accounting.
 """
 
 from __future__ import annotations
@@ -37,22 +42,20 @@ from repro.sim.events import EventLoop
 from repro.sim.metrics import MetricsRegistry
 from repro.sql.ast import (
     BinaryOp,
-    Column,
-    FuncCall,
     InList,
     InSubquery,
     Literal,
     UnaryOp,
 )
 from repro.sql.parser import parse_sql
-from repro.sql.planner import (
-    FilterNode,
-    PlanNode,
-    ScanNode,
-    build_plan,
-    conjoin,
-    scans_in,
-    split_conjuncts,
+from repro.sql.planner import PlanNode, build_plan, scans_in
+from repro.sql.rewrite import (
+    AggregateSplitting,
+    ProjectionPruning,
+    RewritePipeline,
+    SiteFilterPushdown,
+    TextIndexRewrite,
+    TextIndexTarget,
 )
 from repro.xmlkit.model import XmlElement
 from repro.xmlkit.xpath import xpath
@@ -135,7 +138,7 @@ class FederatedEngine:
             bindings[join.table.binding] = join.table.name
         binding_fields = self.catalog.binding_fields(bindings)
         plan = build_plan(statement, binding_fields)
-        plan, text_filters = self._extract_text_filters(plan, bindings)
+        plan = self._apply_rewrites(plan, bindings, binding_fields)
 
         start = self.catalog.clock.now()
         if budget is not None:
@@ -144,9 +147,7 @@ class FederatedEngine:
             )
         else:
             physical = self.optimizer.optimize(plan, coordinator, max_staleness)
-        for binding, (column, query_text) in text_filters.items():
-            if binding in physical.assignments:
-                physical.assignments[binding].text_filter = (column, query_text)
+        self._annotate_text_filters(plan, physical)
         if self.cache is not None:
             self._serve_from_cache(plan, physical, max_staleness)
 
@@ -163,26 +164,109 @@ class FederatedEngine:
         self.metrics.counter("queries").inc()
         self.metrics.histogram("query.response_seconds").observe(report.response_seconds)
         self.metrics.histogram("query.staleness_seconds").observe(report.staleness_seconds)
+        self.metrics.counter("rows.fetched").inc(report.rows_fetched)
+        self.metrics.counter("rows.shipped").inc(report.rows_shipped)
+        if report.operators is not None:
+            self._record_operator_metrics(report.operators)
         return QueryResult(table, report, physical)
 
-    def explain(self, sql: str, max_staleness: float | None = None) -> str:
-        """Render the physical plan for ``sql`` without executing it.
+    def _apply_rewrites(self, plan: PlanNode, bindings, binding_fields) -> PlanNode:
+        """The standard rewrite pipeline, applied after pushdown in build_plan.
 
-        Shows the logical operator tree with, for every scan, the access
-        path the optimizer chose (fragments at which sites, a materialized
-        view, or a cache region) and what was pushed down.
+        Order matters: MATCH conjuncts must leave the residual filter before
+        site-filter pushdown claims them as ordinary row predicates, and
+        aggregate splitting only fires once absorbed filters expose an
+        aggregation sitting directly on its scan.
         """
+        pipeline = RewritePipeline(
+            [
+                TextIndexRewrite(self._text_targets(bindings)),
+                SiteFilterPushdown(binding_fields),
+                ProjectionPruning(binding_fields),
+                AggregateSplitting(),
+            ]
+        )
+        return pipeline.run(plan)
+
+    def _text_targets(self, bindings: dict[str, str]) -> dict[str, TextIndexTarget]:
+        """What the text-index rewrite may target, per binding."""
+        targets: dict[str, TextIndexTarget] = {}
+        for binding, table_name in bindings.items():
+            entry = self.catalog.tables.get(table_name)
+            if entry is None:
+                continue  # views-by-name have no text index
+            targets[binding] = TextIndexTarget(
+                fields=frozenset(entry.schema.field_names),
+                text_column=(
+                    entry.text_column if entry.text_index is not None else None
+                ),
+            )
+        return targets
+
+    @staticmethod
+    def _annotate_text_filters(plan: PlanNode, physical: PhysicalPlan) -> None:
+        """Copy scan-level text-index annotations onto the assignments."""
+        for scan in scans_in(plan):
+            if scan.text_filter is None:
+                continue
+            assignment = physical.assignments.get(scan.binding)
+            if assignment is not None:
+                assignment.text_filter = scan.text_filter
+
+    def _record_operator_metrics(self, operators) -> None:
+        """Feed the per-operator stats tree into the metrics registry."""
+        for stats in operators.walk():
+            self.metrics.counter(f"operator.{stats.name}.rows_out").inc(
+                stats.rows_out
+            )
+            self.metrics.histogram(f"operator.{stats.name}.seconds").observe(
+                stats.seconds
+            )
+
+    def explain(
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        analyze: bool = False,
+    ) -> str:
+        """Render the physical plan for ``sql``.
+
+        Without ``analyze`` the query is planned but not executed: the
+        logical operator tree is shown with, for every scan, the access path
+        the optimizer chose (fragments at which sites, a materialized view,
+        or a cache region) and what was pushed down.  With ``analyze=True``
+        the query **runs** (against a frozen clock) and every physical
+        operator reports its placement site, rows in/out and seconds of
+        modeled work.
+        """
+        if analyze:
+            statement = parse_sql(sql)
+            result = self._execute_statement(
+                statement, max_staleness, advance_clock=False
+            )
+            report = result.report
+            lines = [
+                f"optimizer: {result.plan.optimizer}  "
+                f"coordinator: {result.plan.coordinator}  "
+                f"price: {result.plan.total_price:.4f}",
+                f"response: {report.response_seconds:.6f}s  "
+                f"rows fetched: {report.rows_fetched}  "
+                f"shipped: {report.rows_shipped}  "
+                f"returned: {report.rows_returned}",
+            ]
+            if report.operators is not None:
+                lines.extend(report.operators.tree_lines())
+            return "\n".join(lines)
+
         statement = parse_sql(sql)
         bindings = {statement.table.binding: statement.table.name}
         for join in statement.joins:
             bindings[join.table.binding] = join.table.name
         binding_fields = self.catalog.binding_fields(bindings)
         plan = build_plan(statement, binding_fields)
-        plan, text_filters = self._extract_text_filters(plan, bindings)
+        plan = self._apply_rewrites(plan, bindings, binding_fields)
         physical = self.optimizer.optimize(plan, None, max_staleness)
-        for binding, (column, query_text) in text_filters.items():
-            if binding in physical.assignments:
-                physical.assignments[binding].text_filter = (column, query_text)
+        self._annotate_text_filters(plan, physical)
 
         lines = [
             f"optimizer: {physical.optimizer}  "
@@ -222,6 +306,13 @@ class FederatedEngine:
                     f"{p.column} {p.op} {p.value!r}" for p in node.pushdown
                 )
                 extras += f" pushdown({predicates})"
+            if node.site_filters:
+                from repro.federation.physical import describe_expr
+
+                rendered = ", ".join(describe_expr(c) for c in node.site_filters)
+                extras += f" site-filter({rendered})"
+            if node.needed_columns is not None:
+                extras += f" columns({', '.join(sorted(node.needed_columns))})"
             if assignment.text_filter is not None:
                 extras += f" text-index{assignment.text_filter!r}"
             return [f"{pad}scan {node.table} as {node.binding}: {detail}{extras}"]
@@ -235,6 +326,8 @@ class FederatedEngine:
         }.get(type(node), type(node).__name__)
         if isinstance(node, JoinNode):
             label = f"{node.join_type} join"
+        if isinstance(node, AggregateNode) and node.split is not None:
+            label = f"{label} (partial at sites, final at coordinator)"
         lines = [f"{pad}{label}"]
         for child in node.children():
             lines.extend(self._explain_node(child, physical, depth + 1))
@@ -303,66 +396,6 @@ class FederatedEngine:
             if table is None:
                 continue
             self.cache.store(scan.table, scan.pushdown, table)
-
-    def _extract_text_filters(
-        self, plan: PlanNode, bindings: dict[str, str]
-    ) -> tuple[PlanNode, dict[str, tuple[str, str]]]:
-        """Pull MATCH(col, 'q') conjuncts out of filters into index accesses."""
-        text_filters: dict[str, tuple[str, str]] = {}
-        scan_bindings = {s.binding for s in scans_in(plan)}
-
-        def rewrite(node: PlanNode) -> PlanNode:
-            for attr in ("child", "left", "right"):
-                if hasattr(node, attr):
-                    setattr(node, attr, rewrite(getattr(node, attr)))
-            if not isinstance(node, FilterNode):
-                return node
-            kept = []
-            for conjunct in split_conjuncts(node.condition):
-                binding_column = self._match_conjunct(conjunct, bindings, scan_bindings)
-                if binding_column is not None:
-                    binding, column, query_text = binding_column
-                    text_filters[binding] = (column, query_text)
-                    continue
-                kept.append(conjunct)
-            condition = conjoin(kept)
-            return node.child if condition is None else FilterNode(node.child, condition)
-
-        return rewrite(plan), text_filters
-
-    def _match_conjunct(
-        self,
-        conjunct,
-        bindings: dict[str, str],
-        scan_bindings: set[str],
-    ) -> tuple[str, str, str] | None:
-        if not (
-            isinstance(conjunct, FuncCall)
-            and conjunct.name == "match"
-            and len(conjunct.args) == 2
-            and isinstance(conjunct.args[0], Column)
-            and isinstance(conjunct.args[1], Literal)
-        ):
-            return None
-        column = conjunct.args[0]
-        query_text = str(conjunct.args[1].value)
-        # Resolve which scan the column belongs to.
-        candidates = []
-        for binding in scan_bindings:
-            table_name = bindings[binding]
-            if table_name not in self.catalog.tables:
-                continue
-            entry = self.catalog.tables[table_name]
-            if column.qualifier is not None and column.qualifier != binding:
-                continue
-            if not entry.schema.has_field(column.name):
-                continue
-            if entry.text_index is None or entry.text_column != column.name:
-                continue
-            candidates.append(binding)
-        if len(candidates) != 1:
-            return None  # ambiguous or unindexed: leave as a row-wise predicate
-        return candidates[0], column.name, query_text
 
     # -- XML / XPath ---------------------------------------------------------------
 

@@ -1,107 +1,53 @@
-"""The distributed executor.
+"""The distributed executor: drives a compiled physical operator tree.
 
-Takes a :class:`PhysicalPlan` (a logical tree plus, for every scan, the
-access path the optimizer chose: fragment replicas at sites, or a
-materialized view) and runs it:
+The execution machinery itself lives in :mod:`repro.federation.physical`:
+the optimizers produce a :class:`PhysicalPlan` (logical tree + per-scan
+access path), :class:`~repro.federation.physical.PhysicalPlanner` compiles
+it into site-side operators (SiteScan, SiteFilter, SiteProject,
+PartialAggregate), an explicit Ship over the network model, and streaming
+coordinator operators (joins, residual filters, final aggregation, sort,
+limit).  The :class:`Executor` here opens the root, drains it, and settles
+the timing model:
 
-* fragment scans execute **in parallel** across their sites -- the scan
-  phase costs the *slowest* assignment, not the sum;
-* fetched rows ship to the coordinator site over the network model;
-* joins (hash join on equality conditions, nested loop otherwise),
-  filters, aggregation, sort and limit run at the coordinator;
-* every second of work lands on some site's backlog, so concurrent queries
-  interfere realistically -- which is what makes load balancing measurable.
+* site-side batches run **in parallel** across their sites -- the scan
+  phase costs the *slowest* pipeline, not the sum;
+* every second of work lands on some site's backlog, so concurrent
+  queries interfere realistically -- which makes load balancing measurable;
+* response time is slowest-scan-pipeline plus serial coordinator work.
 
-The report records response time, per-site work, rows moved and the
-worst-case staleness of the access paths used (0 for all-live plans).
+The report records response time, per-site work, rows fetched vs rows
+actually shipped across the network, worst-case access-path staleness, and
+a per-operator stats tree (rows in/out, seconds, placement) that the engine
+renders as ``EXPLAIN ANALYZE``.
+
+The physical-plan dataclasses are re-exported here for compatibility:
+``FragmentChoice``, ``ScanAssignment``, ``PhysicalPlan``,
+``ExecutionReport``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any
-
-from repro.connect.source import apply_predicates
-from repro.core.errors import QueryError, SourceUnavailableError
 from repro.core.records import Table
-from repro.core.schema import DataType, Field, Schema
-from repro.core.values import Money
-from repro.federation.catalog import FederationCatalog, Fragment
-from repro.federation.views import MaterializedView
-from repro.sql.ast import (
-    AGGREGATE_FUNCTIONS,
-    BinaryOp,
-    Column,
-    Expr,
-    FuncCall,
-    SelectItem,
-    Star,
-)
-from repro.sql.expressions import evaluate
-from repro.sql.planner import (
-    AggregateNode,
-    FilterNode,
-    JoinNode,
-    LimitNode,
-    PlanNode,
-    ProjectNode,
-    ScanNode,
-    SortNode,
-    scans_in,
+from repro.federation.catalog import FederationCatalog
+from repro.federation.physical import (
+    Env,
+    ExecContext,
+    ExecutionReport,
+    FragmentChoice,
+    PhysicalPlan,
+    PhysicalPlanner,
+    ScanAssignment,
+    envs_to_table,
 )
 
-Env = dict[str, Any]
-
-
-@dataclass
-class FragmentChoice:
-    """One fragment scan placed on one site."""
-
-    fragment: Fragment
-    site_name: str
-
-
-@dataclass
-class ScanAssignment:
-    """The optimizer's decision for one scan leaf."""
-
-    binding: str
-    table_name: str
-    kind: str  # "fragments" | "view" | "cache"
-    choices: list[FragmentChoice] = field(default_factory=list)
-    view: MaterializedView | None = None
-    text_filter: tuple[str, str] | None = None  # (column, query) -> use text index
-    cached_table: "Table | None" = None  # for kind "cache"
-    cached_staleness: float = 0.0
-
-
-@dataclass
-class PhysicalPlan:
-    """A logical plan plus all physical decisions."""
-
-    logical: PlanNode
-    assignments: dict[str, ScanAssignment]
-    coordinator: str
-    optimizer: str = ""
-    optimization_seconds: float = 0.0  # real wall-clock spent deciding
-    sites_contacted: int = 0
-    total_price: float = 0.0
-
-
-@dataclass
-class ExecutionReport:
-    """Accounting for one executed query."""
-
-    response_seconds: float = 0.0
-    rows_fetched: int = 0
-    rows_returned: int = 0
-    staleness_seconds: float = 0.0
-    network_seconds: float = 0.0
-    site_work: dict[str, float] = field(default_factory=dict)
-    price: float = 0.0
-    failovers: int = 0  # scans re-routed after a site died mid-query
-    # Live fragment-scan outputs, for the engine's semantic cache to store.
-    scan_tables: dict[str, Table] = field(default_factory=dict)
+__all__ = [
+    "Env",
+    "ExecutionReport",
+    "Executor",
+    "FragmentChoice",
+    "PhysicalPlan",
+    "ScanAssignment",
+]
 
 
 class Executor:
@@ -109,578 +55,23 @@ class Executor:
 
     def __init__(self, catalog: FederationCatalog) -> None:
         self.catalog = catalog
-
-    # -- public API -----------------------------------------------------------
+        self.planner = PhysicalPlanner(catalog)
 
     def execute(self, plan: PhysicalPlan) -> tuple[Table, ExecutionReport]:
         report = ExecutionReport(price=plan.total_price)
-        scan_results: dict[str, tuple[list[Env], Schema]] = {}
-        scan_elapsed = 0.0
+        # Recompile every time: assignments may have changed since the
+        # optimizer attached a tree (cache swap, text-filter annotation),
+        # and operators hold per-execution state.
+        root = self.planner.compile(plan)
+        ctx = ExecContext(self.catalog, plan, report)
 
-        ambiguous = self._ambiguous_fields(plan)
-        # Null-extension rows for outer joins: one all-None env per binding.
-        self._null_envs = {
-            binding: self._row_env(
-                binding,
-                self._schema_of(assignment),
-                (None,) * len(self._schema_of(assignment)),
-                ambiguous,
-            )
-            for binding, assignment in plan.assignments.items()
-        }
-        for binding, assignment in plan.assignments.items():
-            envs, schema, elapsed = self._materialize_scan(
-                plan, assignment, ambiguous, report
-            )
-            scan_results[binding] = (envs, schema)
-            scan_elapsed = max(scan_elapsed, elapsed)
+        root.open(ctx)
+        envs: list[Env] = []
+        while (env := root.next()) is not None:
+            envs.append(env)
+        root.close()
 
-        coordinator = self.catalog.site(plan.coordinator)
-        envs, coordinator_rows = self._run_node(plan.logical, plan, scan_results)
-        coordinator_work = coordinator.process(max(coordinator_rows, len(envs)))
-        queue_delay = 0.0  # process() already queued; delay folded into backlog
-
-        report.site_work[coordinator.name] = (
-            report.site_work.get(coordinator.name, 0.0) + coordinator_work
-        )
-        report.response_seconds = scan_elapsed + coordinator_work + queue_delay
+        report.response_seconds = ctx.scan_elapsed + ctx.coordinator_seconds
         report.rows_returned = len(envs)
-
-        table = self._envs_to_table(plan, envs)
-        return table, report
-
-    # -- scan materialization -----------------------------------------------------
-
-    def _ambiguous_fields(self, plan: PhysicalPlan) -> set[str]:
-        """Field names appearing in more than one scan's schema."""
-        seen: set[str] = set()
-        ambiguous: set[str] = set()
-        for assignment in plan.assignments.values():
-            schema = self._schema_of(assignment)
-            for name in schema.field_names:
-                if name in seen:
-                    ambiguous.add(name)
-                seen.add(name)
-        return ambiguous
-
-    def _schema_of(self, assignment: ScanAssignment) -> Schema:
-        if assignment.kind == "view":
-            assert assignment.view is not None
-            return assignment.view.schema
-        return self.catalog.entry(assignment.table_name).schema
-
-    def _materialize_scan(
-        self,
-        plan: PhysicalPlan,
-        assignment: ScanAssignment,
-        ambiguous: set[str],
-        report: ExecutionReport,
-    ) -> tuple[list[Env], Schema, float]:
-        scan_node = self._find_scan(plan.logical, assignment.binding)
-        predicates = scan_node.pushdown if scan_node is not None else []
-        now = self.catalog.clock.now()
-
-        if assignment.kind == "view":
-            table, elapsed = self._scan_view(plan, assignment, predicates, report)
-            report.staleness_seconds = max(
-                report.staleness_seconds, assignment.view.staleness(now)
-            )
-        elif assignment.kind == "fragments":
-            table, elapsed = self._scan_fragments(plan, assignment, predicates, report)
-        elif assignment.kind == "cache":
-            table, elapsed = self._scan_cache(plan, assignment, report)
-        else:
-            raise QueryError(f"unknown scan kind {assignment.kind!r}")
-
-        if assignment.text_filter is not None:
-            table = self._apply_text_filter(assignment, table)
-        elif assignment.kind == "fragments":
-            # Expose the live result so the engine's semantic cache can
-            # remember this predicate region (text-filtered scans are not
-            # cacheable under the pushdown key alone).
-            report.scan_tables[assignment.binding] = table
-
-        report.rows_fetched += len(table)
-        schema = table.schema
-        envs = [
-            self._row_env(assignment.binding, schema, values, ambiguous)
-            for values in table.rows
-        ]
-        return envs, schema, elapsed
-
-    def _scan_fragments(
-        self,
-        plan: PhysicalPlan,
-        assignment: ScanAssignment,
-        predicates,
-        report: ExecutionReport,
-    ) -> tuple[Table, float]:
-        if not assignment.choices:
-            raise QueryError(
-                f"scan of {assignment.table_name!r} has no fragment choices"
-            )
-        tables: list[Table] = []
-        elapsed = 0.0
-        for choice in assignment.choices:
-            result, work, delay, site_name = self._scan_with_failover(
-                choice, predicates, report
-            )
-            transfer = self.catalog.network.transfer_seconds(
-                site_name, plan.coordinator, len(result.table)
-            )
-            report.site_work[site_name] = report.site_work.get(site_name, 0.0) + work
-            report.network_seconds += transfer
-            elapsed = max(elapsed, delay + work + transfer)
-            tables.append(result.table)
-        combined = tables[0]
-        for extra in tables[1:]:
-            combined = combined.union_all(extra)
-        return combined, elapsed
-
-    def _scan_with_failover(
-        self,
-        choice: FragmentChoice,
-        predicates,
-        report: ExecutionReport,
-    ):
-        """Run one fragment scan, rerouting to another live replica if the
-        chosen site died after optimization (§3.2 C8's robustness under
-        "issues that lie outside the control of the query system")."""
-        candidates = [choice.site_name] + [
-            name
-            for name in choice.fragment.replica_sites()
-            if name != choice.site_name
-        ]
-        last_error: Exception | None = None
-        for site_name in candidates:
-            site = self.catalog.site(site_name)
-            if not site.up:
-                continue
-            try:
-                result, work, delay = site.execute_scan(
-                    choice.fragment.replicas[site_name], predicates
-                )
-            except SourceUnavailableError as error:
-                last_error = error
-                continue
-            if site_name != choice.site_name:
-                report.failovers += 1
-            return result, work, delay, site_name
-        raise QueryError(
-            f"every replica of {choice.fragment.table_name}/"
-            f"{choice.fragment.fragment_id} is unavailable"
-            + (f" (last error: {last_error})" if last_error else "")
-        )
-
-    def _scan_view(
-        self,
-        plan: PhysicalPlan,
-        assignment: ScanAssignment,
-        predicates,
-        report: ExecutionReport,
-    ) -> tuple[Table, float]:
-        view = assignment.view
-        if view is None or view.data is None:
-            raise QueryError(f"view scan for {assignment.table_name!r} has no data")
-        site = self.catalog.site(view.site_name)
-        table = apply_predicates(view.data, predicates)
-        work = site.process(len(table))
-        transfer = self.catalog.network.transfer_seconds(
-            view.site_name, plan.coordinator, len(table)
-        )
-        report.site_work[site.name] = report.site_work.get(site.name, 0.0) + work
-        report.network_seconds += transfer
-        return table, work + transfer
-
-    def _scan_cache(
-        self,
-        plan: PhysicalPlan,
-        assignment: ScanAssignment,
-        report: ExecutionReport,
-    ) -> tuple[Table, float]:
-        """Serve a scan from the engine's semantic cache (local rows)."""
-        table = assignment.cached_table
-        if table is None:
-            raise QueryError(
-                f"cache scan for {assignment.table_name!r} has no cached rows"
-            )
-        coordinator = self.catalog.site(plan.coordinator)
-        work = coordinator.process(len(table))
-        report.site_work[coordinator.name] = (
-            report.site_work.get(coordinator.name, 0.0) + work
-        )
-        report.staleness_seconds = max(
-            report.staleness_seconds, assignment.cached_staleness
-        )
-        return table, work
-
-    def _apply_text_filter(self, assignment: ScanAssignment, table: Table) -> Table:
-        entry = self.catalog.entry(assignment.table_name)
-        if entry.text_index is None or entry.key_column is None:
-            raise QueryError(
-                f"MATCH on {assignment.table_name!r} but no text index is registered"
-            )
-        _, query = assignment.text_filter
-        hits = {
-            hit.doc_id
-            for hit in entry.text_index.search(query, limit=entry.estimated_rows() or 1000)
-        }
-        key_index = table.schema.index_of(entry.key_column)
-        filtered = Table(table.schema, validate=False)
-        filtered.rows = [row for row in table.rows if row[key_index] in hits]
-        return filtered
-
-    @staticmethod
-    def _row_env(
-        binding: str, schema: Schema, values: tuple, ambiguous: set[str]
-    ) -> Env:
-        env: Env = {}
-        for field_def, value in zip(schema.fields, values):
-            env[f"{binding}.{field_def.name}"] = value
-            if field_def.name not in ambiguous:
-                env[field_def.name] = value
-        return env
-
-    @staticmethod
-    def _find_scan(node: PlanNode, binding: str) -> ScanNode | None:
-        if isinstance(node, ScanNode):
-            return node if node.binding == binding else None
-        for child in node.children():
-            found = Executor._find_scan(child, binding)
-            if found is not None:
-                return found
-        return None
-
-    # -- logical evaluation at the coordinator ----------------------------------------
-
-    def _run_node(
-        self,
-        node: PlanNode,
-        plan: PhysicalPlan,
-        scans: dict[str, tuple[list[Env], Schema]],
-    ) -> tuple[list[Env], int]:
-        """Evaluate ``node``; returns (envs, rows_processed_for_costing)."""
-        if isinstance(node, ScanNode):
-            envs, _ = scans[node.binding]
-            return list(envs), len(envs)
-        if isinstance(node, FilterNode):
-            child_envs, processed = self._run_node(node.child, plan, scans)
-            kept = [env for env in child_envs if evaluate(node.condition, env)]
-            return kept, processed + len(child_envs)
-        if isinstance(node, JoinNode):
-            return self._run_join(node, plan, scans)
-        if isinstance(node, ProjectNode):
-            child_envs, processed = self._run_node(node.child, plan, scans)
-            projected = self._project(node, child_envs, plan)
-            return projected, processed + len(child_envs)
-        if isinstance(node, AggregateNode):
-            child_envs, processed = self._run_node(node.child, plan, scans)
-            grouped = self._aggregate(node, child_envs)
-            return grouped, processed + len(child_envs)
-        if isinstance(node, SortNode):
-            child_envs, processed = self._run_node(node.child, plan, scans)
-            ordered = self._sort(node, child_envs)
-            return ordered, processed + len(child_envs)
-        if isinstance(node, LimitNode):
-            child_envs, processed = self._run_node(node.child, plan, scans)
-            return child_envs[:node.limit], processed
-        raise QueryError(f"cannot execute plan node {node!r}")
-
-    def _run_join(
-        self,
-        node: JoinNode,
-        plan: PhysicalPlan,
-        scans: dict[str, tuple[list[Env], Schema]],
-    ) -> tuple[list[Env], int]:
-        left_envs, left_processed = self._run_node(node.left, plan, scans)
-        right_envs, right_processed = self._run_node(node.right, plan, scans)
-        processed = left_processed + right_processed + len(left_envs) + len(right_envs)
-
-        outer = node.join_type == "left"
-        null_right: Env = {}
-        if outer:
-            for scan in scans_in(node.right):
-                null_right.update(self._null_envs.get(scan.binding, {}))
-
-        equality = self._equality_keys(node.condition, left_envs, right_envs)
-        joined: list[Env] = []
-        if equality is not None:
-            left_key, right_key = equality
-            buckets: dict[Any, list[Env]] = {}
-            for env in right_envs:
-                buckets.setdefault(env.get(right_key), []).append(env)
-            for left_env in left_envs:
-                value = left_env.get(left_key)
-                matches = buckets.get(value, ()) if value is not None else ()
-                if matches:
-                    for right_env in matches:
-                        joined.append({**left_env, **right_env})
-                elif outer:
-                    joined.append({**left_env, **null_right})
-        else:
-            for left_env in left_envs:
-                matched = False
-                for right_env in right_envs:
-                    merged = {**left_env, **right_env}
-                    if evaluate(node.condition, merged):
-                        joined.append(merged)
-                        matched = True
-                if outer and not matched:
-                    joined.append({**left_env, **null_right})
-            processed += len(left_envs) * max(1, len(right_envs))
-        return joined, processed
-
-    @staticmethod
-    def _equality_keys(
-        condition: Expr, left_envs: list[Env], right_envs: list[Env]
-    ) -> tuple[str, str] | None:
-        """Detect ``left.col = right.col`` to enable the hash join."""
-        if not (isinstance(condition, BinaryOp) and condition.op == "="):
-            return None
-        if not (isinstance(condition.left, Column) and isinstance(condition.right, Column)):
-            return None
-        if not left_envs or not right_envs:
-            return None
-        first_left, first_right = left_envs[0], right_envs[0]
-        a, b = condition.left.qualified, condition.right.qualified
-        if a in first_left and b in first_right:
-            return a, b
-        if b in first_left and a in first_right:
-            return b, a
-        return None
-
-    # -- projection / aggregation / sort ------------------------------------------------
-
-    def _project(
-        self, node: ProjectNode, envs: list[Env], plan: PhysicalPlan
-    ) -> list[Env]:
-        names = self._output_names(node.items, plan)
-        projected: list[Env] = []
-        for env in envs:
-            out: Env = {}
-            for item, name in zip(self._expand_items(node.items, plan), names):
-                out[name] = evaluate(item.expr, env)
-            projected.append(out)
-        if node.distinct:
-            seen: set[tuple] = set()
-            unique: list[Env] = []
-            for env in projected:
-                key = tuple(env[name] for name in names)
-                try:
-                    hashable = key
-                    if hashable not in seen:
-                        seen.add(hashable)
-                        unique.append(env)
-                except TypeError:
-                    unique.append(env)
-            projected = unique
-        return projected
-
-    def _expand_items(
-        self, items: list[SelectItem], plan: PhysicalPlan
-    ) -> list[SelectItem]:
-        """Replace ``*`` / ``alias.*`` with explicit column items."""
-        expanded: list[SelectItem] = []
-        for item in items:
-            if not isinstance(item.expr, Star):
-                expanded.append(item)
-                continue
-            for binding, assignment in plan.assignments.items():
-                if item.expr.qualifier is not None and item.expr.qualifier != binding:
-                    continue
-                schema = self._schema_of(assignment)
-                for field_def in schema.fields:
-                    expanded.append(
-                        SelectItem(Column(field_def.name, qualifier=binding))
-                    )
-        return expanded
-
-    def _output_names(self, items: list[SelectItem], plan: PhysicalPlan) -> list[str]:
-        names: list[str] = []
-        used: set[str] = set()
-        for i, item in enumerate(self._expand_items(items, plan)):
-            if item.alias:
-                name = item.alias
-            elif isinstance(item.expr, Column):
-                name = item.expr.name
-            elif isinstance(item.expr, FuncCall):
-                name = item.expr.name
-            else:
-                name = f"col{i}"
-            base = name
-            suffix = 1
-            while name in used:
-                suffix += 1
-                name = f"{base}_{suffix}"
-            used.add(name)
-            names.append(name)
-        return names
-
-    def _aggregate(self, node: AggregateNode, envs: list[Env]) -> list[Env]:
-        groups: dict[tuple, list[Env]] = {}
-        if node.group_by:
-            for env in envs:
-                key = tuple(evaluate(g, env) for g in node.group_by)
-                groups.setdefault(key, []).append(env)
-        else:
-            groups[()] = list(envs)
-
-        names = self._aggregate_names(node.items)
-        results: list[Env] = []
-        for key in groups:
-            group_envs = groups[key]
-            if not group_envs and node.group_by:
-                continue
-            out: Env = {}
-            for item, name in zip(node.items, names):
-                out[name] = self._eval_with_aggregates(item.expr, group_envs)
-            if node.having is not None:
-                if not self._eval_with_aggregates(node.having, group_envs, boolean=True):
-                    continue
-            results.append(out)
-        # Deterministic output order: by group key representation.
-        results.sort(key=lambda env: tuple(repr(v) for v in env.values()))
-        return results
-
-    @staticmethod
-    def _aggregate_names(items: list[SelectItem]) -> list[str]:
-        names = []
-        for i, item in enumerate(items):
-            if item.alias:
-                names.append(item.alias)
-            elif isinstance(item.expr, Column):
-                names.append(item.expr.name)
-            elif isinstance(item.expr, FuncCall):
-                names.append(item.expr.name)
-            else:
-                names.append(f"col{i}")
-        return names
-
-    def _eval_with_aggregates(
-        self, expr: Expr, group_envs: list[Env], boolean: bool = False
-    ) -> Any:
-        """Evaluate an expression that may contain aggregate calls."""
-        value = self._eval_aggregate_expr(expr, group_envs)
-        return bool(value) if boolean else value
-
-    def _eval_aggregate_expr(self, expr: Expr, group_envs: list[Env]) -> Any:
-        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
-            return self._compute_aggregate(expr, group_envs)
-        if isinstance(expr, BinaryOp):
-            left = self._eval_aggregate_expr(expr.left, group_envs)
-            right = self._eval_aggregate_expr(expr.right, group_envs)
-            return evaluate(
-                BinaryOp(expr.op, _lit(left), _lit(right)), {}
-            )
-        # Non-aggregate sub-expression: evaluate against a representative row.
-        representative = group_envs[0] if group_envs else {}
-        return evaluate(expr, representative)
-
-    @staticmethod
-    def _compute_aggregate(call: FuncCall, group_envs: list[Env]) -> Any:
-        if call.star:
-            if call.name != "count":
-                raise QueryError(f"{call.name}(*) is not a valid aggregate")
-            return len(group_envs)
-        if len(call.args) != 1:
-            raise QueryError(f"aggregate {call.name} takes exactly one argument")
-        values = [evaluate(call.args[0], env) for env in group_envs]
-        values = [v for v in values if v is not None]
-        if call.name == "count":
-            return len(values)
-        if not values:
-            return None
-        if call.name == "sum":
-            total = values[0]
-            for value in values[1:]:
-                total = total + value
-            return total
-        if call.name == "avg":
-            total = values[0]
-            for value in values[1:]:
-                total = total + value
-            return total / len(values)
-        if call.name == "min":
-            return min(values)
-        if call.name == "max":
-            return max(values)
-        raise QueryError(f"unknown aggregate {call.name!r}")
-
-    @staticmethod
-    def _sort(node: SortNode, envs: list[Env]) -> list[Env]:
-        ordered = list(envs)
-        # Stable sorts applied in reverse order give multi-key semantics.
-        for order in reversed(node.order_by):
-            ordered.sort(
-                key=lambda env: _sort_key(evaluate(order.expr, env)),
-                reverse=order.descending,
-            )
-        return ordered
-
-    # -- output construction -------------------------------------------------------------
-
-    def _envs_to_table(self, plan: PhysicalPlan, envs: list[Env]) -> Table:
-        names = self._final_names(plan.logical, plan, envs)
-        rows = [tuple(env.get(name) for name in names) for env in envs]
-        fields = []
-        for i, name in enumerate(names):
-            column_values = [row[i] for row in rows]
-            fields.append(Field(_safe_name(name), _infer_dtype(column_values)))
-        table = Table(Schema("result", tuple(fields)), validate=False)
-        table.rows = rows
-        return table
-
-    def _final_names(
-        self, node: PlanNode, plan: PhysicalPlan, envs: list[Env]
-    ) -> list[str]:
-        if isinstance(node, (SortNode, LimitNode)):
-            return self._final_names(node.child, plan, envs)
-        if isinstance(node, ProjectNode):
-            return self._output_names(node.items, plan)
-        if isinstance(node, AggregateNode):
-            return self._aggregate_names(node.items)
-        # Bare scan/filter/join tree (no projection): emit every env key that
-        # is a bare (unqualified) name, in first-env order.
-        if envs:
-            return [k for k in envs[0] if "." not in k]
-        return []
-
-
-def _lit(value: Any):
-    from repro.sql.ast import Literal
-
-    return Literal(value)
-
-
-def _sort_key(value: Any) -> tuple:
-    """None sorts first; mixed types keep a stable, comparable form."""
-    if value is None:
-        return (0, "")
-    if isinstance(value, bool):
-        return (1, str(value))
-    if isinstance(value, (int, float)):
-        return (2, float(value))
-    if isinstance(value, Money):
-        return (3, value.currency, value.amount)
-    return (4, str(value))
-
-
-def _safe_name(name: str) -> str:
-    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
-    return cleaned or "col"
-
-
-def _infer_dtype(values: list[Any]) -> DataType:
-    for value in values:
-        if value is None:
-            continue
-        if isinstance(value, bool):
-            return DataType.BOOLEAN
-        if isinstance(value, int):
-            return DataType.INTEGER
-        if isinstance(value, float):
-            return DataType.FLOAT
-        if isinstance(value, Money):
-            return DataType.MONEY
-        return DataType.STRING
-    return DataType.STRING
+        report.operators = root.stats_tree()
+        return envs_to_table(root, envs), report

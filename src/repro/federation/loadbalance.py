@@ -86,7 +86,7 @@ class PolicyOptimizer:
         self.name = name or f"policy:{type(policy).__name__}"
 
     def optimize(self, plan, coordinator=None, max_staleness=None):
-        from repro.federation.executor import (
+        from repro.federation.physical import (
             FragmentChoice,
             PhysicalPlan,
             ScanAssignment,

@@ -1,0 +1,1382 @@
+"""The physical operator IR: where each piece of a query actually runs.
+
+A :class:`PhysicalPlan` is the logical tree plus, per scan, the access path
+the optimizer chose.  :class:`PhysicalPlanner` compiles it into a tree of
+operators split across two placements:
+
+* **Site-side operators** (:class:`SiteScan`, :class:`SiteFilter`,
+  :class:`SiteProject`, :class:`PartialAggregate`) run at the site that
+  owns the rows and charge *that* site's backlog.  They produce
+  :class:`SiteBatch` objects -- per-site row batches that remember how much
+  pipeline time they took -- so fragment scans still cost the slowest
+  assignment, not the sum.
+* An explicit :class:`Ship` operator moves each batch over the network
+  model to the coordinator, accounting the transfer and the rows shipped.
+* **Coordinator operators** (:class:`Filter`, :class:`Project`,
+  :class:`HashJoin`, :class:`NestedLoopJoin`, :class:`Aggregate`,
+  :class:`FinalAggregate`, :class:`Sort`, :class:`Limit`) are streaming
+  ``open``/``next``/``close`` iterators charged to the coordinator site.
+
+Every operator records rows in/out, seconds of modeled work and its
+placement site in :class:`OperatorStats`; the engine renders the tree as
+``EXPLAIN ANALYZE`` and feeds it to the metrics registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.connect.source import apply_predicates
+from repro.core.errors import QueryError, SourceUnavailableError
+from repro.core.records import Table
+from repro.core.schema import DataType, Field, Schema
+from repro.core.values import Money
+from repro.federation.catalog import FederationCatalog, Fragment
+from repro.federation.views import MaterializedView
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    FuncCall,
+    InList,
+    Like,
+    Literal,
+    OrderItem,
+    SelectItem,
+    Star,
+    UnaryOp,
+)
+from repro.sql.expressions import evaluate
+from repro.sql.planner import (
+    AggregateNode,
+    FilterNode,
+    JoinNode,
+    LimitNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    SortNode,
+    conjoin,
+    scans_in,
+)
+
+Env = dict[str, Any]
+
+
+# -- the optimizer's output ---------------------------------------------------
+
+
+@dataclass
+class FragmentChoice:
+    """One fragment scan placed on one site."""
+
+    fragment: Fragment
+    site_name: str
+
+
+@dataclass
+class ScanAssignment:
+    """The optimizer's decision for one scan leaf."""
+
+    binding: str
+    table_name: str
+    kind: str  # "fragments" | "view" | "cache"
+    choices: list[FragmentChoice] = field(default_factory=list)
+    view: MaterializedView | None = None
+    text_filter: tuple[str, str] | None = None  # (column, query) -> use text index
+    cached_table: "Table | None" = None  # for kind "cache"
+    cached_staleness: float = 0.0
+
+
+@dataclass
+class PhysicalPlan:
+    """A logical plan plus all physical decisions."""
+
+    logical: PlanNode
+    assignments: dict[str, ScanAssignment]
+    coordinator: str
+    optimizer: str = ""
+    optimization_seconds: float = 0.0  # real wall-clock spent deciding
+    sites_contacted: int = 0
+    total_price: float = 0.0
+    # The compiled operator tree.  Optimizers attach one for inspection;
+    # the executor recompiles at execution time (annotations such as the
+    # cache swap may change between optimization and execution).
+    root: "PhysicalOperator | None" = None
+
+
+@dataclass
+class OperatorStats:
+    """Per-operator accounting surfaced by EXPLAIN ANALYZE."""
+
+    name: str
+    site: str = ""
+    rows_in: int = 0
+    rows_out: int = 0
+    seconds: float = 0.0
+    detail: str = ""
+    children: list["OperatorStats"] = field(default_factory=list)
+
+    def tree_lines(self, depth: int = 0) -> list[str]:
+        parts = [f"{'  ' * depth}{self.name}"]
+        if self.site:
+            parts.append(f"@ {self.site}")
+        parts.append(f"rows_in={self.rows_in} rows_out={self.rows_out}")
+        parts.append(f"seconds={self.seconds:.6f}")
+        if self.detail:
+            parts.append(self.detail)
+        lines = ["  ".join(parts)]
+        for child in self.children:
+            lines.extend(child.tree_lines(depth + 1))
+        return lines
+
+    def walk(self) -> Iterator["OperatorStats"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+
+@dataclass
+class ExecutionReport:
+    """Accounting for one executed query."""
+
+    response_seconds: float = 0.0
+    rows_fetched: int = 0  # rows produced by scans (after source pushdown)
+    rows_shipped: int = 0  # rows that crossed the network to the coordinator
+    rows_returned: int = 0
+    staleness_seconds: float = 0.0
+    network_seconds: float = 0.0
+    site_work: dict[str, float] = field(default_factory=dict)
+    price: float = 0.0
+    failovers: int = 0  # scans re-routed after a site died mid-query
+    # Live fragment-scan outputs, for the engine's semantic cache to store.
+    scan_tables: dict[str, Table] = field(default_factory=dict)
+    operators: OperatorStats | None = None  # per-operator stats tree
+
+
+# -- execution context ---------------------------------------------------------
+
+
+def schema_of(catalog: FederationCatalog, assignment: ScanAssignment) -> Schema:
+    if assignment.kind == "view":
+        assert assignment.view is not None
+        return assignment.view.schema
+    return catalog.entry(assignment.table_name).schema
+
+
+def ambiguous_fields(catalog: FederationCatalog, plan: PhysicalPlan) -> set[str]:
+    """Field names appearing in more than one scan's schema."""
+    seen: set[str] = set()
+    ambiguous: set[str] = set()
+    for assignment in plan.assignments.values():
+        for name in schema_of(catalog, assignment).field_names:
+            if name in seen:
+                ambiguous.add(name)
+            seen.add(name)
+    return ambiguous
+
+
+def row_env(
+    binding: str, schema: Schema, values: tuple, ambiguous: set[str]
+) -> Env:
+    env: Env = {}
+    for field_def, value in zip(schema.fields, values):
+        env[f"{binding}.{field_def.name}"] = value
+        if field_def.name not in ambiguous:
+            env[field_def.name] = value
+    return env
+
+
+class ExecContext:
+    """Shared state for one execution of a physical plan."""
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        plan: PhysicalPlan,
+        report: ExecutionReport,
+    ) -> None:
+        self.catalog = catalog
+        self.plan = plan
+        self.report = report
+        self.coordinator = plan.coordinator
+        self.scan_elapsed = 0.0  # slowest leaf pipeline (scans run in parallel)
+        self.coordinator_seconds = 0.0  # serial coordinator work
+        self.ambiguous = ambiguous_fields(catalog, plan)
+        # Null-extension rows for outer joins: one all-None env per binding.
+        self.null_envs: dict[str, Env] = {}
+        for binding, assignment in plan.assignments.items():
+            schema = schema_of(catalog, assignment)
+            self.null_envs[binding] = row_env(
+                binding, schema, (None,) * len(schema), self.ambiguous
+            )
+
+    def charge_site(self, site_name: str, rows: int) -> float:
+        """Enqueue per-row work on a site's backlog; returns work seconds."""
+        work = self.catalog.site(site_name).process(rows)
+        self.report.site_work[site_name] = (
+            self.report.site_work.get(site_name, 0.0) + work
+        )
+        return work
+
+    def charge_coordinator(self, rows: int) -> float:
+        work = self.charge_site(self.coordinator, rows)
+        self.coordinator_seconds += work
+        return work
+
+
+# -- operator base classes -----------------------------------------------------
+
+
+class PhysicalOperator:
+    """Base coordinator operator: open(ctx) / next() / close() iteration."""
+
+    name = "Operator"
+
+    def __init__(self, *children: "PhysicalOperator") -> None:
+        self.children = [child for child in children if child is not None]
+        self.stats = OperatorStats(self.name)
+
+    def open(self, ctx: ExecContext) -> None:
+        self.stats = OperatorStats(self.name, site=ctx.coordinator)
+        self._ctx = ctx
+        self._closed = False
+        for child in self.children:
+            child.open(ctx)
+        self._rows = self._produce(ctx)
+
+    def next(self) -> Any:
+        row = next(self._rows, None)
+        if row is not None:
+            self.stats.rows_out += 1
+        return row
+
+    def close(self) -> None:
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        self._finish(self._ctx)
+        for child in self.children:
+            child.close()
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        return iter(())
+
+    def _finish(self, ctx: ExecContext) -> None:
+        """Settle accounting once, when the operator closes."""
+
+    def output_names(self) -> list[str] | None:
+        """Column names this operator produces (None: derive from env keys)."""
+        return None
+
+    def stats_tree(self) -> OperatorStats:
+        self.stats.children = [child.stats_tree() for child in self.children]
+        return self.stats
+
+
+@dataclass
+class SiteBatch:
+    """Rows produced at one site, with the pipeline time spent producing them."""
+
+    site: str
+    rows: list
+    elapsed: float  # queue delay + site-side work along this batch's pipeline
+
+
+class SiteOperator(PhysicalOperator):
+    """An operator that runs where the data lives, producing per-site batches."""
+
+    def open(self, ctx: ExecContext) -> None:
+        self.stats = OperatorStats(self.name)
+        self._ctx = ctx
+        self._closed = False
+        for child in self.children:
+            child.open(ctx)
+        self._batches = self._compute(ctx)
+        sites = sorted({batch.site for batch in self._batches})
+        self.stats.site = ",".join(sites) if sites else ctx.coordinator
+        self.stats.rows_out = sum(len(batch.rows) for batch in self._batches)
+
+    def batches(self) -> list[SiteBatch]:
+        return self._batches
+
+    def next(self) -> Any:
+        raise QueryError(
+            f"{self.name} produces site batches; wrap it in a Ship operator"
+        )
+
+    def close(self) -> None:
+        if getattr(self, "_closed", True):
+            return
+        self._closed = True
+        for child in self.children:
+            child.close()
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        raise NotImplementedError
+
+
+# -- site-side operators -------------------------------------------------------
+
+
+class SiteScan(SiteOperator):
+    """Materialize one scan's access path at the sites that own the rows."""
+
+    name = "SiteScan"
+
+    def __init__(self, scan: ScanNode) -> None:
+        super().__init__()
+        self.scan = scan
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        assignment = ctx.plan.assignments.get(self.scan.binding)
+        if assignment is None:
+            raise QueryError(f"no assignment for scan {self.scan.binding!r}")
+        predicates = self.scan.pushdown
+        now = ctx.catalog.clock.now()
+
+        if assignment.kind == "view":
+            table_batches = self._view_batches(ctx, assignment, predicates)
+            ctx.report.staleness_seconds = max(
+                ctx.report.staleness_seconds, assignment.view.staleness(now)
+            )
+        elif assignment.kind == "fragments":
+            table_batches = self._fragment_batches(ctx, assignment, predicates)
+        elif assignment.kind == "cache":
+            table_batches = self._cache_batches(ctx, assignment)
+        else:
+            raise QueryError(f"unknown scan kind {assignment.kind!r}")
+
+        if assignment.text_filter is not None:
+            table_batches = self._apply_text_filter(ctx, assignment, table_batches)
+        elif assignment.kind == "fragments":
+            # Expose the live result so the engine's semantic cache can
+            # remember this predicate region (text-filtered scans are not
+            # cacheable under the pushdown key alone).
+            combined = table_batches[0][1]
+            for _, extra, _ in table_batches[1:]:
+                combined = combined.union_all(extra)
+            ctx.report.scan_tables[assignment.binding] = combined
+
+        ctx.report.rows_fetched += sum(len(t) for _, t, _ in table_batches)
+        self.stats.detail = self._describe(assignment)
+        binding = assignment.binding
+        return [
+            SiteBatch(
+                site,
+                [
+                    row_env(binding, table.schema, values, ctx.ambiguous)
+                    for values in table.rows
+                ],
+                elapsed,
+            )
+            for site, table, elapsed in table_batches
+        ]
+
+    # each access path returns [(site_name, table, elapsed_seconds)]
+
+    def _fragment_batches(
+        self, ctx: ExecContext, assignment: ScanAssignment, predicates
+    ) -> list[tuple[str, Table, float]]:
+        if not assignment.choices:
+            raise QueryError(
+                f"scan of {assignment.table_name!r} has no fragment choices"
+            )
+        batches = []
+        for choice in assignment.choices:
+            result, work, delay, site_name = self._scan_with_failover(
+                ctx, choice, predicates
+            )
+            ctx.report.site_work[site_name] = (
+                ctx.report.site_work.get(site_name, 0.0) + work
+            )
+            self.stats.seconds += work
+            batches.append((site_name, result.table, delay + work))
+        return batches
+
+    def _scan_with_failover(self, ctx: ExecContext, choice, predicates):
+        """Run one fragment scan, rerouting to another live replica if the
+        chosen site died after optimization (§3.2 C8's robustness under
+        "issues that lie outside the control of the query system")."""
+        candidates = [choice.site_name] + [
+            name
+            for name in choice.fragment.replica_sites()
+            if name != choice.site_name
+        ]
+        last_error: Exception | None = None
+        for site_name in candidates:
+            site = ctx.catalog.site(site_name)
+            if not site.up:
+                continue
+            try:
+                result, work, delay = site.execute_scan(
+                    choice.fragment.replicas[site_name], predicates
+                )
+            except SourceUnavailableError as error:
+                last_error = error
+                continue
+            if site_name != choice.site_name:
+                ctx.report.failovers += 1
+            return result, work, delay, site_name
+        raise QueryError(
+            f"every replica of {choice.fragment.table_name}/"
+            f"{choice.fragment.fragment_id} is unavailable"
+            + (f" (last error: {last_error})" if last_error else "")
+        )
+
+    def _view_batches(
+        self, ctx: ExecContext, assignment: ScanAssignment, predicates
+    ) -> list[tuple[str, Table, float]]:
+        view = assignment.view
+        if view is None or view.data is None:
+            raise QueryError(f"view scan for {assignment.table_name!r} has no data")
+        table = apply_predicates(view.data, predicates)
+        work = ctx.charge_site(view.site_name, len(table))
+        self.stats.seconds += work
+        view.rows_served += len(table)
+        return [(view.site_name, table, work)]
+
+    def _cache_batches(
+        self, ctx: ExecContext, assignment: ScanAssignment
+    ) -> list[tuple[str, Table, float]]:
+        """Serve a scan from the engine's semantic cache (coordinator-local)."""
+        table = assignment.cached_table
+        if table is None:
+            raise QueryError(
+                f"cache scan for {assignment.table_name!r} has no cached rows"
+            )
+        work = ctx.charge_site(ctx.coordinator, len(table))
+        self.stats.seconds += work
+        ctx.report.staleness_seconds = max(
+            ctx.report.staleness_seconds, assignment.cached_staleness
+        )
+        return [(ctx.coordinator, table, work)]
+
+    def _apply_text_filter(
+        self,
+        ctx: ExecContext,
+        assignment: ScanAssignment,
+        table_batches: list[tuple[str, Table, float]],
+    ) -> list[tuple[str, Table, float]]:
+        entry = ctx.catalog.entry(assignment.table_name)
+        if entry.text_index is None or entry.key_column is None:
+            raise QueryError(
+                f"MATCH on {assignment.table_name!r} but no text index is registered"
+            )
+        _, query = assignment.text_filter
+        hits = {
+            hit.doc_id
+            for hit in entry.text_index.search(
+                query, limit=entry.estimated_rows() or 1000
+            )
+        }
+        filtered_batches = []
+        for site, table, elapsed in table_batches:
+            key_index = table.schema.index_of(entry.key_column)
+            filtered = Table(table.schema, validate=False)
+            filtered.rows = [row for row in table.rows if row[key_index] in hits]
+            filtered_batches.append((site, filtered, elapsed))
+        return filtered_batches
+
+    def _describe(self, assignment: ScanAssignment) -> str:
+        if assignment.kind == "view":
+            detail = f"view {assignment.view.name} @ {assignment.view.site_name}"
+        elif assignment.kind == "cache":
+            detail = "semantic cache"
+        else:
+            placed = ", ".join(
+                f"{c.fragment.fragment_id}@{c.site_name}" for c in assignment.choices
+            )
+            detail = f"fragments [{placed}]"
+        if self.scan.pushdown:
+            predicates = ", ".join(
+                f"{p.column} {p.op} {p.value!r}" for p in self.scan.pushdown
+            )
+            detail += f" pushdown({predicates})"
+        if assignment.text_filter is not None:
+            detail += f" text-index{assignment.text_filter!r}"
+        return f"{self.scan.table} as {self.scan.binding}: {detail}"
+
+
+class SiteFilter(SiteOperator):
+    """Evaluate residual single-binding conjuncts where the rows live."""
+
+    name = "SiteFilter"
+
+    def __init__(self, child: SiteOperator, condition: Expr) -> None:
+        super().__init__(child)
+        self.condition = condition
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        out = []
+        for batch in self.children[0].batches():
+            self.stats.rows_in += len(batch.rows)
+            kept = [env for env in batch.rows if evaluate(self.condition, env)]
+            work = ctx.charge_site(batch.site, len(batch.rows))
+            self.stats.seconds += work
+            out.append(SiteBatch(batch.site, kept, batch.elapsed + work))
+        self.stats.detail = describe_expr(self.condition)
+        return out
+
+
+class SiteProject(SiteOperator):
+    """Strip unneeded columns before rows ship (projection pruning)."""
+
+    name = "SiteProject"
+
+    def __init__(self, child: SiteOperator, binding: str, keep: tuple[str, ...]) -> None:
+        super().__init__(child)
+        self.binding = binding
+        self.keep = keep
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        allowed = set()
+        for name in self.keep:
+            allowed.add(f"{self.binding}.{name}")
+            allowed.add(name)  # bare key exists only when unambiguous
+        out = []
+        for batch in self.children[0].batches():
+            self.stats.rows_in += len(batch.rows)
+            pruned = [
+                {key: env[key] for key in env.keys() & allowed} for env in batch.rows
+            ]
+            work = ctx.charge_site(batch.site, len(batch.rows))
+            self.stats.seconds += work
+            out.append(SiteBatch(batch.site, pruned, batch.elapsed + work))
+        self.stats.detail = f"keep({', '.join(self.keep)})"
+        return out
+
+
+@dataclass
+class PartialGroup:
+    """One group's partial aggregate state, computed at a site."""
+
+    key: tuple
+    count: int  # rows in the group (count(*), avg denominators)
+    states: dict[str, Any]  # repr(aggregate call) -> partial state
+    representative: Env  # first row seen, for non-aggregate expressions
+
+
+def partial_state(call: FuncCall, envs: list[Env]) -> Any:
+    """This site's partial state for one aggregate call over one group."""
+    if call.star:
+        if call.name != "count":
+            raise QueryError(f"{call.name}(*) is not a valid aggregate")
+        return len(envs)
+    if len(call.args) != 1:
+        raise QueryError(f"aggregate {call.name} takes exactly one argument")
+    values = [evaluate(call.args[0], env) for env in envs]
+    values = [v for v in values if v is not None]
+    if call.name == "count":
+        return len(values)
+    if call.name == "avg":
+        if not values:
+            return (None, 0)
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return (total, len(values))
+    if not values:
+        return None
+    if call.name == "sum":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+    if call.name == "min":
+        return min(values)
+    if call.name == "max":
+        return max(values)
+    raise QueryError(f"unknown aggregate {call.name!r}")
+
+
+def merge_state(call: FuncCall, a: Any, b: Any) -> Any:
+    """Combine two sites' partial states for one aggregate call."""
+    if call.star or call.name == "count":
+        return a + b
+    if call.name == "avg":
+        (total_a, n_a), (total_b, n_b) = a, b
+        if n_a == 0:
+            return b
+        if n_b == 0:
+            return a
+        return (total_a + total_b, n_a + n_b)
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if call.name == "sum":
+        return a + b
+    if call.name == "min":
+        return min(a, b)
+    if call.name == "max":
+        return max(a, b)
+    raise QueryError(f"unknown aggregate {call.name!r}")
+
+
+def final_value(call: FuncCall, group: PartialGroup) -> Any:
+    state = group.states[repr(call)]
+    if call.star:
+        return group.count
+    if call.name == "avg":
+        total, count = state
+        return None if count == 0 else total / count
+    return state  # count/sum/min/max carry their final value directly
+
+
+class PartialAggregate(SiteOperator):
+    """Aggregate each site's rows locally; ship one record per group."""
+
+    name = "PartialAggregate"
+
+    def __init__(self, child: SiteOperator, node: AggregateNode) -> None:
+        super().__init__(child)
+        self.node = node
+        assert node.split is not None
+        self.calls = node.split.calls
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        out = []
+        for batch in self.children[0].batches():
+            self.stats.rows_in += len(batch.rows)
+            groups: dict[tuple, list[Env]] = {}
+            if self.node.group_by:
+                for env in batch.rows:
+                    key = tuple(evaluate(g, env) for g in self.node.group_by)
+                    groups.setdefault(key, []).append(env)
+            else:
+                groups[()] = list(batch.rows)
+            records = []
+            for key, group_envs in groups.items():
+                states = {
+                    repr(call): partial_state(call, group_envs)
+                    for call in self.calls
+                }
+                records.append(
+                    PartialGroup(
+                        key,
+                        len(group_envs),
+                        states,
+                        group_envs[0] if group_envs else {},
+                    )
+                )
+            work = ctx.charge_site(batch.site, len(batch.rows))
+            self.stats.seconds += work
+            out.append(SiteBatch(batch.site, records, batch.elapsed + work))
+        self.stats.detail = ", ".join(describe_expr(c) for c in self.calls)
+        return out
+
+
+# -- the network boundary ------------------------------------------------------
+
+
+class Ship(PhysicalOperator):
+    """Move site batches to the coordinator over the network model.
+
+    The slowest (pipeline + transfer) batch sets the parallel-scan phase's
+    elapsed time; rows from batches not already at the coordinator count as
+    shipped.
+    """
+
+    name = "Ship"
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        rows: list[Any] = []
+        arrival = 0.0
+        shipped = 0
+        transfer_total = 0.0
+        sources = set()
+        for batch in self.children[0].batches():
+            transfer = ctx.catalog.network.transfer_seconds(
+                batch.site, ctx.coordinator, len(batch.rows)
+            )
+            ctx.report.network_seconds += transfer
+            transfer_total += transfer
+            if batch.site != ctx.coordinator:
+                shipped += len(batch.rows)
+                sources.add(batch.site)
+            arrival = max(arrival, batch.elapsed + transfer)
+            rows.extend(batch.rows)
+        ctx.scan_elapsed = max(ctx.scan_elapsed, arrival)
+        ctx.report.rows_shipped += shipped
+        self.stats.rows_in = len(rows)
+        # Unpacking arrived rows is coordinator work, as in the old walker.
+        unpack = ctx.charge_coordinator(len(rows))
+        self.stats.seconds = transfer_total + unpack
+        self.stats.detail = (
+            f"from {', '.join(sorted(sources))}" if sources else "coordinator-local"
+        )
+        yield from rows
+
+
+# -- coordinator operators -----------------------------------------------------
+
+
+class Filter(PhysicalOperator):
+    """Residual row filter at the coordinator (streaming)."""
+
+    name = "Filter"
+
+    def __init__(self, child: PhysicalOperator, condition: Expr) -> None:
+        super().__init__(child)
+        self.condition = condition
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self.stats.detail = describe_expr(self.condition)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        child = self.children[0]
+        while (env := child.next()) is not None:
+            self.stats.rows_in += 1
+            if evaluate(self.condition, env):
+                yield env
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(self.stats.rows_in)
+
+
+class _JoinBase(PhysicalOperator):
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        condition: Expr,
+        join_type: str,
+        right_bindings: list[str],
+    ) -> None:
+        super().__init__(left, right)
+        self.condition = condition
+        self.join_type = join_type
+        self.right_bindings = right_bindings
+        self._extra_charge = 0
+
+    def _null_right(self, ctx: ExecContext) -> Env:
+        null_right: Env = {}
+        for binding in self.right_bindings:
+            null_right.update(ctx.null_envs.get(binding, {}))
+        return null_right
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(
+            self.stats.rows_in + self._extra_charge
+        )
+
+
+class HashJoin(_JoinBase):
+    """Build on the right input, stream probes from the left.
+
+    The equality keys are resolved at runtime against the first row of each
+    input (qualified names may or may not be present depending on the
+    projection); when they do not resolve, the operator degrades to a
+    nested-loop evaluation of the same condition.
+    """
+
+    name = "HashJoin"
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self.stats.detail = describe_expr(self.condition)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        left, right = self.children
+        right_envs = []
+        while (env := right.next()) is not None:
+            self.stats.rows_in += 1
+            right_envs.append(env)
+        outer = self.join_type == "left"
+        null_right = self._null_right(ctx) if outer else {}
+
+        first_left = left.next()
+        keys = equality_keys(
+            self.condition, first_left, right_envs[0] if right_envs else None
+        )
+        if keys is not None:
+            left_key, right_key = keys
+            buckets: dict[Any, list[Env]] = {}
+            for env in right_envs:
+                buckets.setdefault(env.get(right_key), []).append(env)
+            env = first_left
+            while env is not None:
+                self.stats.rows_in += 1
+                value = env.get(left_key)
+                matches = buckets.get(value, ()) if value is not None else ()
+                if matches:
+                    for right_env in matches:
+                        yield {**env, **right_env}
+                elif outer:
+                    yield {**env, **null_right}
+                env = left.next()
+            return
+
+        # Keys did not resolve (empty input or non-column condition form):
+        # fall back to nested-loop semantics over the same condition.
+        self.stats.detail = f"nested-loop fallback {describe_expr(self.condition)}"
+        left_envs = []
+        env = first_left
+        while env is not None:
+            self.stats.rows_in += 1
+            left_envs.append(env)
+            env = left.next()
+        self._extra_charge = len(left_envs) * max(1, len(right_envs))
+        yield from _nested_loop(
+            left_envs, right_envs, self.condition, outer, null_right
+        )
+
+
+class NestedLoopJoin(_JoinBase):
+    """General-condition join: evaluate the predicate per row pair."""
+
+    name = "NestedLoopJoin"
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self.stats.detail = describe_expr(self.condition)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        left, right = self.children
+        right_envs = []
+        while (env := right.next()) is not None:
+            self.stats.rows_in += 1
+            right_envs.append(env)
+        left_envs = []
+        while (env := left.next()) is not None:
+            self.stats.rows_in += 1
+            left_envs.append(env)
+        outer = self.join_type == "left"
+        null_right = self._null_right(ctx) if outer else {}
+        self._extra_charge = len(left_envs) * max(1, len(right_envs))
+        yield from _nested_loop(
+            left_envs, right_envs, self.condition, outer, null_right
+        )
+
+
+def _nested_loop(
+    left_envs: list[Env],
+    right_envs: list[Env],
+    condition: Expr,
+    outer: bool,
+    null_right: Env,
+) -> Iterator[Env]:
+    for left_env in left_envs:
+        matched = False
+        for right_env in right_envs:
+            merged = {**left_env, **right_env}
+            if evaluate(condition, merged):
+                matched = True
+                yield merged
+        if outer and not matched:
+            yield {**left_env, **null_right}
+
+
+def equality_keys(
+    condition: Expr, left_env: Env | None, right_env: Env | None
+) -> tuple[str, str] | None:
+    """Detect ``left.col = right.col`` to enable the hash path."""
+    if not (isinstance(condition, BinaryOp) and condition.op == "="):
+        return None
+    if not (
+        isinstance(condition.left, Column) and isinstance(condition.right, Column)
+    ):
+        return None
+    if left_env is None or right_env is None:
+        return None
+    a, b = condition.left.qualified, condition.right.qualified
+    if a in left_env and b in right_env:
+        return a, b
+    if b in left_env and a in right_env:
+        return b, a
+    return None
+
+
+class Project(PhysicalOperator):
+    """Evaluate select items (and DISTINCT) at the coordinator."""
+
+    name = "Project"
+
+    def __init__(
+        self, child: PhysicalOperator, items: list[SelectItem], distinct: bool
+    ) -> None:
+        super().__init__(child)
+        self.items = items
+        self.distinct = distinct
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self._expanded = expand_items(self.items, ctx.plan, ctx.catalog)
+        self._names = output_names(self.items, ctx.plan, ctx.catalog)
+        self.stats.detail = ("distinct " if self.distinct else "") + ", ".join(
+            self._names
+        )
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        seen: set[tuple] = set()
+        child = self.children[0]
+        while (env := child.next()) is not None:
+            self.stats.rows_in += 1
+            out: Env = {}
+            for item, name in zip(self._expanded, self._names):
+                out[name] = evaluate(item.expr, env)
+            if self.distinct:
+                key = tuple(out[name] for name in self._names)
+                try:
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                except TypeError:
+                    pass  # unhashable values: keep the row, as before
+            yield out
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(self.stats.rows_in)
+
+    def output_names(self) -> list[str] | None:
+        return self._names
+
+
+class Aggregate(PhysicalOperator):
+    """Whole-group aggregation at the coordinator (multi-table plans)."""
+
+    name = "Aggregate"
+
+    def __init__(self, child: PhysicalOperator, node: AggregateNode) -> None:
+        super().__init__(child)
+        self.node = node
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self._names = aggregate_names(self.node.items)
+        self.stats.detail = ", ".join(self._names)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        envs = []
+        child = self.children[0]
+        while (env := child.next()) is not None:
+            envs.append(env)
+        self.stats.rows_in = len(envs)
+
+        node = self.node
+        groups: dict[tuple, list[Env]] = {}
+        if node.group_by:
+            for env in envs:
+                key = tuple(evaluate(g, env) for g in node.group_by)
+                groups.setdefault(key, []).append(env)
+        else:
+            groups[()] = envs
+
+        results: list[Env] = []
+        for group_envs in groups.values():
+            if not group_envs and node.group_by:
+                continue
+            out: Env = {}
+            for item, name in zip(node.items, self._names):
+                out[name] = eval_aggregate_expr(item.expr, group_envs)
+            if node.having is not None:
+                if not bool(eval_aggregate_expr(node.having, group_envs)):
+                    continue
+            results.append(out)
+        # Deterministic output order: by group key representation.
+        results.sort(key=lambda env: tuple(repr(v) for v in env.values()))
+        yield from results
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(self.stats.rows_in)
+
+    def output_names(self) -> list[str] | None:
+        return aggregate_names(self.node.items)
+
+
+class FinalAggregate(PhysicalOperator):
+    """Merge sites' partial aggregate states into final groups."""
+
+    name = "FinalAggregate"
+
+    def __init__(self, child: PhysicalOperator, node: AggregateNode) -> None:
+        super().__init__(child)
+        self.node = node
+        assert node.split is not None
+        self.calls = node.split.calls
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self._names = aggregate_names(self.node.items)
+        self.stats.detail = ", ".join(self._names)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        merged: dict[tuple, PartialGroup] = {}
+        child = self.children[0]
+        while (record := child.next()) is not None:
+            self.stats.rows_in += 1
+            seen = merged.get(record.key)
+            if seen is None:
+                merged[record.key] = PartialGroup(
+                    record.key, record.count, dict(record.states), record.representative
+                )
+                continue
+            seen.count += record.count
+            for call in self.calls:
+                key = repr(call)
+                seen.states[key] = merge_state(call, seen.states[key], record.states[key])
+            if not seen.representative and record.representative:
+                seen.representative = record.representative
+
+        if not self.node.group_by and not merged:
+            merged[()] = PartialGroup(
+                (), 0, {repr(call): partial_state(call, []) for call in self.calls}, {}
+            )
+
+        results: list[Env] = []
+        for group in merged.values():
+            if group.count == 0 and self.node.group_by:
+                continue
+            out: Env = {}
+            for item, name in zip(self.node.items, self._names):
+                out[name] = self._eval_merged(item.expr, group)
+            if self.node.having is not None:
+                if not bool(self._eval_merged(self.node.having, group)):
+                    continue
+            results.append(out)
+        results.sort(key=lambda env: tuple(repr(v) for v in env.values()))
+        yield from results
+
+    def _eval_merged(self, expr: Expr, group: PartialGroup) -> Any:
+        if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+            return final_value(expr, group)
+        if isinstance(expr, BinaryOp):
+            left = self._eval_merged(expr.left, group)
+            right = self._eval_merged(expr.right, group)
+            return evaluate(BinaryOp(expr.op, Literal(left), Literal(right)), {})
+        # Non-aggregate sub-expression: evaluate against a representative row.
+        return evaluate(expr, group.representative)
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(self.stats.rows_in)
+
+    def output_names(self) -> list[str] | None:
+        return aggregate_names(self.node.items)
+
+
+class Sort(PhysicalOperator):
+    """Blocking multi-key sort at the coordinator."""
+
+    name = "Sort"
+
+    def __init__(self, child: PhysicalOperator, order_by: list[OrderItem]) -> None:
+        super().__init__(child)
+        self.order_by = order_by
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self.stats.detail = ", ".join(
+            describe_expr(o.expr) + (" desc" if o.descending else "")
+            for o in self.order_by
+        )
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        envs = []
+        child = self.children[0]
+        while (env := child.next()) is not None:
+            envs.append(env)
+        self.stats.rows_in = len(envs)
+        # Stable sorts applied in reverse order give multi-key semantics.
+        for order in reversed(self.order_by):
+            envs.sort(
+                key=lambda env: _sort_key(evaluate(order.expr, env)),
+                reverse=order.descending,
+            )
+        yield from envs
+
+    def _finish(self, ctx: ExecContext) -> None:
+        self.stats.seconds += ctx.charge_coordinator(self.stats.rows_in)
+
+    def output_names(self) -> list[str] | None:
+        return self.children[0].output_names()
+
+
+class Limit(PhysicalOperator):
+    """Stop pulling from the child after ``limit`` rows."""
+
+    name = "Limit"
+
+    def __init__(self, child: PhysicalOperator, limit: int) -> None:
+        super().__init__(child)
+        self.limit = limit
+
+    def open(self, ctx: ExecContext) -> None:
+        super().open(ctx)
+        self.stats.detail = str(self.limit)
+
+    def _produce(self, ctx: ExecContext) -> Iterator[Any]:
+        child = self.children[0]
+        produced = 0
+        while produced < self.limit:
+            env = child.next()
+            if env is None:
+                return
+            self.stats.rows_in += 1
+            produced += 1
+            yield env
+
+    def output_names(self) -> list[str] | None:
+        return self.children[0].output_names()
+
+
+# -- naming / projection helpers -----------------------------------------------
+
+
+def expand_items(
+    items: list[SelectItem], plan: PhysicalPlan, catalog: FederationCatalog
+) -> list[SelectItem]:
+    """Replace ``*`` / ``alias.*`` with explicit column items."""
+    expanded: list[SelectItem] = []
+    for item in items:
+        if not isinstance(item.expr, Star):
+            expanded.append(item)
+            continue
+        for binding, assignment in plan.assignments.items():
+            if item.expr.qualifier is not None and item.expr.qualifier != binding:
+                continue
+            for field_def in schema_of(catalog, assignment).fields:
+                expanded.append(SelectItem(Column(field_def.name, qualifier=binding)))
+    return expanded
+
+
+def output_names(
+    items: list[SelectItem], plan: PhysicalPlan, catalog: FederationCatalog
+) -> list[str]:
+    names: list[str] = []
+    used: set[str] = set()
+    for i, item in enumerate(expand_items(items, plan, catalog)):
+        if item.alias:
+            name = item.alias
+        elif isinstance(item.expr, Column):
+            name = item.expr.name
+        elif isinstance(item.expr, FuncCall):
+            name = item.expr.name
+        else:
+            name = f"col{i}"
+        base = name
+        suffix = 1
+        while name in used:
+            suffix += 1
+            name = f"{base}_{suffix}"
+        used.add(name)
+        names.append(name)
+    return names
+
+
+def aggregate_names(items: list[SelectItem]) -> list[str]:
+    names = []
+    for i, item in enumerate(items):
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, Column):
+            names.append(item.expr.name)
+        elif isinstance(item.expr, FuncCall):
+            names.append(item.expr.name)
+        else:
+            names.append(f"col{i}")
+    return names
+
+
+def eval_aggregate_expr(expr: Expr, group_envs: list[Env]) -> Any:
+    """Evaluate an expression that may contain aggregate calls."""
+    if isinstance(expr, FuncCall) and expr.name in AGGREGATE_FUNCTIONS:
+        return compute_aggregate(expr, group_envs)
+    if isinstance(expr, BinaryOp):
+        left = eval_aggregate_expr(expr.left, group_envs)
+        right = eval_aggregate_expr(expr.right, group_envs)
+        return evaluate(BinaryOp(expr.op, Literal(left), Literal(right)), {})
+    # Non-aggregate sub-expression: evaluate against a representative row.
+    representative = group_envs[0] if group_envs else {}
+    return evaluate(expr, representative)
+
+
+def compute_aggregate(call: FuncCall, group_envs: list[Env]) -> Any:
+    if call.star:
+        if call.name != "count":
+            raise QueryError(f"{call.name}(*) is not a valid aggregate")
+        return len(group_envs)
+    if len(call.args) != 1:
+        raise QueryError(f"aggregate {call.name} takes exactly one argument")
+    values = [evaluate(call.args[0], env) for env in group_envs]
+    values = [v for v in values if v is not None]
+    if call.name == "count":
+        return len(values)
+    if not values:
+        return None
+    if call.name == "sum":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total
+    if call.name == "avg":
+        total = values[0]
+        for value in values[1:]:
+            total = total + value
+        return total / len(values)
+    if call.name == "min":
+        return min(values)
+    if call.name == "max":
+        return max(values)
+    raise QueryError(f"unknown aggregate {call.name!r}")
+
+
+def describe_expr(expr: Expr) -> str:
+    """Compact SQL-ish rendering for EXPLAIN output."""
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, Column):
+        return expr.qualified
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinaryOp):
+        return f"({describe_expr(expr.left)} {expr.op} {describe_expr(expr.right)})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {describe_expr(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        args = "*" if expr.star else ", ".join(describe_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, InList):
+        items = ", ".join(describe_expr(i) for i in expr.items)
+        negated = "not " if expr.negated else ""
+        return f"({describe_expr(expr.operand)} {negated}in ({items}))"
+    if isinstance(expr, Between):
+        negated = "not " if expr.negated else ""
+        return (
+            f"({describe_expr(expr.operand)} {negated}between "
+            f"{describe_expr(expr.low)} and {describe_expr(expr.high)})"
+        )
+    if isinstance(expr, Like):
+        negated = "not " if expr.negated else ""
+        return f"({describe_expr(expr.operand)} {negated}like {expr.pattern!r})"
+    return repr(expr)
+
+
+# -- compilation ---------------------------------------------------------------
+
+
+class PhysicalPlanner:
+    """Compiles a PhysicalPlan's logical tree into a physical operator tree."""
+
+    def __init__(self, catalog: FederationCatalog) -> None:
+        self.catalog = catalog
+
+    def compile(self, plan: PhysicalPlan) -> PhysicalOperator:
+        root = self._node(plan.logical, plan)
+        plan.root = root
+        return root
+
+    def _node(self, node: PlanNode, plan: PhysicalPlan) -> PhysicalOperator:
+        if isinstance(node, ScanNode):
+            return Ship(self._site_pipeline(node, plan))
+        if isinstance(node, FilterNode):
+            return Filter(self._node(node.child, plan), node.condition)
+        if isinstance(node, JoinNode):
+            left = self._node(node.left, plan)
+            right = self._node(node.right, plan)
+            right_bindings = [scan.binding for scan in scans_in(node.right)]
+            condition = node.condition
+            if (
+                isinstance(condition, BinaryOp)
+                and condition.op == "="
+                and isinstance(condition.left, Column)
+                and isinstance(condition.right, Column)
+            ):
+                return HashJoin(left, right, condition, node.join_type, right_bindings)
+            return NestedLoopJoin(
+                left, right, condition, node.join_type, right_bindings
+            )
+        if isinstance(node, ProjectNode):
+            return Project(self._node(node.child, plan), node.items, node.distinct)
+        if isinstance(node, AggregateNode):
+            if node.split is not None and isinstance(node.child, ScanNode):
+                pipeline = PartialAggregate(
+                    self._site_pipeline(node.child, plan), node
+                )
+                return FinalAggregate(Ship(pipeline), node)
+            return Aggregate(self._node(node.child, plan), node)
+        if isinstance(node, SortNode):
+            return Sort(self._node(node.child, plan), node.order_by)
+        if isinstance(node, LimitNode):
+            return Limit(self._node(node.child, plan), node.limit)
+        raise QueryError(f"cannot compile plan node {node!r}")
+
+    def _site_pipeline(self, scan: ScanNode, plan: PhysicalPlan) -> SiteOperator:
+        op: SiteOperator = SiteScan(scan)
+        if scan.site_filters:
+            op = SiteFilter(op, conjoin(list(scan.site_filters)))
+        keep = self._kept_columns(scan, plan)
+        if keep is not None:
+            op = SiteProject(op, scan.binding, keep)
+        return op
+
+    def _kept_columns(
+        self, scan: ScanNode, plan: PhysicalPlan
+    ) -> tuple[str, ...] | None:
+        if scan.needed_columns is None:
+            return None
+        assignment = plan.assignments.get(scan.binding)
+        if assignment is None:
+            return None
+        fields = set(schema_of(self.catalog, assignment).field_names)
+        keep = scan.needed_columns & fields
+        if keep >= fields:
+            return None  # nothing to prune
+        return tuple(sorted(keep))
+
+
+# -- output construction -------------------------------------------------------
+
+
+def envs_to_table(root: PhysicalOperator, envs: list[Env]) -> Table:
+    names = root.output_names()
+    if names is None:
+        # Bare scan/filter/join tree (no projection): emit every env key that
+        # is a bare (unqualified) name, in first-env order.
+        names = [k for k in envs[0] if "." not in k] if envs else []
+    rows = [tuple(env.get(name) for name in names) for env in envs]
+    fields = []
+    for i, name in enumerate(names):
+        column_values = [row[i] for row in rows]
+        fields.append(Field(_safe_name(name), _infer_dtype(column_values)))
+    table = Table(Schema("result", tuple(fields)), validate=False)
+    table.rows = rows
+    return table
+
+
+def _sort_key(value: Any) -> tuple:
+    """None sorts first; mixed types keep a stable, comparable form."""
+    if value is None:
+        return (0, "")
+    if isinstance(value, bool):
+        return (1, str(value))
+    if isinstance(value, (int, float)):
+        return (2, float(value))
+    if isinstance(value, Money):
+        return (3, value.currency, value.amount)
+    return (4, str(value))
+
+
+def _safe_name(name: str) -> str:
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    return cleaned or "col"
+
+
+def _infer_dtype(values: list[Any]) -> DataType:
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            return DataType.BOOLEAN
+        if isinstance(value, int):
+            return DataType.INTEGER
+        if isinstance(value, float):
+            return DataType.FLOAT
+        if isinstance(value, Money):
+            return DataType.MONEY
+        return DataType.STRING
+    return DataType.STRING

@@ -45,6 +45,7 @@ class Site:
         self.load_price_factor = load_price_factor
         self.up = True
         self.busy_seconds = 0.0  # lifetime work executed (utilization metric)
+        self.rows_processed = 0  # lifetime rows this site scanned or processed
         self._sources: dict[str, ContentSource] = {}
         self._backlog = 0.0
         self._backlog_as_of = clock.now()
@@ -120,12 +121,14 @@ class Site:
         source = self.source(source_name)
         result = source.fetch(predicates)
         work = result.cost_seconds + len(result.table) * self.cpu_seconds_per_row
+        self.rows_processed += len(result.table)
         delay = self.enqueue(work)
         return result, work, delay
 
     def process(self, rows: int) -> float:
         """Charge local processing of ``rows`` (joins, aggregation); returns work seconds."""
         work = rows * self.cpu_seconds_per_row
+        self.rows_processed += rows
         self.enqueue(work)
         return work
 

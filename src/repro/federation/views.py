@@ -50,6 +50,7 @@ class MaterializedView:
         self.as_of: float = float("-inf")
         self.refresh_count = 0
         self.refresh_cost_seconds = 0.0
+        self.rows_served = 0  # rows produced by SiteScan reads of this view
         self._event: ScheduledEvent | None = None
 
     # -- refresh -----------------------------------------------------------

@@ -39,6 +39,7 @@ from repro.sql.lexer import SqlLexError, tokenize_sql
 from repro.sql.parser import SqlParseError, parse_sql
 from repro.sql.planner import (
     AggregateNode,
+    AggregateSplit,
     FilterNode,
     JoinNode,
     LimitNode,
@@ -47,6 +48,16 @@ from repro.sql.planner import (
     ScanNode,
     SortNode,
     build_plan,
+)
+from repro.sql.rewrite import (
+    AggregateSplitting,
+    PredicatePushdown,
+    ProjectionPruning,
+    RewritePass,
+    RewritePipeline,
+    SiteFilterPushdown,
+    TextIndexRewrite,
+    TextIndexTarget,
 )
 
 __all__ = [
@@ -70,6 +81,7 @@ __all__ = [
     "SqlParseError",
     "parse_sql",
     "AggregateNode",
+    "AggregateSplit",
     "FilterNode",
     "JoinNode",
     "LimitNode",
@@ -78,4 +90,12 @@ __all__ = [
     "ScanNode",
     "SortNode",
     "build_plan",
+    "AggregateSplitting",
+    "PredicatePushdown",
+    "ProjectionPruning",
+    "RewritePass",
+    "RewritePipeline",
+    "SiteFilterPushdown",
+    "TextIndexRewrite",
+    "TextIndexTarget",
 ]

@@ -10,7 +10,17 @@ Pushdown: the WHERE clause is split into conjuncts; any conjunct of the form
 ``column op literal`` whose column binds to exactly one scan becomes a
 :class:`~repro.connect.source.Predicate` attached to that scan, so sources
 (ERP gateways, scraped sites, fragments) filter locally.  Everything else
-stays in a residual :class:`FilterNode`.
+stays in a residual :class:`FilterNode`.  The pushdown itself is a rewrite
+pass (:class:`repro.sql.rewrite.PredicatePushdown`); :func:`build_plan`
+applies it when given binding fields, and the engine layers further passes
+(text-index access, site-local filters, projection pruning, aggregate
+splitting) on top -- see :mod:`repro.sql.rewrite`.
+
+Scan nodes carry the physical-placement annotations those passes write:
+``site_filters`` (residual conjuncts evaluable at the owning site),
+``needed_columns`` (projection pruning) and ``text_filter`` (text-index
+access path).  Aggregate nodes carry ``split`` when the aggregation can be
+computed as site-local partials merged at the coordinator.
 """
 
 from __future__ import annotations
@@ -47,11 +57,25 @@ class PlanNode:
 
 @dataclass
 class ScanNode(PlanNode):
-    """Read one base table (through whatever source the catalog maps it to)."""
+    """Read one base table (through whatever source the catalog maps it to).
+
+    Beyond ``pushdown`` (source-level comparison predicates), the rewrite
+    passes annotate scans with work that the *owning site* performs before
+    rows ship to the coordinator:
+
+    * ``site_filters`` -- residual conjuncts referencing only this binding,
+      evaluated row-wise at the site (a physical ``SiteFilter`` operator);
+    * ``needed_columns`` -- the only columns any later operator reads
+      (``None`` means all; a physical ``SiteProject`` operator);
+    * ``text_filter`` -- a ``(column, query)`` text-index access path.
+    """
 
     table: str
     binding: str  # alias used in the query
     pushdown: list[Predicate] = field(default_factory=list)
+    site_filters: list[Expr] = field(default_factory=list)
+    needed_columns: set[str] | None = None
+    text_filter: tuple[str, str] | None = None
 
 
 @dataclass
@@ -85,11 +109,26 @@ class ProjectNode(PlanNode):
 
 
 @dataclass
+class AggregateSplit:
+    """Partial/final decomposition of an aggregation.
+
+    ``calls`` lists the distinct aggregate :class:`FuncCall` expressions
+    (keyed by ``repr``) whose partial states sites compute locally; the
+    coordinator merges states and evaluates the final select items.
+    """
+
+    calls: list[Any]  # list[FuncCall]
+
+
+@dataclass
 class AggregateNode(PlanNode):
     child: PlanNode
     group_by: list[Expr]
     items: list[SelectItem]
     having: Expr | None = None
+    # Written by repro.sql.rewrite.AggregateSplitting when the aggregation
+    # decomposes into site-local partials merged at the coordinator.
+    split: AggregateSplit | None = None
 
     def children(self) -> list[PlanNode]:
         return [self.child]
@@ -176,41 +215,20 @@ def build_plan(
     for join in statement.joins:
         scans[join.table.binding] = ScanNode(join.table.name, join.table.binding)
 
-    # Bindings on the right side of a LEFT JOIN must not have WHERE
-    # predicates pushed into their scan: a pushed predicate would turn the
-    # outer join into an inner one for filtered-out rows.  (Pushing into
-    # the *preserved* side is still safe.)
-    null_extended = {
-        join.table.binding for join in statement.joins if join.join_type == "left"
-    }
-
-    residual: list[Expr] = []
-    if binding_fields is None:
-        residual = split_conjuncts(statement.where)
-    else:
-        for conjunct in split_conjuncts(statement.where):
-            pushable = _as_pushable(conjunct)
-            if pushable is not None:
-                column, op, value = pushable
-                binding = _binding_of_column(column, binding_fields)
-                if (
-                    binding is not None
-                    and binding in scans
-                    and binding not in null_extended
-                ):
-                    scans[binding].pushdown.append(Predicate(column.name, op, value))
-                    continue
-            residual.append(conjunct)
-
     plan: PlanNode = scans[statement.table.binding]
     for join in statement.joins:
         plan = JoinNode(
             plan, scans[join.table.binding], join.condition, join.join_type
         )
 
-    residual_condition = conjoin(residual)
-    if residual_condition is not None:
-        plan = FilterNode(plan, residual_condition)
+    if statement.where is not None:
+        plan = FilterNode(plan, statement.where)
+    if binding_fields is not None:
+        # Predicate splitting is a composable rewrite pass; build_plan
+        # applies it so callers with schema knowledge always get pushdown.
+        from repro.sql.rewrite import PredicatePushdown
+
+        plan = PredicatePushdown(binding_fields).run(plan)
 
     has_aggregates = bool(statement.group_by) or any(
         contains_aggregate(item.expr) for item in statement.items

@@ -1,0 +1,348 @@
+"""Composable rewrite passes over the logical plan.
+
+The federated engine's query path used to inline its plan surgery (MATCH
+rewriting in the engine, predicate splitting in the planner).  Each
+transformation is now a :class:`RewritePass` so the pipeline is explicit,
+testable in isolation, and extensible:
+
+* :class:`PredicatePushdown` -- ``column op literal`` conjuncts move into
+  their scan's source-level predicate list (applied by ``build_plan``);
+* :class:`TextIndexRewrite` -- ``MATCH(col, 'q')`` conjuncts become a
+  text-index access path on the scan (§4's "text search engine ... fully
+  modeled ... as an access path");
+* :class:`SiteFilterPushdown` -- residual conjuncts touching a single
+  binding (ORs, fuzzy matches, arithmetic) execute at the owning site;
+* :class:`ProjectionPruning` -- scans record the only columns any later
+  operator reads, so sites ship narrower rows;
+* :class:`AggregateSplitting` -- single-table aggregations decompose into
+  site-local partials merged at the coordinator.
+
+Passes mutate scan annotations in place and may restructure filters; they
+never change query answers (see ``tests/test_equivalence_properties.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.connect.source import Predicate
+from repro.sql.ast import (
+    AGGREGATE_FUNCTIONS,
+    Column,
+    Expr,
+    FuncCall,
+    Literal,
+    Star,
+    columns_in,
+)
+from repro.sql.planner import (
+    AggregateNode,
+    AggregateSplit,
+    FilterNode,
+    JoinNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    _as_pushable,
+    _binding_of_column,
+    conjoin,
+    referenced_columns,
+    scans_in,
+    split_conjuncts,
+)
+
+
+class RewritePass:
+    """One plan-to-plan transformation."""
+
+    name = "rewrite"
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        raise NotImplementedError
+
+
+class RewritePipeline:
+    """Applies passes in order; the engine's standard pipeline lives here."""
+
+    def __init__(self, passes: list[RewritePass]) -> None:
+        self.passes = list(passes)
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        for rewrite_pass in self.passes:
+            plan = rewrite_pass.run(plan)
+        return plan
+
+
+def null_supplying_bindings(node: PlanNode) -> set[str]:
+    """Bindings on the null-extended (right) side of a LEFT JOIN.
+
+    Predicates must not be pushed below the join for these bindings: a
+    site-side filter would turn the outer join into an inner one for the
+    filtered-out rows.
+    """
+    found: set[str] = set()
+    if isinstance(node, JoinNode) and node.join_type == "left":
+        found.update(scan.binding for scan in scans_in(node.right))
+    for child in node.children():
+        found |= null_supplying_bindings(child)
+    return found
+
+
+def _rewrite_filters(
+    node: PlanNode, fn: Callable[[FilterNode], PlanNode]
+) -> PlanNode:
+    """Apply ``fn`` to every FilterNode, bottom-up; ``fn`` may drop it."""
+    for attr in ("child", "left", "right"):
+        if hasattr(node, attr):
+            setattr(node, attr, _rewrite_filters(getattr(node, attr), fn))
+    if isinstance(node, FilterNode):
+        return fn(node)
+    return node
+
+
+class PredicatePushdown(RewritePass):
+    """Move ``column op literal`` conjuncts into their scan's pushdown."""
+
+    name = "predicate-pushdown"
+
+    def __init__(self, binding_fields: dict[str, set[str]]) -> None:
+        self.binding_fields = binding_fields
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        def rewrite(node: FilterNode) -> PlanNode:
+            scans = {scan.binding: scan for scan in scans_in(node.child)}
+            null_extended = null_supplying_bindings(node.child)
+            kept: list[Expr] = []
+            for conjunct in split_conjuncts(node.condition):
+                pushable = _as_pushable(conjunct)
+                if pushable is not None:
+                    column, op, value = pushable
+                    binding = _binding_of_column(column, self.binding_fields)
+                    if (
+                        binding is not None
+                        and binding in scans
+                        and binding not in null_extended
+                    ):
+                        scans[binding].pushdown.append(
+                            Predicate(column.name, op, value)
+                        )
+                        continue
+                kept.append(conjunct)
+            condition = conjoin(kept)
+            return node.child if condition is None else FilterNode(node.child, condition)
+
+        return _rewrite_filters(plan, rewrite)
+
+
+@dataclass(frozen=True)
+class TextIndexTarget:
+    """What :class:`TextIndexRewrite` needs to know about one binding."""
+
+    fields: frozenset[str]
+    text_column: str | None = None  # indexed column, None when unindexed
+
+
+class TextIndexRewrite(RewritePass):
+    """Turn ``MATCH(col, 'q')`` conjuncts into text-index access paths.
+
+    A conjunct is rewritten only when it resolves to exactly one scan whose
+    table has a text index on that column; otherwise it stays a row-wise
+    predicate (the scalar ``match`` fallback keeps answers correct).
+    """
+
+    name = "text-index"
+
+    def __init__(self, targets: dict[str, TextIndexTarget]) -> None:
+        self.targets = targets
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        def rewrite(node: FilterNode) -> PlanNode:
+            scans = {scan.binding: scan for scan in scans_in(node.child)}
+            kept: list[Expr] = []
+            for conjunct in split_conjuncts(node.condition):
+                resolved = self._resolve(conjunct, scans)
+                if resolved is not None:
+                    scan, column_name, query_text = resolved
+                    scan.text_filter = (column_name, query_text)
+                    continue
+                kept.append(conjunct)
+            condition = conjoin(kept)
+            return node.child if condition is None else FilterNode(node.child, condition)
+
+        return _rewrite_filters(plan, rewrite)
+
+    def _resolve(
+        self, conjunct: Expr, scans: dict[str, ScanNode]
+    ) -> tuple[ScanNode, str, str] | None:
+        if not (
+            isinstance(conjunct, FuncCall)
+            and conjunct.name == "match"
+            and len(conjunct.args) == 2
+            and isinstance(conjunct.args[0], Column)
+            and isinstance(conjunct.args[1], Literal)
+        ):
+            return None
+        column = conjunct.args[0]
+        candidates: list[ScanNode] = []
+        for binding, scan in scans.items():
+            target = self.targets.get(binding)
+            if target is None:
+                continue
+            if column.qualifier is not None and column.qualifier != binding:
+                continue
+            if column.name not in target.fields:
+                continue
+            if target.text_column != column.name:
+                continue
+            candidates.append(scan)
+        if len(candidates) != 1:
+            return None  # ambiguous or unindexed: leave as a row-wise predicate
+        return candidates[0], column.name, str(conjunct.args[1].value)
+
+
+class SiteFilterPushdown(RewritePass):
+    """Move residual single-binding conjuncts to the owning site.
+
+    Source-level pushdown only handles ``column op literal``; everything
+    else (ORs, BETWEEN over expressions, ``fuzzy(...) > x``) used to run at
+    the coordinator after shipping every row.  Any conjunct whose columns
+    all belong to one binding is row-local, so the site can evaluate it
+    before shipping -- the paper's "move the work to the data".
+    """
+
+    name = "site-filter"
+
+    def __init__(self, binding_fields: dict[str, set[str]]) -> None:
+        self.binding_fields = binding_fields
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        def rewrite(node: FilterNode) -> PlanNode:
+            scans = {scan.binding: scan for scan in scans_in(node.child)}
+            null_extended = null_supplying_bindings(node.child)
+            kept: list[Expr] = []
+            for conjunct in split_conjuncts(node.condition):
+                binding = self._sole_binding(conjunct)
+                if (
+                    binding is not None
+                    and binding in scans
+                    and binding not in null_extended
+                ):
+                    scans[binding].site_filters.append(conjunct)
+                    continue
+                kept.append(conjunct)
+            condition = conjoin(kept)
+            return node.child if condition is None else FilterNode(node.child, condition)
+
+        return _rewrite_filters(plan, rewrite)
+
+    def _sole_binding(self, expr: Expr) -> str | None:
+        columns = columns_in(expr)
+        if not columns:
+            return None  # constant predicate: leave at the coordinator
+        bindings = {
+            _binding_of_column(column, self.binding_fields) for column in columns
+        }
+        if len(bindings) == 1 and None not in bindings:
+            return next(iter(bindings))
+        return None
+
+
+class ProjectionPruning(RewritePass):
+    """Record, per scan, the only columns any later operator reads.
+
+    Conservative on unqualified names: an ambiguous column counts as needed
+    by every binding whose schema has it.  ``SELECT *`` (optionally
+    qualified) keeps the matching bindings whole.
+    """
+
+    name = "projection-pruning"
+
+    def __init__(self, binding_fields: dict[str, set[str]]) -> None:
+        self.binding_fields = binding_fields
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        scans = scans_in(plan)
+        needed: dict[str, set[str]] = {scan.binding: set() for scan in scans}
+        full: set[str] = set()
+        self._collect_stars(plan, needed, full)
+        columns = list(referenced_columns(plan))
+        for scan in scans:
+            for conjunct in scan.site_filters:
+                columns.extend(columns_in(conjunct))
+        for column in columns:
+            self._note(column, needed)
+        for scan in scans:
+            if scan.binding not in full:
+                scan.needed_columns = needed[scan.binding]
+        return plan
+
+    def _collect_stars(
+        self, node: PlanNode, needed: dict[str, set[str]], full: set[str]
+    ) -> None:
+        if isinstance(node, ProjectNode):
+            for item in node.items:
+                if isinstance(item.expr, Star):
+                    if item.expr.qualifier is None:
+                        full.update(needed.keys())
+                    else:
+                        full.add(item.expr.qualifier)
+        for child in node.children():
+            self._collect_stars(child, needed, full)
+
+    def _note(self, column: Column, needed: dict[str, set[str]]) -> None:
+        if column.qualifier is not None:
+            if column.qualifier in needed:
+                needed[column.qualifier].add(column.name)
+            return
+        for binding, fields in self.binding_fields.items():
+            if binding in needed and column.name in fields:
+                needed[binding].add(column.name)
+
+
+class AggregateSplitting(RewritePass):
+    """Mark single-table aggregations as partial/final decomposable.
+
+    When an AggregateNode sits directly on a scan (after the filter passes
+    absorbed the residual), every supported aggregate (count/sum/avg/min/
+    max) has a mergeable partial state, so each site can aggregate its
+    fragment locally and ship one row per group instead of every row.
+    """
+
+    name = "aggregate-split"
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        self._walk(plan)
+        return plan
+
+    def _walk(self, node: PlanNode) -> None:
+        if isinstance(node, AggregateNode) and isinstance(node.child, ScanNode):
+            node.split = AggregateSplit(calls=self._aggregate_calls(node))
+        for child in node.children():
+            self._walk(child)
+
+    def _aggregate_calls(self, node: AggregateNode) -> list[FuncCall]:
+        calls: dict[str, FuncCall] = {}
+
+        def collect(expr: Expr) -> None:
+            if isinstance(expr, FuncCall):
+                if expr.name in AGGREGATE_FUNCTIONS:
+                    calls.setdefault(repr(expr), expr)
+                    return
+                for arg in expr.args:
+                    collect(arg)
+                return
+            for attr in ("left", "right", "operand", "low", "high"):
+                child = getattr(expr, attr, None)
+                if child is not None:
+                    collect(child)
+            for item in getattr(expr, "items", ()) or ():
+                collect(item)
+
+        for item in node.items:
+            collect(item.expr)
+        for group in node.group_by:
+            collect(group)
+        if node.having is not None:
+            collect(node.having)
+        return list(calls.values())

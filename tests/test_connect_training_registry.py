@@ -141,14 +141,15 @@ class TestSupplierRegistry:
     def test_discover_by_required_fields(self):
         registry = make_registry()
         found = registry.discover(required_fields={"sku", "price"})
-        names = [l.supplier for l in found]
+        names = [listing.supplier for listing in found]
         assert "acme" in names
         assert "paris-bureau" in names  # approximate name match
         assert "weird-co" not in names
 
     def test_discover_by_access(self):
         registry = make_registry()
-        assert [l.supplier for l in registry.discover(access="file")] == ["weird-co"]
+        assert [listing.supplier
+                for listing in registry.discover(access="file")] == ["weird-co"]
 
     def test_enablement_plan_auto_for_exact_names(self):
         registry = make_registry()

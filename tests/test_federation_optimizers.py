@@ -17,7 +17,6 @@ from repro.federation import (
 )
 from repro.sim import SimClock
 from repro.sql import build_plan, parse_sql
-from repro.sql.planner import scans_in
 
 
 def make_catalog(site_count=4, fragment_count=2, replication=2):

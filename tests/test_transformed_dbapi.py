@@ -139,6 +139,21 @@ class TestDbApi:
         with pytest.raises(InterfaceError):
             cursor.execute("select sku from parts", (1,))
 
+    def test_last_plan_and_report_exposed(self):
+        cursor = self.make_connection().cursor()
+        assert cursor.last_plan is None and cursor.last_report is None
+        cursor.execute("select sku from parts where price > ?", (6,))
+        assert cursor.last_plan is not None
+        assert "parts" in cursor.last_plan.assignments
+        report = cursor.last_report
+        assert report is not None
+        assert report.rows_returned == 3
+        assert report.rows_fetched >= report.rows_returned
+        assert report.rows_shipped <= report.rows_fetched
+        assert report.operators is not None  # per-operator stats tree
+        cursor.close()
+        assert cursor.last_plan is None and cursor.last_report is None
+
     def test_description_and_rowcount(self):
         cursor = self.make_connection().cursor()
         assert cursor.description is None
