@@ -20,6 +20,7 @@ The semantic-cache ablation (DESIGN.md §6) is in the second test: region
 coverage vs exact-key caching on an overlapping query stream.
 """
 
+import os
 import random
 
 from _bench_util import report
@@ -39,11 +40,14 @@ QUERY = (
 )
 
 STATIC_FETCH_COST = 3.0  # scraping amenity pages is slow
-ROUNDS = 20
-ROUND_SECONDS = 120.0
+# Env-overridable so CI can run a tiny smoke configuration (see S6 in the
+# workflow): E2_ROUNDS=3 E2_ROUND_SECONDS=30 E2_COVERAGE_QUERIES=12.
+ROUNDS = int(os.environ.get("E2_ROUNDS", "20"))
+ROUND_SECONDS = float(os.environ.get("E2_ROUND_SECONDS", "120.0"))
+COVERAGE_QUERIES = int(os.environ.get("E2_COVERAGE_QUERIES", "120"))
 
 
-def build(seed=1):
+def build(seed=1, cache_coverage=None):
     clock = SimClock()
     loop = EventLoop(clock)
     market = generate_hotels(seed=seed, chain_count=20, hotels_per_chain=4)
@@ -76,7 +80,10 @@ def build(seed=1):
         LiveSource("static-scrape", STATIC_SCHEMA, market.static_rows,
                    cost_seconds=STATIC_FETCH_COST, estimated_rows=len(market.hotels)),
     )
-    return clock, loop, market, FederatedEngine(catalog)
+    cache = None
+    if cache_coverage is not None:
+        cache = SemanticCache(clock, max_rows=200_000, coverage=cache_coverage)
+    return clock, loop, market, FederatedEngine(catalog, cache=cache)
 
 
 def truth_ids(market):
@@ -194,4 +201,65 @@ def test_e2_semantic_cache_vs_exact_key(benchmark):
 
     benchmark(lambda: semantic.lookup(
         "t", [Predicate("price", ">=", 10.0), Predicate("price", "<=", 60.0)]
+    ))
+
+
+def _run_coverage_mode(coverage):
+    """Drive the expensive-scrape table through a threshold query stream."""
+    clock, loop, market, engine = build(cache_coverage=coverage)
+    rng = random.Random(23)
+    thresholds = [30.0] + [
+        float(rng.randrange(2, 29)) for _ in range(COVERAGE_QUERIES - 1)
+    ]
+    latencies = []
+    for threshold in thresholds:
+        result = engine.query(
+            "select hotel_id from hotel_static "
+            f"where miles_to_airport <= {threshold}"
+        )
+        latencies.append(result.report.response_seconds)
+    return engine, engine.cache, sum(latencies) / len(latencies)
+
+
+def test_e2_implication_vs_verbatim_coverage(benchmark):
+    """Tentpole ablation: implication coverage vs verbatim-subset coverage.
+
+    Both engines cache the 3s-scrape static table and face the same stream
+    of ``miles_to_airport <= T`` queries (one wide query, then narrower
+    thresholds).  Verbatim coverage only hits on exact region repeats;
+    interval subsumption serves every narrower threshold out of the wide
+    region with a local residual.
+    """
+    imp_engine, imp_cache, imp_latency = _run_coverage_mode("implication")
+    _, verb_cache, verb_latency = _run_coverage_mode("verbatim")
+
+    report(
+        "e2_coverage_ablation",
+        f"E2 ablation: cache coverage policy over {COVERAGE_QUERIES} "
+        "threshold queries on the 3s-scrape table",
+        ["coverage", "hit rate", "implication hits", "mean latency s"],
+        [
+            [
+                "implication (interval subsumption)",
+                imp_cache.hit_rate,
+                imp_cache.implication_hits,
+                imp_latency,
+            ],
+            [
+                "verbatim subset only",
+                verb_cache.hit_rate,
+                verb_cache.implication_hits,
+                verb_latency,
+            ],
+        ],
+    )
+
+    assert imp_cache.hit_rate >= verb_cache.hit_rate
+    assert imp_cache.implication_hits > 0
+    assert imp_cache.hit_rate > 0.9
+    assert imp_latency < verb_latency
+
+    benchmark(lambda: imp_engine.query(
+        "select hotel_id from hotel_static where miles_to_airport <= 7.0",
+        advance_clock=False,
     ))

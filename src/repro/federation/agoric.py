@@ -22,6 +22,11 @@ The protocol reproduced here:
 Materialized views compete in the same market: a fresh-enough view is
 priced like any other access path and wins when cheaper, which is the
 paper's "optimizer treats these as alternative physical database designs".
+So do semantic-cache regions: when the engine's cache holds a covering
+predicate region, :meth:`repro.federation.cache.SemanticCache.bid` quotes
+the local serving cost and the broker weighs it against the sites' and
+views' asks -- a warm cache usually undercuts everything, and the chosen
+path shows up in EXPLAIN as ``cache(region ..., age ...)``.
 
 Optimization latency is *modeled* (one parallel bid round-trip plus
 per-bid processing) and charged to the query, as is the real CPU time
@@ -51,6 +56,7 @@ class BudgetExceededError(ContentIntegrationError):
         super().__init__(
             f"cheapest plan costs {required:.4f}, over the budget {budget:.4f}"
         )
+from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
 from repro.sql.planner import PlanNode, ScanNode, scans_in
@@ -81,12 +87,16 @@ class AgoricOptimizer:
         rng: random.Random | None = None,
         bid_round_trip_seconds: float = 0.02,
         per_bid_seconds: float = 0.0002,
+        cache=None,
     ) -> None:
         self.catalog = catalog
         self.sample_size = sample_size
         self.rng = rng or random.Random(0)
         self.bid_round_trip_seconds = bid_round_trip_seconds
         self.per_bid_seconds = per_bid_seconds
+        # The engine attaches its SemanticCache here so covering regions
+        # can bid in the market alongside fragments and views.
+        self.cache = cache
 
     # -- bidding -----------------------------------------------------------
 
@@ -170,11 +180,17 @@ class AgoricOptimizer:
         chosen_site_rows: dict[str, int] = {}
 
         for scan in scans_in(plan):
-            # Both access paths compete on price in the same market.
+            # All three access paths compete on price in the same market:
+            # the semantic cache's local bid, a fresh-enough materialized
+            # view, and the sites' fragment asks.
+            cache_offer = cache_scan_assignment(self.cache, scan, max_staleness)
             view_assignment = self._try_view(scan, max_staleness)
             fragment_result = self._fragment_assignment(scan)
             if fragment_result is not None:
                 contacted += fragment_result[2]
+            cache_price = (
+                cache_offer[1] if cache_offer is not None else float("inf")
+            )
             view_price = (
                 self._view_price(view_assignment)
                 if view_assignment is not None
@@ -183,7 +199,12 @@ class AgoricOptimizer:
             fragment_price = (
                 fragment_result[1] if fragment_result is not None else float("inf")
             )
-            if view_assignment is not None and view_price <= fragment_price:
+            if cache_offer is not None and cache_price <= min(
+                view_price, fragment_price
+            ):
+                assignments[scan.binding] = cache_offer[0]
+                total_price += cache_price
+            elif view_assignment is not None and view_price <= fragment_price:
                 assignments[scan.binding] = view_assignment
                 total_price += view_price
             elif fragment_result is not None:

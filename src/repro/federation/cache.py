@@ -1,11 +1,28 @@
-"""Semantic caching of predicate regions.
+"""Semantic caching of predicate regions, priced as an access path.
 
 §3.2 C5 suggests "something closer to semantic caching [3] or prefetching"
 as the flexible fetch-in-advance mechanism.  Entries are keyed by the
 *predicate region* they answered: a request hits when some cached entry's
 region is **weaker or equal** (a superset of rows) -- the residual
-predicates are then applied to the cached rows locally.  Entries expire by
-age and are evicted LRU by total cached rows.
+predicates are then applied to the cached rows locally.
+
+Coverage is *implication-aware*: beyond the verbatim-subset test, per-column
+interval subsumption lets ``price < 5`` cover ``price < 3`` and
+``supplier = 'acme'`` imply ``supplier != 'bolt'``.  Every implication rule
+is sound -- a doubtful case is a miss, never a wrong hit -- and residual
+predicates are always re-applied locally, so a covered answer is
+row-identical to a bypassed one.
+
+The cache is not a post-hoc swap: :meth:`SemanticCache.bid` quotes a price
+for serving a scan, and the optimizers (agoric, centralized, policy) weigh
+that bid against fragment scans and materialized views in the same market
+(:func:`cache_scan_assignment`).
+
+Admission and eviction are cost-aware rather than plain LRU: an entry's
+benefit is ``rows x saved fetch seconds``, entries larger than the row
+budget are refused outright, and when the budget overflows the
+lowest-benefit entries go first (the entry being stored competes too, so a
+worthless result is simply not admitted).  Entries also expire by age.
 """
 
 from __future__ import annotations
@@ -17,48 +34,223 @@ from repro.connect.source import Predicate, apply_predicates
 from repro.core.records import Table
 from repro.sim.clock import SimClock
 
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
 
 @dataclass
 class CacheEntry:
     table_name: str
     region: frozenset[Predicate]
     table: Table
-    as_of: float
+    as_of: float  # simulated time the rows were *fetched* (not stored)
+    fetch_seconds: float = 0.0  # what re-fetching this region would cost
+    hits: int = 0
+    last_used: float = 0.0
+
+    def benefit(self) -> float:
+        """What evicting this entry throws away: rows x saved fetch seconds."""
+        return len(self.table) * self.fetch_seconds
 
 
-def region_covers(cached: frozenset[Predicate], requested: frozenset[Predicate]) -> bool:
-    """True when the cached region is guaranteed to contain the request.
+@dataclass
+class CacheBid:
+    """The cache's offer to serve one scan, priced like any access path."""
 
-    Sound but conservative: every cached predicate must appear verbatim in
-    the request (the cached constraint set is a subset, hence weaker-or-
-    equal).  Implication reasoning (``price < 5`` covers ``price < 3``) is
-    deliberately left out -- a correct miss is only a performance loss,
-    while an incorrect hit would be a wrong answer.
+    table: Table  # residual predicates already applied
+    age: float
+    region: frozenset[Predicate]
+    kind: str  # "verbatim" | "implication"
+    est_seconds: float
+    price: float
+
+
+def _single_implies(requested: Predicate, cached: Predicate) -> bool:
+    """True when one requested predicate alone implies the cached one.
+
+    Sound but conservative: every rule below is a real entailment for the
+    value types the sources produce (numbers, strings, booleans); anything
+    doubtful -- mixed types, unordered values -- falls through to False,
+    which only costs a cache miss.
     """
-    return cached <= requested
+    if requested.column != cached.column:
+        return False
+    if requested == cached:
+        return True
+    column = cached.column
+    try:
+        if requested.op == "=":
+            if requested.value is None:
+                return False  # NULL rows need the =-with-None edge cases
+            if cached.op == "contains" and not isinstance(requested.value, str):
+                return False  # str(1) vs str(1.0): repr-level, not value-level
+            # Every row satisfying the request has this exact value, so the
+            # cached predicate holds for the row iff it holds for the value.
+            return cached.matches({column: requested.value})
+        if cached.op in _RANGE_OPS and requested.op in _RANGE_OPS:
+            return _bound_implies(requested, cached)
+        if cached.op == "!=":
+            if requested.op == "!=":
+                return bool(requested.value == cached.value)
+            if requested.op in _RANGE_OPS:
+                # A bound that excludes the forbidden value implies !=.
+                return not requested.matches({column: cached.value})
+            return False
+        if cached.op == "contains" and requested.op == "contains":
+            # Containing the longer needle implies containing any substring.
+            return str(cached.value).lower() in str(requested.value).lower()
+    except TypeError:
+        return False  # incomparable values: conservatively a miss
+    return False
+
+
+def _bound_implies(requested: Predicate, cached: Predicate) -> bool:
+    """Interval subsumption between two range predicates on one column."""
+    r, c = requested, cached
+    if c.op in ("<", "<="):
+        if r.op not in ("<", "<="):
+            return False
+        if r.value < c.value:
+            return True
+        # Equal bounds: strict implies non-strict, and like implies like.
+        return bool(r.value == c.value) and (c.op == "<=" or r.op == "<")
+    if c.op in (">", ">="):
+        if r.op not in (">", ">="):
+            return False
+        if r.value > c.value:
+            return True
+        return bool(r.value == c.value) and (c.op == ">=" or r.op == ">")
+    return False
+
+
+def coverage_kind(
+    cached: frozenset[Predicate], requested: frozenset[Predicate]
+) -> str | None:
+    """How (if at all) the cached region is guaranteed to contain the request.
+
+    Returns ``"verbatim"`` when every cached predicate appears verbatim in
+    the request (the original subset test), ``"implication"`` when each
+    remaining cached predicate is entailed by some requested predicate on
+    the same column, and ``None`` otherwise.  Both answers are sound: the
+    cached constraint set is weaker-or-equal, so the cached rows are a
+    superset and residual predicates recover the exact answer.
+    """
+    if cached <= requested:
+        return "verbatim"
+    for constraint in cached:
+        if constraint in requested:
+            continue
+        if not any(_single_implies(p, constraint) for p in requested):
+            return None
+    return "implication"
+
+
+def region_covers(
+    cached: frozenset[Predicate],
+    requested: frozenset[Predicate],
+    implication: bool = True,
+) -> bool:
+    """True when the cached region is guaranteed to contain the request."""
+    kind = coverage_kind(cached, requested)
+    if kind is None:
+        return False
+    return implication or kind == "verbatim"
 
 
 class SemanticCache:
-    """An LRU, TTL'd cache of answered predicate regions per table."""
+    """A TTL'd, benefit-evicted cache of answered predicate regions."""
 
     def __init__(
         self,
         clock: SimClock,
         max_rows: int = 100_000,
         max_staleness: float | None = None,
+        coverage: str = "implication",
+        serve_seconds_per_row: float = 0.00005,
+        price_per_second: float = 1.0,
+        metrics=None,
     ) -> None:
+        if coverage not in ("implication", "verbatim"):
+            raise ValueError(f"unknown coverage policy {coverage!r}")
         self.clock = clock
         self.max_rows = max_rows
         self.max_staleness = max_staleness
+        self.coverage = coverage
+        self.serve_seconds_per_row = serve_seconds_per_row
+        self.price_per_second = price_per_second
+        self.metrics = metrics  # optional MetricsRegistry, attached by the engine
         self._entries: "OrderedDict[tuple[str, frozenset[Predicate]], CacheEntry]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        self.verbatim_hits = 0
+        self.implication_hits = 0
+        self.evictions = 0
+        self.rejected = 0
+        self.invalidations = 0
+
+    # -- metrics hooks -----------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _observe(self, name: str, value: float) -> None:
+        if self.metrics is not None:
+            self.metrics.histogram(name).observe(value)
+
+    # -- lookup ------------------------------------------------------------
 
     def _expired(self, entry: CacheEntry, max_staleness: float | None) -> bool:
         limit = max_staleness if max_staleness is not None else self.max_staleness
         if limit is None:
             return False
         return (self.clock.now() - entry.as_of) > limit
+
+    def _find(
+        self,
+        table_name: str,
+        predicates: "list[Predicate] | tuple[Predicate, ...]",
+        max_staleness: float | None,
+    ) -> tuple[CacheEntry, str] | None:
+        """Find a covering entry, book hit/miss accounting, return it."""
+        requested = frozenset(predicates)
+        found: tuple[tuple, CacheEntry, str] | None = None
+        for key, entry in list(self._entries.items()):
+            if entry.table_name != table_name:
+                continue
+            if self._expired(entry, self.max_staleness):
+                # Dead by the cache's own TTL: evict.
+                del self._entries[key]
+                self.evictions += 1
+                self._count("cache.evictions")
+                continue
+            if self._expired(entry, max_staleness):
+                # Too stale for *this* request only; a laxer query may
+                # still use it, so it stays.
+                continue
+            kind = coverage_kind(entry.region, requested)
+            if kind is None or (self.coverage == "verbatim" and kind != "verbatim"):
+                continue
+            found = (key, entry, kind)
+            break
+        if found is None:
+            self.misses += 1
+            self._count("cache.misses")
+            return None
+        key, entry, kind = found
+        now = self.clock.now()
+        self._entries.move_to_end(key)
+        entry.hits += 1
+        entry.last_used = now
+        self.hits += 1
+        self._count("cache.hits")
+        if kind == "verbatim":
+            self.verbatim_hits += 1
+            self._count("cache.verbatim_hits")
+        else:
+            self.implication_hits += 1
+            self._count("cache.implication_hits")
+        self._observe("cache.entry_age_seconds", now - entry.as_of)
+        return entry, kind
 
     def lookup(
         self,
@@ -77,54 +269,110 @@ class SemanticCache:
         max_staleness: float | None = None,
     ) -> tuple[Table, float] | None:
         """Like :meth:`lookup` but also returns the entry's age in seconds."""
-        requested = frozenset(predicates)
-        for key, entry in list(self._entries.items()):
-            if entry.table_name != table_name:
-                continue
-            if self._expired(entry, self.max_staleness):
-                # Dead by the cache's own TTL: evict.
-                del self._entries[key]
-                continue
-            if self._expired(entry, max_staleness):
-                # Too stale for *this* request only; a laxer query may
-                # still use it, so it stays.
-                continue
-            if region_covers(entry.region, requested):
-                self._entries.move_to_end(key)
-                self.hits += 1
-                residual = [p for p in requested if p not in entry.region]
-                return (
-                    apply_predicates(entry.table, residual),
-                    self.clock.now() - entry.as_of,
-                )
-        self.misses += 1
-        return None
+        found = self._find(table_name, predicates, max_staleness)
+        if found is None:
+            return None
+        entry, _ = found
+        residual = [p for p in predicates if p not in entry.region]
+        return (
+            apply_predicates(entry.table, residual),
+            self.clock.now() - entry.as_of,
+        )
+
+    def bid(
+        self,
+        table_name: str,
+        predicates: "list[Predicate] | tuple[Predicate, ...]" = (),
+        max_staleness: float | None = None,
+    ) -> CacheBid | None:
+        """Quote serving this scan from cache, priced like any access path.
+
+        The modeled cost is a local pass over the cached entry's rows (the
+        residual filter); there is no network and no remote backlog, which
+        is exactly why a warm cache usually wins the auction.
+        """
+        found = self._find(table_name, predicates, max_staleness)
+        if found is None:
+            return None
+        entry, kind = found
+        residual = [p for p in predicates if p not in entry.region]
+        seconds = len(entry.table) * self.serve_seconds_per_row
+        return CacheBid(
+            table=apply_predicates(entry.table, residual),
+            age=self.clock.now() - entry.as_of,
+            region=entry.region,
+            kind=kind,
+            est_seconds=seconds,
+            price=seconds * self.price_per_second,
+        )
+
+    # -- admission & eviction ----------------------------------------------
 
     def store(
         self,
         table_name: str,
         predicates: "list[Predicate] | tuple[Predicate, ...]",
         table: Table,
-    ) -> None:
-        """Remember that ``table`` answers ``predicates`` as of now."""
+        as_of: float | None = None,
+        fetch_seconds: float = 0.0,
+    ) -> bool:
+        """Remember that ``table`` answers ``predicates``; returns admission.
+
+        ``as_of`` is the simulated time the rows were fetched -- callers
+        that execute before advancing the clock must pass it explicitly, or
+        staleness would be measured from store time and underestimated.
+        Entries larger than the whole row budget are refused, and a
+        stored entry competes on benefit immediately: if it is the least
+        valuable thing in an overflowing cache it is not admitted at all.
+        """
+        if len(table) > self.max_rows:
+            self.rejected += 1
+            self._count("cache.rejected")
+            return False
         key = (table_name, frozenset(predicates))
-        self._entries[key] = CacheEntry(table_name, key[1], table, self.clock.now())
+        now = self.clock.now()
+        self._entries[key] = CacheEntry(
+            table_name,
+            key[1],
+            table,
+            as_of=now if as_of is None else as_of,
+            fetch_seconds=fetch_seconds,
+            last_used=now,
+        )
         self._entries.move_to_end(key)
         self._evict()
+        return key in self._entries
 
     def invalidate_table(self, table_name: str) -> int:
         """Drop all regions of one table (on known base updates)."""
         doomed = [k for k, e in self._entries.items() if e.table_name == table_name]
         for key in doomed:
             del self._entries[key]
+        self.invalidations += len(doomed)
+        self._count("cache.invalidations", len(doomed))
         return len(doomed)
 
     def _evict(self) -> None:
-        while self.cached_rows() > self.max_rows and len(self._entries) > 1:
-            self._entries.popitem(last=False)
+        """Shed lowest-benefit entries until the row budget is respected."""
+        while self.cached_rows() > self.max_rows and self._entries:
+            victim = min(
+                self._entries,
+                key=lambda k: (self._entries[k].benefit(), self._entries[k].last_used),
+            )
+            entry = self._entries.pop(victim)
+            self.evictions += 1
+            self._count("cache.evictions")
+            self._observe(
+                "cache.evicted_age_seconds", self.clock.now() - entry.as_of
+            )
 
     def cached_rows(self) -> int:
         return sum(len(e.table) for e in self._entries.values())
+
+    def entry_ages(self) -> list[float]:
+        """Current entries' ages in seconds (for dashboards and tests)."""
+        now = self.clock.now()
+        return [now - e.as_of for e in self._entries.values()]
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -133,3 +381,28 @@ class SemanticCache:
     def hit_rate(self) -> float:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
+
+
+def cache_scan_assignment(cache, scan, max_staleness):
+    """Offer the cache as a priced access path for one scan.
+
+    Returns ``(ScanAssignment, price)`` or None.  Text-filtered scans are
+    never cache-served: their answers depend on the text index, not the
+    pushdown region the cache is keyed by.
+    """
+    from repro.federation.physical import ScanAssignment
+
+    if cache is None or getattr(scan, "text_filter", None) is not None:
+        return None
+    offer = cache.bid(scan.table, scan.pushdown, max_staleness)
+    if offer is None:
+        return None
+    assignment = ScanAssignment(
+        scan.binding,
+        scan.table,
+        "cache",
+        cached_table=offer.table,
+        cached_staleness=offer.age,
+        cached_region=offer.region,
+    )
+    return assignment, offer.price

@@ -61,6 +61,25 @@ class FederationCatalog:
         self.sites: dict[str, Site] = {}
         self.tables: dict[str, TableEntry] = {}
         self.views: dict[str, MaterializedView] = {}
+        # Base-table update listeners (semantic caches, view schedulers...).
+        self._update_listeners: list = []
+
+    # -- base-table update notifications -------------------------------------
+
+    def on_table_updated(self, callback) -> None:
+        """Subscribe ``callback(table_name)`` to base-table update events.
+
+        Sources that mutate a table's content (workload writers, ETL jobs,
+        repartitioning) call :meth:`notify_table_updated`; anything holding
+        derived answers -- the engine's semantic cache above all -- listens
+        here so staleness is bounded by invalidation, not only by TTL.
+        """
+        self._update_listeners.append(callback)
+
+    def notify_table_updated(self, table_name: str) -> None:
+        """Tell listeners that ``table_name``'s base content changed."""
+        for callback in list(self._update_listeners):
+            callback(table_name)
 
     # -- sites -----------------------------------------------------------------
 
@@ -213,6 +232,10 @@ class FederationCatalog:
                         cost_seconds=scan_cost_seconds,
                     ),
                 )
+        # Repartitioning re-deals the same rows, but cached answers keyed by
+        # the old fragmentation cannot be trusted to stay coherent with
+        # concurrent writers -- treat it as an update.
+        self.notify_table_updated(table_name)
         return entry
 
     def register_external_table(

@@ -29,6 +29,7 @@ import itertools
 import time
 
 from repro.core.errors import QueryError
+from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog, Fragment
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
 from repro.sql.planner import PlanNode, ScanNode, scans_in
@@ -47,6 +48,7 @@ class CentralizedOptimizer:
         per_site_stat_seconds: float = 0.001,
         per_combination_seconds: float = 2e-6,
         max_combinations: int = 4096,
+        cache=None,
     ) -> None:
         self.catalog = catalog
         self.stats_refresh_interval = stats_refresh_interval
@@ -54,6 +56,9 @@ class CentralizedOptimizer:
         self.per_site_stat_seconds = per_site_stat_seconds
         self.per_combination_seconds = per_combination_seconds
         self.max_combinations = max_combinations
+        # Attached by the engine; a covering cached region is a local
+        # materialized answer and beats any remote plan under the snapshot.
+        self.cache = cache
         self._snapshot_loads: dict[str, float] = {}
         self._snapshot_at = float("-inf")
         self.snapshots_taken = 0
@@ -94,6 +99,13 @@ class CentralizedOptimizer:
         fragment_slots: list[tuple[ScanNode, Fragment, list[str]]] = []
         assignments: dict[str, ScanAssignment] = {}
         for scan in scans_in(plan):
+            # A covering cached region costs a local pass with no network
+            # and no remote queue -- under any snapshot that is the cheapest
+            # feasible plan, so it is taken before placement is enumerated.
+            cache_offer = cache_scan_assignment(self.cache, scan, max_staleness)
+            if cache_offer is not None:
+                assignments[scan.binding] = cache_offer[0]
+                continue
             view = self.catalog.views.get(scan.table)  # view queried by name
             if view is None or view.data is None:
                 view = self.catalog.view_for_table(scan.table, max_staleness)

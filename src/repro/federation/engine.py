@@ -14,6 +14,12 @@ This is the integrator's query surface (§3.2 C6):
   fetch-in-advance half of Characteristic 5; queries opt into staleness
   with ``max_staleness`` (``None`` = any cached copy is fine,
   ``LIVE_ONLY`` = must fetch on demand).
+* the semantic cache -- when constructed with one, the engine attaches it
+  to the optimizer so covering predicate regions (verbatim or implied:
+  ``price < 5`` covers ``price < 3``) *bid* against fragments and views as
+  a priced access path, live scan results are admitted by benefit
+  (rows x saved fetch seconds), and base-table update notifications from
+  the catalog invalidate the affected regions.
 
 Before optimization the logical plan runs through the engine's rewrite
 pipeline (:mod:`repro.sql.rewrite`): ``MATCH(column, 'query')`` predicates
@@ -90,6 +96,17 @@ class FederatedEngine:
         self.executor = Executor(catalog)
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
+        if cache is not None:
+            # The cache is an access path, so the *optimizer* owns the
+            # decision: attach it (unless the caller wired one already) so
+            # covering regions bid against fragments and views.
+            if getattr(self.optimizer, "cache", None) is None:
+                self.optimizer.cache = cache
+            if cache.metrics is None:
+                cache.metrics = self.metrics
+            # Base-table updates invalidate cached regions of that table;
+            # TTL alone is a fallback, not the correctness story.
+            self.catalog.on_table_updated(cache.invalidate_table)
         self.synonyms: SynonymExpander | None = None
         self.taxonomy_expander: TaxonomyExpander | None = None
 
@@ -148,18 +165,24 @@ class FederatedEngine:
         else:
             physical = self.optimizer.optimize(plan, coordinator, max_staleness)
         self._annotate_text_filters(plan, physical)
-        if self.cache is not None:
-            self._serve_from_cache(plan, physical, max_staleness)
+        cache_scans = sum(
+            1 for a in physical.assignments.values() if a.kind == "cache"
+        )
+        if cache_scans:
+            self.metrics.counter("cache.scan_hits").inc(cache_scans)
 
         table, report = self.executor.execute(physical)
         report.response_seconds += physical.optimization_seconds
-        if self.cache is not None:
-            self._store_in_cache(plan, physical, report)
 
         if advance_clock:
             target = start + report.response_seconds
             if target > self.catalog.clock.now():
                 self.catalog.clock.advance_to(target)
+        # Store *after* the response clock has advanced: entries are stamped
+        # with the fetch timestamp captured at scan time, so staleness is
+        # measured from when the rows were read, never from "now".
+        if self.cache is not None:
+            self._store_in_cache(plan, report)
 
         self.metrics.counter("queries").inc()
         self.metrics.histogram("query.response_seconds").observe(report.response_seconds)
@@ -293,7 +316,9 @@ class FederatedEngine:
             if assignment.kind == "view":
                 detail = f"view {assignment.view.name} @ {assignment.view.site_name}"
             elif assignment.kind == "cache":
-                detail = "semantic cache"
+                from repro.federation.physical import describe_cache_path
+
+                detail = describe_cache_path(assignment)
             else:
                 placed = ", ".join(
                     f"{c.fragment.fragment_id}@{c.site_name}"
@@ -362,40 +387,23 @@ class FederatedEngine:
             )
         return expr
 
-    def _serve_from_cache(self, plan, physical: PhysicalPlan, max_staleness) -> None:
-        """Swap fragment scans for semantic-cache hits (§3.2 C5).
+    def _store_in_cache(self, plan, report) -> None:
+        """Remember live fragment-scan results under their predicate region.
 
-        A region hit replaces the whole distributed scan with local cached
-        rows; the answer's staleness is the entry's age, reported like any
-        other fetch-in-advance path.
+        Each capture carries the fetch timestamp (``as_of`` for staleness)
+        and the site work the scan cost (the benefit a future hit saves).
         """
         for scan in scans_in(plan):
-            assignment = physical.assignments.get(scan.binding)
-            if (
-                assignment is None
-                or assignment.kind != "fragments"
-                or assignment.text_filter is not None
-            ):
+            capture = report.scan_tables.get(scan.binding)
+            if capture is None:
                 continue
-            found = self.cache.lookup_entry(
-                scan.table, scan.pushdown, max_staleness
+            self.cache.store(
+                scan.table,
+                scan.pushdown,
+                capture.table,
+                as_of=capture.fetched_at,
+                fetch_seconds=capture.fetch_seconds,
             )
-            if found is None:
-                continue
-            cached_table, age = found
-            assignment.kind = "cache"
-            assignment.cached_table = cached_table
-            assignment.cached_staleness = age
-            assignment.choices = []
-            self.metrics.counter("cache.scan_hits").inc()
-
-    def _store_in_cache(self, plan, physical: PhysicalPlan, report) -> None:
-        """Remember live fragment-scan results under their predicate region."""
-        for scan in scans_in(plan):
-            table = report.scan_tables.get(scan.binding)
-            if table is None:
-                continue
-            self.cache.store(scan.table, scan.pushdown, table)
 
     # -- XML / XPath ---------------------------------------------------------------
 

@@ -80,12 +80,16 @@ class PolicyOptimizer:
     """
 
     def __init__(self, catalog: FederationCatalog, policy: ReplicaPolicy,
-                 name: str | None = None) -> None:
+                 name: str | None = None, cache=None) -> None:
         self.catalog = catalog
         self.policy = policy
         self.name = name or f"policy:{type(policy).__name__}"
+        # Attached by the engine; covering cached regions pre-empt the
+        # replica choice entirely (no replica beats a local answer).
+        self.cache = cache
 
     def optimize(self, plan, coordinator=None, max_staleness=None):
+        from repro.federation.cache import cache_scan_assignment
         from repro.federation.physical import (
             FragmentChoice,
             PhysicalPlan,
@@ -96,6 +100,10 @@ class PolicyOptimizer:
         assignments = {}
         rows_by_site: dict[str, int] = {}
         for scan in scans_in(plan):
+            cache_offer = cache_scan_assignment(self.cache, scan, max_staleness)
+            if cache_offer is not None:
+                assignments[scan.binding] = cache_offer[0]
+                continue
             view = self.catalog.views.get(scan.table)
             if view is None or view.data is None:
                 view = self.catalog.view_for_table(scan.table, max_staleness)

@@ -89,6 +89,7 @@ class ScanAssignment:
     text_filter: tuple[str, str] | None = None  # (column, query) -> use text index
     cached_table: "Table | None" = None  # for kind "cache"
     cached_staleness: float = 0.0
+    cached_region: "frozenset | None" = None  # the predicate region served
 
 
 @dataclass
@@ -140,6 +141,22 @@ class OperatorStats:
 
 
 @dataclass
+class ScanCapture:
+    """One live fragment scan's output, kept for the semantic cache.
+
+    ``fetched_at`` is the simulated clock at the moment the sources were
+    read -- the engine stamps cache entries with it so staleness is measured
+    from the fetch, not from whenever the store happens to run.
+    ``fetch_seconds`` is the site work the scan cost, i.e. what a future
+    cache hit saves (the benefit term in admission/eviction).
+    """
+
+    table: Table
+    fetched_at: float
+    fetch_seconds: float = 0.0
+
+
+@dataclass
 class ExecutionReport:
     """Accounting for one executed query."""
 
@@ -153,7 +170,7 @@ class ExecutionReport:
     price: float = 0.0
     failovers: int = 0  # scans re-routed after a site died mid-query
     # Live fragment-scan outputs, for the engine's semantic cache to store.
-    scan_tables: dict[str, Table] = field(default_factory=dict)
+    scan_tables: dict[str, ScanCapture] = field(default_factory=dict)
     operators: OperatorStats | None = None  # per-operator stats tree
 
 
@@ -355,11 +372,15 @@ class SiteScan(SiteOperator):
         elif assignment.kind == "fragments":
             # Expose the live result so the engine's semantic cache can
             # remember this predicate region (text-filtered scans are not
-            # cacheable under the pushdown key alone).
+            # cacheable under the pushdown key alone).  The capture carries
+            # the fetch timestamp and the site work it cost: staleness is
+            # measured from the fetch, benefit from the work saved.
             combined = table_batches[0][1]
             for _, extra, _ in table_batches[1:]:
                 combined = combined.union_all(extra)
-            ctx.report.scan_tables[assignment.binding] = combined
+            ctx.report.scan_tables[assignment.binding] = ScanCapture(
+                combined, now, self.stats.seconds
+            )
 
         ctx.report.rows_fetched += sum(len(t) for _, t, _ in table_batches)
         self.stats.detail = self._describe(assignment)
@@ -485,7 +506,7 @@ class SiteScan(SiteOperator):
         if assignment.kind == "view":
             detail = f"view {assignment.view.name} @ {assignment.view.site_name}"
         elif assignment.kind == "cache":
-            detail = "semantic cache"
+            detail = describe_cache_path(assignment)
         else:
             placed = ", ".join(
                 f"{c.fragment.fragment_id}@{c.site_name}" for c in assignment.choices
@@ -1223,6 +1244,24 @@ def compute_aggregate(call: FuncCall, group_envs: list[Env]) -> Any:
     if call.name == "max":
         return max(values)
     raise QueryError(f"unknown aggregate {call.name!r}")
+
+
+def describe_region(region: "frozenset | None") -> str:
+    """Render a predicate region for EXPLAIN (``*`` = the whole table)."""
+    if not region:
+        return "*"
+    rendered = sorted(
+        f"{p.column} {p.op} {p.value!r}" for p in region
+    )
+    return " and ".join(rendered)
+
+
+def describe_cache_path(assignment: ScanAssignment) -> str:
+    """The cache access path as EXPLAIN shows it: region plus entry age."""
+    return (
+        f"cache(region {describe_region(assignment.cached_region)}, "
+        f"age {assignment.cached_staleness:.1f}s)"
+    )
 
 
 def describe_expr(expr: Expr) -> str:

@@ -54,6 +54,9 @@ class HotelMarket:
     hotels: list[dict] = field(default_factory=list)
     chains: list[str] = field(default_factory=list)
     updates_applied: int = 0
+    # Catalogs whose copy of this market must hear about writes (so their
+    # semantic caches invalidate stale availability regions).
+    _catalogs: list = field(default_factory=list, repr=False)
 
     # -- views over the mutable state -----------------------------------------
 
@@ -117,6 +120,10 @@ class HotelMarket:
             factor = rng.uniform(0.85, 1.25)
             hotel["corporate_rate"] = round(hotel["corporate_rate"] * factor, 2)
         self.updates_applied += 1
+        # Availability is the volatile table (C5): every booking is a base
+        # update, and registered federations must drop covering cache regions.
+        for catalog in self._catalogs:
+            catalog.notify_table_updated("hotel_availability")
 
     def schedule_volatility(
         self, loop: EventLoop, rng: random.Random, mean_interval: float
@@ -147,8 +154,10 @@ class HotelMarket:
 
         ``chain_sites`` maps each chain to the site simulating its
         reservation system.  Static data lands replicated on the first two
-        sites (it is cheap and slow-changing).
+        sites (it is cheap and slow-changing).  The catalog is remembered
+        so market writes raise its base-table update notifications.
         """
+        self._catalogs.append(catalog)
         catalog.create_table("hotel_availability", AVAILABILITY_SCHEMA)
         for i, chain in enumerate(self.chains):
             site_name = chain_sites[chain]

@@ -211,6 +211,54 @@ class TestPhysicalIndependence:
         warm = engine.query(sql, advance_clock=False)
         assert answer_set(cold) == answer_set(warm)
 
+    @settings(max_examples=30, deadline=None)
+    @given(
+        rows_strategy,
+        st.integers(min_value=-40, max_value=30),
+        st.integers(min_value=0, max_value=20),
+        st.integers(min_value=-50, max_value=50),
+    )
+    def test_implication_covered_hits_match_bypass(self, rows, low, shrink, k_cap):
+        """A narrower region served out of a wider cached region (interval
+        subsumption + local residual predicates) must be row-identical to a
+        cache-less engine answering the same narrow query."""
+        wide = f"select k, v, tag from t where v > {low}"
+        narrow = (
+            f"select k, v, tag from t where v > {low + shrink} and k <= {k_cap}"
+        )
+        cached = build_engine(rows, cache=lambda clock: SemanticCache(clock))
+        bypass = build_engine(rows)
+
+        cached.query(wide, advance_clock=False)
+        hit = cached.query(narrow, advance_clock=False)
+        # v > low always covers v > low + shrink (shrink >= 0), so the
+        # narrow query must actually exercise the cache path.
+        assert hit.plan.assignments["t"].kind == "cache"
+        assert answer_set(hit) == answer_set(
+            bypass.query(narrow, advance_clock=False)
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        rows_strategy,
+        st.integers(min_value=-40, max_value=30),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_equality_probe_served_from_range_region(self, rows, low, offset):
+        """v = c lies inside a cached v > low region whenever c > low; the
+        equality is applied as a residual and must match the bypass."""
+        wide = f"select k, v, tag from t where v > {low}"
+        probe = f"select k, tag from t where v = {low + offset}"
+        cached = build_engine(rows, cache=lambda clock: SemanticCache(clock))
+        bypass = build_engine(rows)
+
+        cached.query(wide, advance_clock=False)
+        hit = cached.query(probe, advance_clock=False)
+        assert hit.plan.assignments["t"].kind == "cache"
+        assert answer_set(hit) == answer_set(
+            bypass.query(probe, advance_clock=False)
+        )
+
     @settings(max_examples=10, deadline=None)
     @given(rows_strategy, query_strategy)
     def test_fragmentation_degree_never_changes_answers(self, rows, sql):

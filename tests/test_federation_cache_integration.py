@@ -1,11 +1,22 @@
 """Tests for the semantic cache wired into the federated engine."""
 
+import random
+
 import pytest
 
+from repro.connect.source import LiveSource
 from repro.core import DataType, Field, Schema, Table
-from repro.federation import FederatedEngine, FederationCatalog, SemanticCache
+from repro.federation import (
+    CentralizedOptimizer,
+    FederatedEngine,
+    FederationCatalog,
+    PolicyOptimizer,
+    RoundRobinPolicy,
+    SemanticCache,
+)
 from repro.federation.engine import LIVE_ONLY
 from repro.sim import SimClock
+from repro.workloads.hotels import generate_hotels
 
 
 def make_engine(cache_staleness=None):
@@ -89,6 +100,101 @@ class TestEngineCache:
         cache.invalidate_table("parts")
         result = engine.query("select sku from parts")
         assert result.plan.assignments["parts"].kind == "fragments"
+
+    def test_implication_hit_applies_residual(self):
+        engine, cache = make_engine()
+        engine.query("select sku from parts where price < 50")
+        narrow = engine.query("select sku from parts where price < 30")
+        assert narrow.plan.assignments["parts"].kind == "cache"
+        assert len(narrow.table) == 30
+        assert cache.implication_hits == 1 and cache.verbatim_hits == 0
+
+    def test_explain_renders_cache_access_path(self):
+        engine, _ = make_engine()
+        engine.query("select sku from parts where price < 50")
+        text = engine.explain("select sku from parts where price < 20")
+        assert "cache(region price < 50, age" in text
+        analyzed = engine.explain(
+            "select sku from parts where price < 20", analyze=True
+        )
+        assert "cache(region" in analyzed
+        assert "rows_out=20" in analyzed
+
+    def test_entry_age_measured_from_fetch_not_store(self):
+        # Regression: stamping as_of at store time (after the modeled query
+        # latency has elapsed) made every entry look newborn, understating
+        # staleness by the fetch cost.
+        engine, cache = make_engine()
+        result = engine.query("select sku from parts")
+        assert result.report.response_seconds >= 1.0  # scan cost is 1s
+        ages = cache.entry_ages()
+        assert len(ages) == 1
+        assert ages[0] == pytest.approx(result.report.response_seconds, abs=0.5)
+        assert ages[0] > 0.9
+
+    def test_base_update_invalidates_through_catalog(self):
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        catalog.make_site("s0")
+        schema = Schema("inv", (Field("qty", DataType.INTEGER),))
+        rows = [{"qty": 1}, {"qty": 2}]
+        source = LiveSource("inv@s0", schema, lambda: list(rows), cost_seconds=0.5)
+        catalog.register_external_table("inv", source, "s0")
+        cache = SemanticCache(clock)
+        engine = FederatedEngine(catalog, cache=cache)
+
+        first = engine.query("select qty from inv")
+        assert len(first.table) == 2
+        rows.append({"qty": 3})
+        catalog.notify_table_updated("inv")
+        second = engine.query("select qty from inv")
+        assert second.plan.assignments["inv"].kind == "fragments"
+        assert len(second.table) == 3
+        assert cache.invalidations == 1
+
+    def test_hotel_write_invalidates_availability_regions(self):
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        market = generate_hotels(seed=3, chain_count=4, hotels_per_chain=2)
+        sites = {chain: catalog.make_site(f"res-{i}").name
+                 for i, chain in enumerate(market.chains)}
+        market.register_sources(catalog, sites)
+        cache = SemanticCache(clock)
+        engine = FederatedEngine(catalog, cache=cache)
+
+        sql = "select hotel_id from hotel_availability where rooms_available > 0"
+        engine.query(sql)
+        repeat = engine.query(sql)
+        assert repeat.plan.assignments["hotel_availability"].kind == "cache"
+        market.apply_random_update(random.Random(7))
+        after_write = engine.query(sql)
+        assert after_write.plan.assignments["hotel_availability"].kind == "fragments"
+        assert set(after_write.table.column("hotel_id")) == {
+            h["hotel_id"] for h in market.hotels if h["rooms_available"] > 0
+        }
+
+    @pytest.mark.parametrize("make_optimizer", [
+        lambda catalog: CentralizedOptimizer(catalog),
+        lambda catalog: PolicyOptimizer(catalog, RoundRobinPolicy()),
+    ])
+    def test_cache_is_an_access_path_in_every_optimizer(self, make_optimizer):
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        names = [catalog.make_site(f"s{i}").name for i in range(2)]
+        schema = Schema(
+            "parts",
+            (Field("sku", DataType.STRING), Field("price", DataType.FLOAT)),
+        )
+        table = Table(schema, [(f"A-{i}", float(i)) for i in range(100)])
+        catalog.load_fragmented(table, 1, [names], scan_cost_seconds=1.0)
+        cache = SemanticCache(clock, max_rows=10_000)
+        engine = FederatedEngine(
+            catalog, optimizer=make_optimizer(catalog), cache=cache
+        )
+        engine.query("select sku from parts where price < 50")
+        hit = engine.query("select sku from parts where price < 30")
+        assert hit.plan.assignments["parts"].kind == "cache"
+        assert len(hit.table) == 30
 
     def test_match_queries_not_cached(self):
         engine, cache = make_engine()

@@ -1,0 +1,212 @@
+"""Unit tests for implication-aware coverage and cost-aware cache policy."""
+
+import pytest
+
+from repro.connect.source import Predicate
+from repro.core import DataType, Field, Schema, Table
+from repro.federation.cache import (
+    SemanticCache,
+    coverage_kind,
+    region_covers,
+)
+from repro.sim import SimClock
+from repro.sim.metrics import MetricsRegistry
+
+
+def P(column, op, value):
+    return Predicate(column, op, value)
+
+
+def region(*predicates):
+    return frozenset(predicates)
+
+
+class TestCoverageKind:
+    def test_verbatim_subset_still_covers(self):
+        assert coverage_kind(
+            region(P("a", ">", 5)), region(P("a", ">", 5), P("b", "=", 1))
+        ) == "verbatim"
+
+    def test_empty_region_covers_everything_verbatim(self):
+        assert coverage_kind(region(), region(P("a", "<", 3))) == "verbatim"
+
+    def test_upper_bound_subsumption(self):
+        # price < 5 covers price < 3 (the paper-shaped example).
+        assert coverage_kind(
+            region(P("price", "<", 5)), region(P("price", "<", 3))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", "<", 5)), region(P("price", "<=", 4))
+        ) == "implication"
+        # Strict implies non-strict at the same bound, not vice versa.
+        assert coverage_kind(
+            region(P("price", "<=", 5)), region(P("price", "<", 5))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", "<", 5)), region(P("price", "<=", 5))
+        ) is None
+
+    def test_lower_bound_subsumption(self):
+        assert coverage_kind(
+            region(P("price", ">", 2)), region(P("price", ">", 4))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", ">=", 2)), region(P("price", ">", 2))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", ">", 4)), region(P("price", ">", 2))
+        ) is None
+
+    def test_wider_request_misses(self):
+        assert coverage_kind(
+            region(P("price", "<", 3)), region(P("price", "<", 5))
+        ) is None
+
+    def test_equality_implies_satisfied_constraints(self):
+        # supplier = 'acme' implies supplier != 'bolt'.
+        assert coverage_kind(
+            region(P("supplier", "!=", "bolt")),
+            region(P("supplier", "=", "acme")),
+        ) == "implication"
+        # ...but not the forbidden value itself.
+        assert coverage_kind(
+            region(P("supplier", "!=", "bolt")),
+            region(P("supplier", "=", "bolt")),
+        ) is None
+        assert coverage_kind(
+            region(P("price", "<", 10)), region(P("price", "=", 7))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", "<", 10)), region(P("price", "=", 12))
+        ) is None
+
+    def test_equality_with_null_never_implies(self):
+        # NULL rows satisfy `col = None` but fail every range predicate.
+        assert coverage_kind(
+            region(P("price", "<", 10)), region(P("price", "=", None))
+        ) is None
+
+    def test_bound_excluding_value_implies_not_equal(self):
+        assert coverage_kind(
+            region(P("price", "!=", 9)), region(P("price", "<", 5))
+        ) == "implication"
+        assert coverage_kind(
+            region(P("price", "!=", 3)), region(P("price", "<", 5))
+        ) is None  # 3 is inside the requested range
+
+    def test_contains_substring_subsumption(self):
+        assert coverage_kind(
+            region(P("name", "contains", "ota")),
+            region(P("name", "contains", "rotary")),
+        ) == "implication"
+        assert coverage_kind(
+            region(P("name", "contains", "rotary")),
+            region(P("name", "contains", "ota")),
+        ) is None
+
+    def test_equality_implies_contains_only_for_strings(self):
+        assert coverage_kind(
+            region(P("name", "contains", "acm")),
+            region(P("name", "=", "acme")),
+        ) == "implication"
+        # str(1.0) vs str(1) diverge; numeric equality must not leak into
+        # substring reasoning.
+        assert coverage_kind(
+            region(P("code", "contains", "1.0")),
+            region(P("code", "=", 1)),
+        ) is None
+
+    def test_mixed_types_are_a_miss_not_an_error(self):
+        assert coverage_kind(
+            region(P("price", "<", 5)), region(P("price", "<", "3"))
+        ) is None
+
+    def test_different_columns_never_imply(self):
+        assert coverage_kind(
+            region(P("a", "<", 5)), region(P("b", "<", 3))
+        ) is None
+
+    def test_region_covers_verbatim_mode(self):
+        cached, requested = region(P("a", "<", 5)), region(P("a", "<", 3))
+        assert region_covers(cached, requested)
+        assert not region_covers(cached, requested, implication=False)
+        assert region_covers(cached, cached, implication=False)
+
+
+def make_table(n=10):
+    schema = Schema("t", (Field("a", DataType.INTEGER),))
+    return Table(schema, [(i,) for i in range(n)])
+
+
+class TestImplicationLookup:
+    def test_residuals_applied_on_implication_hit(self):
+        cache = SemanticCache(SimClock())
+        cache.store("t", [P("a", "<", 8)], make_table(8))
+        result = cache.lookup("t", [P("a", "<", 5), P("a", ">", 1)])
+        assert result is not None
+        assert sorted(result.column("a")) == [2, 3, 4]
+        assert cache.implication_hits == 1 and cache.verbatim_hits == 0
+
+    def test_verbatim_mode_rejects_implication(self):
+        cache = SemanticCache(SimClock(), coverage="verbatim")
+        cache.store("t", [P("a", "<", 8)], make_table(8))
+        assert cache.lookup("t", [P("a", "<", 5)]) is None
+        assert cache.lookup("t", [P("a", "<", 8)]) is not None
+
+    def test_unknown_coverage_policy_rejected(self):
+        with pytest.raises(ValueError):
+            SemanticCache(SimClock(), coverage="psychic")
+
+
+class TestAdmissionAndEviction:
+    def test_oversized_entry_refused_not_pinned(self):
+        # Regression: the old evictor's len>1 guard pinned a single entry
+        # larger than max_rows in memory forever.
+        cache = SemanticCache(SimClock(), max_rows=50)
+        assert cache.store("t", [], make_table(60)) is False
+        assert len(cache) == 0 and cache.cached_rows() == 0
+        assert cache.rejected == 1
+        assert cache.lookup("t", []) is None
+
+    def test_low_benefit_entry_evicted_first(self):
+        clock = SimClock()
+        cache = SemanticCache(clock, max_rows=100)
+        cache.store("t", [P("a", "=", 1)], make_table(60), fetch_seconds=0.001)
+        clock.advance(1.0)
+        cache.store("t", [P("a", "=", 2)], make_table(60), fetch_seconds=5.0)
+        # LRU would evict the older entry; benefit keeps the expensive one.
+        assert len(cache) == 1
+        assert cache.lookup("t", [P("a", "=", 2), P("a", "!=", 0)]) is not None
+
+    def test_worthless_new_entry_not_admitted(self):
+        clock = SimClock()
+        cache = SemanticCache(clock, max_rows=100)
+        assert cache.store("t", [P("a", "=", 1)], make_table(90), fetch_seconds=5.0)
+        admitted = cache.store("t", [P("a", "=", 2)], make_table(90), fetch_seconds=0.0)
+        assert admitted is False
+        assert cache.lookup("t", [P("a", "=", 1)]) is not None
+
+    def test_store_stamps_explicit_fetch_time(self):
+        clock = SimClock()
+        cache = SemanticCache(clock)
+        clock.advance(10.0)
+        cache.store("t", [], make_table(), as_of=4.0)
+        _, age = cache.lookup_entry("t", [])
+        assert age == pytest.approx(6.0)
+        assert cache.entry_ages() == [pytest.approx(6.0)]
+
+    def test_metrics_registry_sees_cache_traffic(self):
+        clock = SimClock()
+        metrics = MetricsRegistry()
+        cache = SemanticCache(clock, max_rows=50, metrics=metrics)
+        cache.store("t", [P("a", "<", 9)], make_table(9))
+        cache.lookup("t", [P("a", "<", 3)])
+        cache.lookup("t", [P("a", ">", 3)])
+        cache.store("t", [], make_table(60))  # rejected: oversized
+        cache.invalidate_table("t")
+        assert metrics.counter("cache.hits").value == 1
+        assert metrics.counter("cache.misses").value == 1
+        assert metrics.counter("cache.implication_hits").value == 1
+        assert metrics.counter("cache.rejected").value == 1
+        assert metrics.counter("cache.invalidations").value == 1
+        assert metrics.histogram("cache.entry_age_seconds").count == 1
