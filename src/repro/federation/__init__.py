@@ -61,6 +61,14 @@ from repro.federation.loadbalance import (
 from repro.federation.network import Network
 from repro.federation.secure import SecureNetwork, TamperedPayloadError, seal, unseal
 from repro.federation.site import Site
+from repro.federation.stats import (
+    ColumnStats,
+    ZoneMap,
+    fallback_selectivity,
+    fragment_can_match,
+    fragment_selectivity,
+    zone_selectivity,
+)
 from repro.federation.views import MaterializedView
 
 __all__ = [
@@ -95,5 +103,11 @@ __all__ = [
     "seal",
     "unseal",
     "Site",
+    "ColumnStats",
+    "ZoneMap",
+    "fallback_selectivity",
+    "fragment_can_match",
+    "fragment_selectivity",
+    "zone_selectivity",
     "MaterializedView",
 ]

@@ -59,6 +59,7 @@ class BudgetExceededError(ContentIntegrationError):
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
+from repro.federation.stats import fallback_selectivity, fragment_can_match, fragment_selectivity
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 from dataclasses import dataclass
@@ -102,32 +103,35 @@ class AgoricOptimizer:
 
     @staticmethod
     def estimated_selectivity(scan: ScanNode) -> float:
-        """Crude selectivity of the scan's pushed-down predicates.
+        """Statistics-free selectivity of the scan's pushed-down predicates.
 
-        Textbook heuristics (equality ~10%, range ~30%, multiplied per
-        conjunct, floored) -- enough for bids to reflect that a filtered
-        scan ships fewer rows than a full one.
+        The textbook constants (equality ~10%, range ~30%, multiplied per
+        conjunct, floored), kept as the estimate of last resort for sources
+        with no zone maps.  When a fragment carries statistics the broker
+        uses :func:`repro.federation.stats.fragment_selectivity` instead.
         """
-        fraction = 1.0
-        for predicate in scan.pushdown:
-            if predicate.op == "=":
-                fraction *= 0.1
-            elif predicate.op in ("<", "<=", ">", ">="):
-                fraction *= 0.3
-            elif predicate.op == "!=":
-                fraction *= 0.9
-            else:  # contains
-                fraction *= 0.5
-        return max(fraction, 0.01)
+        return fallback_selectivity(scan.pushdown)
 
-    def collect_bids(self, scan: ScanNode) -> dict[str, list[Bid]]:
-        """Solicit bids per fragment of the scanned table."""
-        selectivity = self.estimated_selectivity(scan)
+    def collect_bids(
+        self, scan: ScanNode
+    ) -> tuple[dict[str, list[Bid]], int, int]:
+        """Solicit bids per surviving fragment of the scanned table.
+
+        Fragments whose zone maps prove the scan's predicates unsatisfiable
+        are eliminated before any site is contacted -- they solicit no bids
+        and cost no broker work.  Returns ``(bids_by_fragment, pruned,
+        total)``.
+        """
         entry = self.catalog.entry(scan.table)
         if not entry.fragments:
             raise QueryError(f"table {scan.table!r} has no fragments to scan")
         bids_by_fragment: dict[str, list[Bid]] = {}
+        pruned = 0
         for fragment in entry.fragments:
+            if not fragment_can_match(fragment.zone_map, scan.pushdown):
+                pruned += 1
+                continue
+            selectivity = fragment_selectivity(fragment, scan.pushdown)
             live = [
                 name
                 for name in fragment.replica_sites()
@@ -156,7 +160,7 @@ class AgoricOptimizer:
                 )
             bids.sort(key=lambda b: (b.price, b.site_name))
             bids_by_fragment[fragment.fragment_id] = bids
-        return bids_by_fragment
+        return bids_by_fragment, pruned, len(entry.fragments)
 
     # -- optimization --------------------------------------------------------------
 
@@ -207,6 +211,14 @@ class AgoricOptimizer:
             elif view_assignment is not None and view_price <= fragment_price:
                 assignments[scan.binding] = view_assignment
                 total_price += view_price
+                # The view's rows live on its host site; count them so the
+                # coordinator lands where the data already is instead of the
+                # alphabetically-first up site.
+                view = view_assignment.view
+                assert view is not None and view.data is not None
+                chosen_site_rows[view.site_name] = (
+                    chosen_site_rows.get(view.site_name, 0) + len(view.data)
+                )
             elif fragment_result is not None:
                 assignment, price, _, _ = fragment_result
                 assignments[scan.binding] = assignment
@@ -224,13 +236,17 @@ class AgoricOptimizer:
 
         chosen_coordinator = coordinator or self._pick_coordinator(chosen_site_rows)
         modeled_seconds = self.bid_round_trip_seconds + contacted * self.per_bid_seconds
+        # DESIGN §7: only *modeled* seconds reach the simulated clock; the
+        # host's real brokering time is reported separately so two identical
+        # seeded runs stay byte-identical.
         elapsed = time.perf_counter() - started
         return PhysicalPlan(
             logical=plan,
             assignments=assignments,
             coordinator=chosen_coordinator,
             optimizer=self.name,
-            optimization_seconds=modeled_seconds + elapsed,
+            optimization_seconds=modeled_seconds,
+            planner_wall_seconds=elapsed,
             sites_contacted=contacted,
             total_price=total_price,
         )
@@ -239,10 +255,16 @@ class AgoricOptimizer:
         self, scan: ScanNode
     ) -> tuple[ScanAssignment, float, int, int] | None:
         try:
-            bids_by_fragment = self.collect_bids(scan)
+            bids_by_fragment, pruned, total = self.collect_bids(scan)
         except QueryError:
             return None
-        assignment = ScanAssignment(scan.binding, scan.table, "fragments")
+        assignment = ScanAssignment(
+            scan.binding,
+            scan.table,
+            "fragments",
+            pruned_fragments=pruned,
+            total_fragments=total,
+        )
         entry = self.catalog.entry(scan.table)
         fragments = {f.fragment_id: f for f in entry.fragments}
         price = 0.0
@@ -260,9 +282,10 @@ class AgoricOptimizer:
     def _try_view(
         self, scan: ScanNode, max_staleness: float | None
     ) -> ScanAssignment | None:
-        # Querying a view by its own name always serves the view.
-        direct = self.catalog.views.get(scan.table)
-        if direct is not None and direct.data is not None:
+        # Querying a view by its own name always serves the view -- but only
+        # from a live host; catalog.direct_view raises if the site is down.
+        direct = self.catalog.direct_view(scan.table)
+        if direct is not None:
             return ScanAssignment(scan.binding, scan.table, "view", view=direct)
         view = self.catalog.view_for_table(scan.table, max_staleness)
         if view is None or not self.catalog.site(view.site_name).up:

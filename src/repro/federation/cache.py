@@ -31,6 +31,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.connect.source import Predicate, apply_predicates
+from repro.core.errors import QueryError
 from repro.core.records import Table
 from repro.sim.clock import SimClock
 
@@ -64,13 +65,15 @@ class CacheBid:
     price: float
 
 
-def _single_implies(requested: Predicate, cached: Predicate) -> bool:
+def predicate_implies(requested: Predicate, cached: Predicate) -> bool:
     """True when one requested predicate alone implies the cached one.
 
     Sound but conservative: every rule below is a real entailment for the
     value types the sources produce (numbers, strings, booleans); anything
     doubtful -- mixed types, unordered values -- falls through to False,
-    which only costs a cache miss.
+    which only costs a cache miss.  The zone-map pruner
+    (:mod:`repro.federation.stats`) reuses this machinery to test whether a
+    scan predicate entails falling outside a fragment's value range.
     """
     if requested.column != cached.column:
         return False
@@ -98,8 +101,10 @@ def _single_implies(requested: Predicate, cached: Predicate) -> bool:
         if cached.op == "contains" and requested.op == "contains":
             # Containing the longer needle implies containing any substring.
             return str(cached.value).lower() in str(requested.value).lower()
-    except TypeError:
-        return False  # incomparable values: conservatively a miss
+    except (TypeError, QueryError):
+        # Incomparable values (Predicate.matches wraps the TypeError in a
+        # QueryError): conservatively a miss.
+        return False
     return False
 
 
@@ -139,7 +144,7 @@ def coverage_kind(
     for constraint in cached:
         if constraint in requested:
             continue
-        if not any(_single_implies(p, constraint) for p in requested):
+        if not any(predicate_implies(p, constraint) for p in requested):
             return None
     return "implication"
 

@@ -18,6 +18,7 @@ from repro.core.records import Table
 from repro.core.schema import Schema
 from repro.federation.network import Network
 from repro.federation.site import Site
+from repro.federation.stats import ZoneMap
 from repro.federation.views import MaterializedView
 from repro.ir.inverted_index import InvertedIndex
 from repro.sim.clock import SimClock
@@ -32,6 +33,11 @@ class Fragment:
     estimated_rows: int
     # site name -> the source name registered on that site for this replica
     replicas: dict[str, str] = field(default_factory=dict)
+    # Per-column min/max/null/distinct statistics collected at load or
+    # repartition time; ``None`` means unknown (external source, or dropped
+    # by a base-table update) and disables partition elimination for this
+    # fragment -- pruning must stay sound under stale statistics.
+    zone_map: ZoneMap | None = None
 
     def replica_sites(self) -> list[str]:
         return sorted(self.replicas)
@@ -63,6 +69,17 @@ class FederationCatalog:
         self.views: dict[str, MaterializedView] = {}
         # Base-table update listeners (semantic caches, view schedulers...).
         self._update_listeners: list = []
+        # Zone-map statistics describe fragment *content*, so any base-table
+        # update makes them untrustworthy: drop them (pruning falls back to
+        # scanning every fragment, which is always sound).
+        self.on_table_updated(self._invalidate_zone_maps)
+
+    def _invalidate_zone_maps(self, table_name: str) -> None:
+        entry = self.tables.get(table_name)
+        if entry is None:
+            return
+        for fragment in entry.fragments:
+            fragment.zone_map = None
 
     # -- base-table update notifications -------------------------------------
 
@@ -137,6 +154,63 @@ class FederationCatalog:
 
     # -- bulk loading helpers -----------------------------------------------------
 
+    @staticmethod
+    def _deal_rows(rows: Sequence[tuple], fragment_count: int) -> list[list[tuple]]:
+        """Round-robin dealing (a deterministic stand-in for hashing)."""
+        buckets: list[list[tuple]] = [[] for _ in range(fragment_count)]
+        for i, row in enumerate(rows):
+            buckets[i % fragment_count].append(row)
+        return buckets
+
+    @staticmethod
+    def _range_buckets(
+        schema: Schema, rows: Sequence[tuple], column: str, fragment_count: int
+    ) -> list[list[tuple]]:
+        """Contiguous value-ordered chunks: range partitioning on ``column``.
+
+        Rows are sorted by the partition column (nulls first) and split into
+        near-equal chunks, so each fragment covers a disjoint value range --
+        the layout that makes zone-map pruning bite on range predicates.
+        """
+        index = schema.index_of(column)
+        ordered = sorted(
+            rows, key=lambda row: (row[index] is not None, row[index])
+        )
+        size, remainder = divmod(len(ordered), fragment_count)
+        buckets: list[list[tuple]] = []
+        start = 0
+        for i in range(fragment_count):
+            stop = start + size + (1 if i < remainder else 0)
+            buckets.append(list(ordered[start:stop]))
+            start = stop
+        return buckets
+
+    def _place_buckets(
+        self,
+        entry: TableEntry,
+        buckets: list[list[tuple]],
+        placement: Sequence[Sequence[str]],
+        scan_cost_seconds: float,
+    ) -> list[tuple[Fragment, Table]]:
+        """Create one fragment (with zone map) per bucket and host replicas."""
+        placed: list[tuple[Fragment, Table]] = []
+        for i, rows in enumerate(buckets):
+            fragment = self.add_fragment(entry.name, f"f{i}", len(rows))
+            fragment_table = Table(entry.schema, rows, validate=False)
+            fragment.zone_map = ZoneMap.from_table(fragment_table)
+            for site_name in placement[i]:
+                self.place_replica(
+                    fragment,
+                    site_name,
+                    StaticSource(
+                        f"{entry.name}.f{i}@{site_name}",
+                        fragment_table,
+                        cost_seconds=scan_cost_seconds,
+                    ),
+                )
+            placed.append((fragment, fragment_table))
+        return placed
+
     def load_fragmented(
         self,
         table: Table,
@@ -148,7 +222,8 @@ class FederationCatalog:
 
         ``placement[i]`` lists the sites holding replicas of fragment ``i``.
         Rows are dealt round-robin (a stand-in for hash partitioning that
-        keeps fragments balanced and deterministic).
+        keeps fragments balanced and deterministic).  Each fragment's zone
+        map is collected from its rows as it is placed.
         """
         if fragment_count < 1:
             raise QueryError("need at least one fragment")
@@ -157,22 +232,41 @@ class FederationCatalog:
                 f"placement has {len(placement)} entries for {fragment_count} fragments"
             )
         entry = self.create_table(table.schema.name, table.schema)
-        buckets: list[list[tuple]] = [[] for _ in range(fragment_count)]
-        for i, row in enumerate(table.rows):
-            buckets[i % fragment_count].append(row)
-        for i, rows in enumerate(buckets):
-            fragment = self.add_fragment(table.schema.name, f"f{i}", len(rows))
-            fragment_table = Table(table.schema, rows, validate=False)
-            for site_name in placement[i]:
-                self.place_replica(
-                    fragment,
-                    site_name,
-                    StaticSource(
-                        f"{table.schema.name}.f{i}@{site_name}",
-                        fragment_table,
-                        cost_seconds=scan_cost_seconds,
-                    ),
-                )
+        self._place_buckets(
+            entry,
+            self._deal_rows(table.rows, fragment_count),
+            placement,
+            scan_cost_seconds,
+        )
+        return entry
+
+    def load_range_partitioned(
+        self,
+        table: Table,
+        column: str,
+        fragment_count: int,
+        placement: Sequence[Sequence[str]],
+        scan_cost_seconds: float = 0.01,
+    ) -> TableEntry:
+        """Create a table range-partitioned on ``column``.
+
+        Each fragment holds a contiguous slice of the column's value order,
+        so its zone map covers a narrow ``[min, max]`` interval and
+        selective range queries eliminate most fragments outright.
+        """
+        if fragment_count < 1:
+            raise QueryError("need at least one fragment")
+        if len(placement) != fragment_count:
+            raise QueryError(
+                f"placement has {len(placement)} entries for {fragment_count} fragments"
+            )
+        entry = self.create_table(table.schema.name, table.schema)
+        self._place_buckets(
+            entry,
+            self._range_buckets(table.schema, table.rows, column, fragment_count),
+            placement,
+            scan_cost_seconds,
+        )
         return entry
 
     def repartition(
@@ -181,6 +275,7 @@ class FederationCatalog:
         fragment_count: int,
         placement: Sequence[Sequence[str]],
         scan_cost_seconds: float = 0.01,
+        partition_column: str | None = None,
     ) -> TableEntry:
         """Re-deal a fragmented table over a new placement, online.
 
@@ -188,8 +283,10 @@ class FederationCatalog:
         repartitioned over more machines, and the transactions dispersed
         more widely."  Rows are gathered from one live replica of each
         current fragment, the old replicas dropped, and the table re-dealt
-        round-robin over the new placement.  The catalog entry object is
-        preserved, so queries planned against the table keep working.
+        over the new placement -- round-robin by default, or as contiguous
+        value ranges when ``partition_column`` is given.  The catalog entry
+        object is preserved, so queries planned against the table keep
+        working, and fresh zone maps are collected from the re-dealt rows.
         """
         if len(placement) != fragment_count:
             raise QueryError(
@@ -216,26 +313,22 @@ class FederationCatalog:
                 self.drop_replica(fragment, site_name)
         entry.fragments.clear()
 
-        buckets: list[list[tuple]] = [[] for _ in range(fragment_count)]
-        for i, row in enumerate(rows):
-            buckets[i % fragment_count].append(row)
-        for i, bucket in enumerate(buckets):
-            fragment = self.add_fragment(table_name, f"f{i}", len(bucket))
-            fragment_table = Table(entry.schema, bucket, validate=False)
-            for site_name in placement[i]:
-                self.place_replica(
-                    fragment,
-                    site_name,
-                    StaticSource(
-                        f"{table_name}.f{i}@{site_name}",
-                        fragment_table,
-                        cost_seconds=scan_cost_seconds,
-                    ),
-                )
+        if partition_column is not None:
+            buckets = self._range_buckets(
+                entry.schema, rows, partition_column, fragment_count
+            )
+        else:
+            buckets = self._deal_rows(rows, fragment_count)
+        placed = self._place_buckets(entry, buckets, placement, scan_cost_seconds)
         # Repartitioning re-deals the same rows, but cached answers keyed by
         # the old fragmentation cannot be trusted to stay coherent with
         # concurrent writers -- treat it as an update.
         self.notify_table_updated(table_name)
+        # The update notification dropped every zone map for this table;
+        # re-stamp them from the rows just dealt, which *are* the current
+        # content (statistics collected at repartition time, per the spec).
+        for fragment, fragment_table in placed:
+            fragment.zone_map = ZoneMap.from_table(fragment_table)
         return entry
 
     def register_external_table(
@@ -280,6 +373,26 @@ class FederationCatalog:
         if view.name in self.views or view.name in self.tables:
             raise QueryError(f"table or view {view.name!r} already exists")
         self.views[view.name] = view
+        return view
+
+    def direct_view(self, name: str) -> MaterializedView | None:
+        """The materialized view queried by its own name, verified live.
+
+        Returns ``None`` when no filled view of that name exists.  Raises
+        :class:`QueryError` when the view exists but its host site is down:
+        a view has exactly one host, so there is no replica to fail over to
+        and planning a scan against the dead site would only fail later,
+        at execution time.  Every optimizer resolves direct view scans
+        through this one guard.
+        """
+        view = self.views.get(name)
+        if view is None or view.data is None:
+            return None
+        if not self.site(view.site_name).up:
+            raise QueryError(
+                f"view {name!r} is hosted on site {view.site_name!r}, "
+                "which is down"
+            )
         return view
 
     def view_for_table(self, table_name: str, max_staleness: float | None) -> MaterializedView | None:

@@ -32,6 +32,7 @@ from repro.core.errors import QueryError
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog, Fragment
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
+from repro.federation.stats import fragment_can_match, fragment_selectivity
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 
@@ -96,7 +97,7 @@ class CentralizedOptimizer:
         started = time.perf_counter()
         modeled = self._stats_cost_if_due()
 
-        fragment_slots: list[tuple[ScanNode, Fragment, list[str]]] = []
+        fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]] = []
         assignments: dict[str, ScanAssignment] = {}
         for scan in scans_in(plan):
             # A covering cached region costs a local pass with no network
@@ -106,10 +107,14 @@ class CentralizedOptimizer:
             if cache_offer is not None:
                 assignments[scan.binding] = cache_offer[0]
                 continue
-            view = self.catalog.views.get(scan.table)  # view queried by name
-            if view is None or view.data is None:
+            # A view queried by name must be served from a live host;
+            # catalog.direct_view raises if that site is down.
+            view = self.catalog.direct_view(scan.table)
+            if view is None:
                 view = self.catalog.view_for_table(scan.table, max_staleness)
-            if view is not None and self.catalog.site(view.site_name).up:
+                if view is not None and not self.catalog.site(view.site_name).up:
+                    view = None
+            if view is not None:
                 assignments[scan.binding] = ScanAssignment(
                     scan.binding, scan.table, "view", view=view
                 )
@@ -117,10 +122,14 @@ class CentralizedOptimizer:
             entry = self.catalog.entry(scan.table)
             if not entry.fragments:
                 raise QueryError(f"table {scan.table!r} has no fragments to scan")
-            assignments[scan.binding] = ScanAssignment(
-                scan.binding, scan.table, "fragments"
-            )
+            pruned = 0
             for fragment in entry.fragments:
+                # Partition elimination: a fragment whose zone map proves the
+                # pushed-down predicates unsatisfiable never enters placement
+                # enumeration, so it also never enqueues site work.
+                if not fragment_can_match(fragment.zone_map, scan.pushdown):
+                    pruned += 1
+                    continue
                 live = [
                     name
                     for name in fragment.replica_sites()
@@ -130,10 +139,19 @@ class CentralizedOptimizer:
                     raise QueryError(
                         f"no live replica of {scan.table}/{fragment.fragment_id}"
                     )
-                fragment_slots.append((scan, fragment, live))
+                fragment_slots.append(
+                    (scan, fragment, live, fragment_selectivity(fragment, scan.pushdown))
+                )
+            assignments[scan.binding] = ScanAssignment(
+                scan.binding,
+                scan.table,
+                "fragments",
+                pruned_fragments=pruned,
+                total_fragments=len(entry.fragments),
+            )
 
         combinations = 1
-        for _, _, live in fragment_slots:
+        for _, _, live, _ in fragment_slots:
             combinations *= len(live)
             if combinations > self.max_combinations:
                 break
@@ -143,46 +161,49 @@ class CentralizedOptimizer:
             modeled += evaluated * self.per_combination_seconds * max(1, len(fragment_slots))
         else:
             choice_lists = self._greedy(fragment_slots)
-            modeled += sum(len(live) for _, _, live in fragment_slots) * 1e-5
+            modeled += sum(len(live) for _, _, live, _ in fragment_slots) * 1e-5
 
-        for (scan, fragment, _), site_name in zip(fragment_slots, choice_lists):
+        for (scan, fragment, _, _), site_name in zip(fragment_slots, choice_lists):
             assignments[scan.binding].choices.append(FragmentChoice(fragment, site_name))
 
         chosen_coordinator = coordinator or self._pick_coordinator(assignments)
+        # DESIGN §7: modeled seconds only on the simulated clock; real
+        # planning CPU time is reported out-of-band as planner_wall_seconds.
         elapsed = time.perf_counter() - started
         return PhysicalPlan(
             logical=plan,
             assignments=assignments,
             coordinator=chosen_coordinator,
             optimizer=self.name,
-            optimization_seconds=modeled + elapsed,
+            optimization_seconds=modeled,
+            planner_wall_seconds=elapsed,
             sites_contacted=len(self.catalog.sites),
             total_price=0.0,
         )
 
     def _estimate_makespan(
         self,
-        fragment_slots: list[tuple[ScanNode, Fragment, list[str]]],
+        fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]],
         choice: tuple[str, ...],
     ) -> float:
         """Estimated completion under the snapshot: max per-site finish time."""
         site_work: dict[str, float] = {}
-        for (scan, fragment, _), site_name in zip(fragment_slots, choice):
+        for (scan, fragment, _, selectivity), site_name in zip(fragment_slots, choice):
             site = self.catalog.site(site_name)
             source_name = fragment.replicas[site_name]
-            quote = site.quote_scan(source_name)
+            quote = site.quote_scan(source_name, row_fraction=selectivity)
             site_work[site_name] = site_work.get(site_name, 0.0) + quote.seconds
         return max(
             self.snapshot_load(name) + work for name, work in site_work.items()
         )
 
     def _exhaustive(
-        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str]]]
+        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]]
     ) -> tuple[tuple[str, ...], int]:
         best: tuple[str, ...] | None = None
         best_cost = float("inf")
         evaluated = 0
-        for choice in itertools.product(*(live for _, _, live in fragment_slots)):
+        for choice in itertools.product(*(live for _, _, live, _ in fragment_slots)):
             evaluated += 1
             cost = self._estimate_makespan(fragment_slots, choice)
             if cost < best_cost or (cost == best_cost and (best is None or choice < best)):
@@ -192,20 +213,24 @@ class CentralizedOptimizer:
         return best, evaluated
 
     def _greedy(
-        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str]]]
+        self, fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]]
     ) -> list[str]:
         """Per-fragment least-snapshot-load choice (above the enumeration cap)."""
         planned_extra: dict[str, float] = {}
         chosen: list[str] = []
-        for scan, fragment, live in fragment_slots:
+        for scan, fragment, live, selectivity in fragment_slots:
             def planned_cost(name: str) -> float:
                 site = self.catalog.site(name)
-                quote = site.quote_scan(fragment.replicas[name])
+                quote = site.quote_scan(
+                    fragment.replicas[name], row_fraction=selectivity
+                )
                 return self.snapshot_load(name) + planned_extra.get(name, 0.0) + quote.seconds
 
             winner = min(live, key=lambda name: (planned_cost(name), name))
             site = self.catalog.site(winner)
-            quote = site.quote_scan(fragment.replicas[winner])
+            quote = site.quote_scan(
+                fragment.replicas[winner], row_fraction=selectivity
+            )
             planned_extra[winner] = planned_extra.get(winner, 0.0) + quote.seconds
             chosen.append(winner)
         return chosen
@@ -219,7 +244,12 @@ class CentralizedOptimizer:
                     + choice.fragment.estimated_rows
                 )
             if assignment.kind == "view" and assignment.view is not None:
-                rows_by_site.setdefault(assignment.view.site_name, 0)
+                # Count the view's actual rows so the coordinator prefers
+                # the site already holding them.
+                held = len(assignment.view.data or [])
+                rows_by_site[assignment.view.site_name] = (
+                    rows_by_site.get(assignment.view.site_name, 0) + held
+                )
         if rows_by_site:
             return max(rows_by_site.items(), key=lambda kv: (kv[1], kv[0]))[0]
         up = self.catalog.up_sites()

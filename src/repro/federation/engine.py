@@ -172,7 +172,17 @@ class FederatedEngine:
             self.metrics.counter("cache.scan_hits").inc(cache_scans)
 
         table, report = self.executor.execute(physical)
+        # Only *modeled* optimization seconds reach the simulated response
+        # time (DESIGN §7 determinism); the host's real planning time is
+        # reported out-of-band.
         report.response_seconds += physical.optimization_seconds
+        report.planner_wall_seconds = physical.planner_wall_seconds
+        report.fragments_pruned = sum(
+            a.pruned_fragments for a in physical.assignments.values()
+        )
+        report.fragments_total = sum(
+            a.total_fragments for a in physical.assignments.values()
+        )
 
         if advance_clock:
             target = start + report.response_seconds
@@ -189,6 +199,13 @@ class FederatedEngine:
         self.metrics.histogram("query.staleness_seconds").observe(report.staleness_seconds)
         self.metrics.counter("rows.fetched").inc(report.rows_fetched)
         self.metrics.counter("rows.shipped").inc(report.rows_shipped)
+        if report.fragments_total:
+            self.metrics.counter("pruning.fragments_pruned").inc(
+                report.fragments_pruned
+            )
+            self.metrics.counter("pruning.fragments_total").inc(
+                report.fragments_total
+            )
         if report.operators is not None:
             self._record_operator_metrics(report.operators)
         return QueryResult(table, report, physical)
@@ -277,6 +294,11 @@ class FederatedEngine:
                 f"shipped: {report.rows_shipped}  "
                 f"returned: {report.rows_returned}",
             ]
+            if report.fragments_total:
+                lines.append(
+                    f"pruned fragments {report.fragments_pruned}/"
+                    f"{report.fragments_total}"
+                )
             if report.operators is not None:
                 lines.extend(report.operators.tree_lines())
             return "\n".join(lines)
@@ -320,11 +342,13 @@ class FederatedEngine:
 
                 detail = describe_cache_path(assignment)
             else:
+                from repro.federation.physical import describe_pruning
+
                 placed = ", ".join(
                     f"{c.fragment.fragment_id}@{c.site_name}"
                     for c in assignment.choices
                 )
-                detail = f"fragments [{placed}]"
+                detail = f"fragments [{placed}]{describe_pruning(assignment)}"
             extras = ""
             if node.pushdown:
                 predicates = ", ".join(

@@ -95,6 +95,7 @@ class PolicyOptimizer:
             PhysicalPlan,
             ScanAssignment,
         )
+        from repro.federation.stats import fragment_can_match
         from repro.sql.planner import scans_in
 
         assignments = {}
@@ -104,17 +105,36 @@ class PolicyOptimizer:
             if cache_offer is not None:
                 assignments[scan.binding] = cache_offer[0]
                 continue
-            view = self.catalog.views.get(scan.table)
-            if view is None or view.data is None:
+            # Views queried by name must come from a live host (direct_view
+            # raises if the host is down).
+            view = self.catalog.direct_view(scan.table)
+            if view is None:
                 view = self.catalog.view_for_table(scan.table, max_staleness)
-            if view is not None and self.catalog.site(view.site_name).up:
+                if view is not None and not self.catalog.site(view.site_name).up:
+                    view = None
+            if view is not None:
                 assignments[scan.binding] = ScanAssignment(
                     scan.binding, scan.table, "view", view=view
                 )
+                # The view's host already holds the rows; prefer it as the
+                # coordinator over the alphabetically-first up site.
+                rows_by_site[view.site_name] = (
+                    rows_by_site.get(view.site_name, 0) + len(view.data or [])
+                )
                 continue
             entry = self.catalog.entry(scan.table)
-            assignment = ScanAssignment(scan.binding, scan.table, "fragments")
+            assignment = ScanAssignment(
+                scan.binding,
+                scan.table,
+                "fragments",
+                total_fragments=len(entry.fragments),
+            )
             for fragment in entry.fragments:
+                # Partition elimination: skip fragments whose zone maps rule
+                # out every pushed-down predicate before any replica choice.
+                if not fragment_can_match(fragment.zone_map, scan.pushdown):
+                    assignment.pruned_fragments += 1
+                    continue
                 site_name = self.policy.choose(fragment, self.catalog)
                 assignment.choices.append(FragmentChoice(fragment, site_name))
                 rows_by_site[site_name] = (

@@ -90,6 +90,11 @@ class ScanAssignment:
     cached_table: "Table | None" = None  # for kind "cache"
     cached_staleness: float = 0.0
     cached_region: "frozenset | None" = None  # the predicate region served
+    # Zone-map partition elimination accounting for kind "fragments":
+    # of ``total_fragments`` in the catalog, ``pruned_fragments`` were
+    # proven empty under the scan's predicates and get no choice at all.
+    pruned_fragments: int = 0
+    total_fragments: int = 0
 
 
 @dataclass
@@ -100,7 +105,13 @@ class PhysicalPlan:
     assignments: dict[str, ScanAssignment]
     coordinator: str
     optimizer: str = ""
-    optimization_seconds: float = 0.0  # real wall-clock spent deciding
+    # *Modeled* planning seconds (bid round trips, statistics collection,
+    # enumeration work) -- this is what gets charged to the simulation
+    # clock, so identical seeded runs stay byte-identical (DESIGN §7).
+    optimization_seconds: float = 0.0
+    # Real host wall-clock the optimizer burned deciding.  Reported for
+    # profiling but never folded into simulated time.
+    planner_wall_seconds: float = 0.0
     sites_contacted: int = 0
     total_price: float = 0.0
     # The compiled operator tree.  Optimizers attach one for inspection;
@@ -169,6 +180,12 @@ class ExecutionReport:
     site_work: dict[str, float] = field(default_factory=dict)
     price: float = 0.0
     failovers: int = 0  # scans re-routed after a site died mid-query
+    # Host wall-clock the planner spent (kept out of response_seconds so
+    # simulated time stays deterministic -- DESIGN §7).
+    planner_wall_seconds: float = 0.0
+    # Zone-map partition elimination: fragments skipped / considered.
+    fragments_pruned: int = 0
+    fragments_total: int = 0
     # Live fragment-scan outputs, for the engine's semantic cache to store.
     scan_tables: dict[str, ScanCapture] = field(default_factory=dict)
     operators: OperatorStats | None = None  # per-operator stats tree
@@ -374,10 +391,20 @@ class SiteScan(SiteOperator):
             # remember this predicate region (text-filtered scans are not
             # cacheable under the pushdown key alone).  The capture carries
             # the fetch timestamp and the site work it cost: staleness is
-            # measured from the fetch, benefit from the work saved.
-            combined = table_batches[0][1]
-            for _, extra, _ in table_batches[1:]:
-                combined = combined.union_all(extra)
+            # measured from the fetch, benefit from the work saved.  Pruned
+            # fragments contribute no rows by construction (their zone maps
+            # prove them empty under the pushdown), so the capture still
+            # answers the full predicate region -- including a *fully*
+            # pruned scan, whose provably empty table is as complete an
+            # answer as any.
+            if table_batches:
+                combined = table_batches[0][1]
+                for _, extra, _ in table_batches[1:]:
+                    combined = combined.union_all(extra)
+            else:
+                combined = Table(
+                    ctx.catalog.entry(assignment.table_name).schema, []
+                )
             ctx.report.scan_tables[assignment.binding] = ScanCapture(
                 combined, now, self.stats.seconds
             )
@@ -403,6 +430,13 @@ class SiteScan(SiteOperator):
         self, ctx: ExecContext, assignment: ScanAssignment, predicates
     ) -> list[tuple[str, Table, float]]:
         if not assignment.choices:
+            if (
+                assignment.total_fragments > 0
+                and assignment.pruned_fragments >= assignment.total_fragments
+            ):
+                # Every fragment was eliminated by its zone map: the scan is
+                # provably empty, no site does any work.
+                return []
             raise QueryError(
                 f"scan of {assignment.table_name!r} has no fragment choices"
             )
@@ -511,7 +545,7 @@ class SiteScan(SiteOperator):
             placed = ", ".join(
                 f"{c.fragment.fragment_id}@{c.site_name}" for c in assignment.choices
             )
-            detail = f"fragments [{placed}]"
+            detail = f"fragments [{placed}]{describe_pruning(assignment)}"
         if self.scan.pushdown:
             predicates = ", ".join(
                 f"{p.column} {p.op} {p.value!r}" for p in self.scan.pushdown
@@ -1254,6 +1288,15 @@ def describe_region(region: "frozenset | None") -> str:
         f"{p.column} {p.op} {p.value!r}" for p in region
     )
     return " and ".join(rendered)
+
+
+def describe_pruning(assignment: ScanAssignment) -> str:
+    """Zone-map elimination as EXPLAIN shows it: `` pruned k/n`` or ``""``."""
+    if assignment.pruned_fragments <= 0:
+        return ""
+    return (
+        f" pruned {assignment.pruned_fragments}/{assignment.total_fragments}"
+    )
 
 
 def describe_cache_path(assignment: ScanAssignment) -> str:

@@ -149,6 +149,16 @@ def answer_set(result):
     return sorted(map(repr, result.table.rows))
 
 
+def is_fully_pruned(assignment):
+    """A zero-price fragment plan whose zone maps proved every fragment
+    empty -- it legitimately outbids even a covering cache region."""
+    return (
+        assignment.kind == "fragments"
+        and assignment.total_fragments > 0
+        and assignment.pruned_fragments >= assignment.total_fragments
+    )
+
+
 class TestPhysicalIndependence:
     @settings(max_examples=25, deadline=None)
     @given(rows_strategy, query_strategy)
@@ -232,8 +242,13 @@ class TestPhysicalIndependence:
         cached.query(wide, advance_clock=False)
         hit = cached.query(narrow, advance_clock=False)
         # v > low always covers v > low + shrink (shrink >= 0), so the
-        # narrow query must actually exercise the cache path.
-        assert hit.plan.assignments["t"].kind == "cache"
+        # narrow query must exercise the cache path -- unless zone-map
+        # pruning proved the scan empty, in which case a zero-price
+        # fully-pruned fragment plan legitimately outbids the cache.
+        assignment = hit.plan.assignments["t"]
+        assert assignment.kind == "cache" or is_fully_pruned(assignment)
+        if is_fully_pruned(assignment):
+            assert len(hit.table) == 0
         assert answer_set(hit) == answer_set(
             bypass.query(narrow, advance_clock=False)
         )
@@ -254,7 +269,8 @@ class TestPhysicalIndependence:
 
         cached.query(wide, advance_clock=False)
         hit = cached.query(probe, advance_clock=False)
-        assert hit.plan.assignments["t"].kind == "cache"
+        assignment = hit.plan.assignments["t"]
+        assert assignment.kind == "cache" or is_fully_pruned(assignment)
         assert answer_set(hit) == answer_set(
             bypass.query(probe, advance_clock=False)
         )
