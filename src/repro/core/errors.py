@@ -27,13 +27,56 @@ class WrapperError(ContentIntegrationError):
 class SourceUnavailableError(ContentIntegrationError):
     """A federated data source (site or web endpoint) is down.
 
-    Carries the source name so availability experiments can attribute the
-    failure.
+    Carries the source name -- and, when known, the site and fragment the
+    failed access targeted -- so availability experiments and the failover
+    machinery can attribute the failure precisely.
     """
 
-    def __init__(self, source: str, message: str = "") -> None:
+    def __init__(
+        self,
+        source: str,
+        message: str = "",
+        site: "str | None" = None,
+        fragment: "str | None" = None,
+    ) -> None:
         self.source = source
+        self.site = site if site is not None else source
+        self.fragment = fragment
         super().__init__(message or f"source {source!r} is unavailable")
+
+
+class PartialFailureError(QueryError):
+    """A query could not reach every fragment it needed.
+
+    Raised by the executor when, even after failover and retries, some
+    fragment has no live replica (and the caller did not opt into a
+    degraded answer with ``degraded_ok=True``).  Structured so callers can
+    see exactly *what* is unreachable instead of a bare source error:
+
+    * ``unreachable_fragments`` -- ``"table/fragment_id"`` names;
+    * ``dead_sites`` -- the sites whose failure caused it;
+    * ``retries_used`` -- failover attempts spent before giving up.
+    """
+
+    def __init__(
+        self,
+        unreachable_fragments: "list[str]",
+        dead_sites: "list[str]",
+        retries_used: int = 0,
+        message: str = "",
+    ) -> None:
+        self.unreachable_fragments = list(unreachable_fragments)
+        self.dead_sites = list(dead_sites)
+        self.retries_used = retries_used
+        super().__init__(
+            message
+            or (
+                f"fragments {self.unreachable_fragments} unreachable "
+                f"(dead sites: {self.dead_sites}, "
+                f"retries used: {retries_used}); "
+                "pass degraded_ok=True for a partial answer"
+            )
+        )
 
 
 class TransformError(ContentIntegrationError):

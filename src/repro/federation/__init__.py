@@ -33,6 +33,9 @@ The pieces:
 * :mod:`repro.federation.loadbalance` -- replica-choice policies.
 * :mod:`repro.federation.availability` -- failure injection, placement
   strategies, availability probes ("some of the content all of the time").
+* :mod:`repro.federation.health` -- per-site failure memory, the half-open
+  circuit breaker, availability-aware risk pricing, and the retry/backoff
+  policy that bounds scan-level failover.
 * :mod:`repro.federation.engine` -- :class:`FederatedEngine`: SQL and XPath
   in, rows or XML out.
 """
@@ -49,6 +52,12 @@ from repro.federation.catalog import FederationCatalog, Fragment, TableEntry
 from repro.federation.central import CentralizedOptimizer
 from repro.federation.engine import FederatedEngine, QueryResult
 from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.federation.health import (
+    CircuitState,
+    RetryPolicy,
+    SiteHealth,
+    SiteHealthTracker,
+)
 from repro.federation.physical import OperatorStats, PhysicalPlanner
 from repro.federation.loadbalance import (
     LeastLoadedPolicy,
@@ -89,6 +98,10 @@ __all__ = [
     "ExecutionReport",
     "Executor",
     "PhysicalPlan",
+    "CircuitState",
+    "RetryPolicy",
+    "SiteHealth",
+    "SiteHealthTracker",
     "OperatorStats",
     "PhysicalPlanner",
     "LeastLoadedPolicy",

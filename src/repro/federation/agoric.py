@@ -89,6 +89,7 @@ class AgoricOptimizer:
         bid_round_trip_seconds: float = 0.02,
         per_bid_seconds: float = 0.0002,
         cache=None,
+        health=None,
     ) -> None:
         self.catalog = catalog
         self.sample_size = sample_size
@@ -98,6 +99,11 @@ class AgoricOptimizer:
         # The engine attaches its SemanticCache here so covering regions
         # can bid in the market alongside fragments and views.
         self.cache = cache
+        # The engine attaches its SiteHealthTracker here: flaky sites' asks
+        # are inflated by their risk penalty (availability-aware pricing),
+        # and open-circuit sites are skipped when an alternative replica
+        # exists.
+        self.health = health
 
     # -- bidding -----------------------------------------------------------
 
@@ -114,19 +120,23 @@ class AgoricOptimizer:
 
     def collect_bids(
         self, scan: ScanNode
-    ) -> tuple[dict[str, list[Bid]], int, int]:
+    ) -> tuple[dict[str, list[Bid]], int, int, list]:
         """Solicit bids per surviving fragment of the scanned table.
 
         Fragments whose zone maps prove the scan's predicates unsatisfiable
         are eliminated before any site is contacted -- they solicit no bids
-        and cost no broker work.  Returns ``(bids_by_fragment, pruned,
-        total)``.
+        and cost no broker work.  Fragments with *no live replica* solicit
+        no bids either: they are returned in the ``unreachable`` list so the
+        executor can retry them (and apply the query's degraded policy) --
+        the auction does not abort over them.  Returns ``(bids_by_fragment,
+        pruned, total, unreachable)``.
         """
         entry = self.catalog.entry(scan.table)
         if not entry.fragments:
             raise QueryError(f"table {scan.table!r} has no fragments to scan")
         bids_by_fragment: dict[str, list[Bid]] = {}
         pruned = 0
+        unreachable = []
         for fragment in entry.fragments:
             if not fragment_can_match(fragment.zone_map, scan.pushdown):
                 pruned += 1
@@ -138,9 +148,14 @@ class AgoricOptimizer:
                 if self.catalog.site(name).up
             ]
             if not live:
-                raise QueryError(
-                    f"no live replica of {scan.table}/{fragment.fragment_id}"
-                )
+                unreachable.append(fragment)
+                continue
+            if self.health is not None:
+                # Open circuits sit out the auction -- unless *every* live
+                # replica is tripped, in which case the least-bad one still
+                # gets solicited (a probe beats an unplannable fragment).
+                allowed = [name for name in live if self.health.allow(name)]
+                live = allowed or live
             if self.sample_size is not None and len(live) > self.sample_size:
                 live = sorted(self.rng.sample(live, self.sample_size))
             bids = []
@@ -149,18 +164,23 @@ class AgoricOptimizer:
                 quote = site.quote_scan(
                     fragment.replicas[site_name], row_fraction=selectivity
                 )
+                price = site.price_quote(quote)
+                if self.health is not None:
+                    # Availability-aware pricing: recent failures inflate
+                    # the ask, steering work toward reliable replicas.
+                    price *= self.health.price_multiplier(site_name)
                 bids.append(
                     Bid(
                         site_name=site_name,
                         fragment_id=fragment.fragment_id,
-                        price=site.price_quote(quote),
+                        price=price,
                         est_seconds=quote.seconds,
                         queue_delay=quote.queue_delay,
                     )
                 )
             bids.sort(key=lambda b: (b.price, b.site_name))
             bids_by_fragment[fragment.fragment_id] = bids
-        return bids_by_fragment, pruned, len(entry.fragments)
+        return bids_by_fragment, pruned, len(entry.fragments), unreachable
 
     # -- optimization --------------------------------------------------------------
 
@@ -203,6 +223,15 @@ class AgoricOptimizer:
             fragment_price = (
                 fragment_result[1] if fragment_result is not None else float("inf")
             )
+            if (
+                fragment_result is not None
+                and fragment_result[0].unreachable
+                and (cache_offer is not None or view_assignment is not None)
+            ):
+                # Part of the table is behind dead sites: a covering cache
+                # region or view answers *completely*, which beats a partial
+                # fragment plan at any price.
+                fragment_price = float("inf")
             if cache_offer is not None and cache_price <= min(
                 view_price, fragment_price
             ):
@@ -255,7 +284,7 @@ class AgoricOptimizer:
         self, scan: ScanNode
     ) -> tuple[ScanAssignment, float, int, int] | None:
         try:
-            bids_by_fragment, pruned, total = self.collect_bids(scan)
+            bids_by_fragment, pruned, total, unreachable = self.collect_bids(scan)
         except QueryError:
             return None
         assignment = ScanAssignment(
@@ -264,6 +293,7 @@ class AgoricOptimizer:
             "fragments",
             pruned_fragments=pruned,
             total_fragments=total,
+            unreachable=unreachable,
         )
         entry = self.catalog.entry(scan.table)
         fragments = {f.fragment_id: f for f in entry.fragments}

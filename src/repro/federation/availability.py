@@ -17,6 +17,7 @@ rows is reachable at any instant -- experiment E5 sweeps exactly this.
 from __future__ import annotations
 
 import enum
+import math
 import random
 
 from repro.core.errors import QueryError
@@ -78,6 +79,17 @@ class FailureInjector:
     Each site independently fails after ~Exp(mttf) and repairs after
     ~Exp(mttr), driven by the shared event loop, so availability windows
     interleave deterministically for a given seed.
+
+    ``max_concurrent_failures`` optionally caps how many sites may be down
+    at once: a failure drawn while the cap is reached is skipped and the
+    site draws a fresh time-to-failure instead.  ``max_concurrent_failures=1``
+    models the single-site-failure regime in which RF=2 placement
+    guarantees every fragment a live replica -- the regime where failover
+    should never lose a query.
+
+    Every up/down transition is appended to :attr:`history` as
+    ``(time, site_name, "fail" | "repair")``, so tests can assert that the
+    same seed produces the identical failure schedule.
     """
 
     def __init__(
@@ -88,21 +100,32 @@ class FailureInjector:
         mttr: float,
         rng: random.Random,
         site_names: list[str] | None = None,
+        max_concurrent_failures: int | None = None,
     ) -> None:
         if mttf <= 0 or mttr <= 0:
             raise QueryError("mttf and mttr must be positive")
+        if max_concurrent_failures is not None and max_concurrent_failures < 1:
+            raise QueryError(
+                f"max_concurrent_failures must be >= 1, got {max_concurrent_failures}"
+            )
         self.loop = loop
         self.catalog = catalog
         self.mttf = mttf
         self.mttr = mttr
         self.rng = rng
         self.site_names = site_names or sorted(catalog.sites)
+        self.max_concurrent_failures = max_concurrent_failures
         self.failures = 0
         self.repairs = 0
+        self.skipped_failures = 0  # draws suppressed by the concurrency cap
+        self.history: list[tuple[float, str, str]] = []
 
     def start(self) -> None:
         for name in self.site_names:
             self._schedule_failure(name)
+
+    def _down_count(self) -> int:
+        return sum(1 for name in self.site_names if not self.catalog.site(name).up)
 
     def _schedule_failure(self, name: str) -> None:
         delay = self.rng.expovariate(1.0 / self.mttf)
@@ -114,16 +137,27 @@ class FailureInjector:
 
     def _fail(self, name: str) -> None:
         site = self.catalog.site(name)
-        if site.up:
+        if site.up and (
+            self.max_concurrent_failures is None
+            or self._down_count() < self.max_concurrent_failures
+        ):
             site.up = False
             self.failures += 1
-        self._schedule_repair(name)
+            self.history.append((self.loop.clock.now(), name, "fail"))
+            self._schedule_repair(name)
+            return
+        # Already down, or the concurrency cap is reached: stay up and draw
+        # a fresh time-to-failure so the site's crash process continues.
+        if site.up:
+            self.skipped_failures += 1
+        self._schedule_failure(name)
 
     def _repair(self, name: str) -> None:
         site = self.catalog.site(name)
         if not site.up:
             site.up = True
             self.repairs += 1
+            self.history.append((self.loop.clock.now(), name, "repair"))
         self._schedule_failure(name)
 
 
@@ -174,8 +208,6 @@ class AvailabilityProbe:
         "Five nines" (99.999%) returns 5.0; perfect availability returns
         ``inf``.  The paper's uptime currency, computable for any run.
         """
-        import math
-
         mean = self.mean_availability()
         if mean >= 1.0:
             return float("inf")

@@ -50,6 +50,7 @@ class CentralizedOptimizer:
         per_combination_seconds: float = 2e-6,
         max_combinations: int = 4096,
         cache=None,
+        health=None,
     ) -> None:
         self.catalog = catalog
         self.stats_refresh_interval = stats_refresh_interval
@@ -60,6 +61,10 @@ class CentralizedOptimizer:
         # Attached by the engine; a covering cached region is a local
         # materialized answer and beats any remote plan under the snapshot.
         self.cache = cache
+        # Attached by the engine; flaky sites' estimated costs are inflated
+        # by their risk penalty and tripped circuits are avoided when an
+        # alternative replica exists.
+        self.health = health
         self._snapshot_loads: dict[str, float] = {}
         self._snapshot_at = float("-inf")
         self.snapshots_taken = 0
@@ -123,6 +128,7 @@ class CentralizedOptimizer:
             if not entry.fragments:
                 raise QueryError(f"table {scan.table!r} has no fragments to scan")
             pruned = 0
+            unreachable: list[Fragment] = []
             for fragment in entry.fragments:
                 # Partition elimination: a fragment whose zone map proves the
                 # pushed-down predicates unsatisfiable never enters placement
@@ -136,9 +142,16 @@ class CentralizedOptimizer:
                     if self.catalog.site(name).up
                 ]
                 if not live:
-                    raise QueryError(
-                        f"no live replica of {scan.table}/{fragment.fragment_id}"
-                    )
+                    # No live replica right now: leave it to the executor,
+                    # which retries at scan time and applies the query's
+                    # degraded-answer policy.
+                    unreachable.append(fragment)
+                    continue
+                if self.health is not None:
+                    allowed = [
+                        name for name in live if self.health.allow(name)
+                    ]
+                    live = allowed or live
                 fragment_slots.append(
                     (scan, fragment, live, fragment_selectivity(fragment, scan.pushdown))
                 )
@@ -148,6 +161,7 @@ class CentralizedOptimizer:
                 "fragments",
                 pruned_fragments=pruned,
                 total_fragments=len(entry.fragments),
+                unreachable=unreachable,
             )
 
         combinations = 1
@@ -192,7 +206,12 @@ class CentralizedOptimizer:
             site = self.catalog.site(site_name)
             source_name = fragment.replicas[site_name]
             quote = site.quote_scan(source_name, row_fraction=selectivity)
-            site_work[site_name] = site_work.get(site_name, 0.0) + quote.seconds
+            seconds = quote.seconds
+            if self.health is not None:
+                # Availability-aware cost: a flaky site's estimate carries a
+                # risk surcharge (the expected cost of a mid-scan failover).
+                seconds *= self.health.price_multiplier(site_name)
+            site_work[site_name] = site_work.get(site_name, 0.0) + seconds
         return max(
             self.snapshot_load(name) + work for name, work in site_work.items()
         )
@@ -224,7 +243,10 @@ class CentralizedOptimizer:
                 quote = site.quote_scan(
                     fragment.replicas[name], row_fraction=selectivity
                 )
-                return self.snapshot_load(name) + planned_extra.get(name, 0.0) + quote.seconds
+                seconds = quote.seconds
+                if self.health is not None:
+                    seconds *= self.health.price_multiplier(name)
+                return self.snapshot_load(name) + planned_extra.get(name, 0.0) + seconds
 
             winner = min(live, key=lambda name: (planned_cost(name), name))
             site = self.catalog.site(winner)

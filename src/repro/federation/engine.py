@@ -36,12 +36,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.errors import QueryError
+from repro.core.errors import PartialFailureError, QueryError, SourceUnavailableError
 from repro.core.records import Table
 from repro.federation.agoric import AgoricOptimizer
 from repro.federation.cache import SemanticCache
 from repro.federation.catalog import FederationCatalog
 from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.federation.health import RetryPolicy, SiteHealthTracker
 from repro.ir.search import CatalogSearch, SearchMode, SynonymExpander, TaxonomyExpander
 from repro.federation.views import MaterializedView
 from repro.sim.events import EventLoop
@@ -90,12 +91,22 @@ class FederatedEngine:
         optimizer=None,
         metrics: MetricsRegistry | None = None,
         cache: "SemanticCache | None" = None,
+        health: "SiteHealthTracker | None" = None,
+        retry: RetryPolicy | None = None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer or AgoricOptimizer(catalog)
-        self.executor = Executor(catalog)
+        self.health = health or SiteHealthTracker(catalog.clock)
+        self.retry = retry or RetryPolicy()
+        self.executor = Executor(
+            catalog, health=self.health, retry=self.retry, cache=cache
+        )
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
+        # Availability is an access-path concern too: the optimizers consult
+        # the health tracker so flaky sites' bids carry a risk penalty.
+        if getattr(self.optimizer, "health", None) is None:
+            self.optimizer.health = self.health
         if cache is not None:
             # The cache is an access path, so the *optimizer* owns the
             # decision: attach it (unless the caller wired one already) so
@@ -119,6 +130,7 @@ class FederatedEngine:
         coordinator: str | None = None,
         advance_clock: bool = True,
         budget: float | None = None,
+        degraded_ok: bool = False,
     ) -> QueryResult:
         """Answer one SQL query.
 
@@ -127,10 +139,19 @@ class FederatedEngine:
         fetch-on-demand.  ``budget`` (agoric optimizer only) caps the total
         price paid for the plan; an unaffordable market raises
         :class:`~repro.federation.agoric.BudgetExceededError`.
+
+        ``degraded_ok=True`` accepts a *partial* answer when content is
+        unreachable even after failover: the result carries
+        ``report.completeness`` (reachable rows / total rows) and
+        ``report.unreachable_fragments`` instead of raising.  Without the
+        flag an unreachable fragment raises a structured
+        :class:`~repro.core.errors.PartialFailureError` naming the dead
+        sites and fragments.
         """
         statement = parse_sql(sql)
         return self._execute_statement(
-            statement, max_staleness, coordinator, advance_clock, budget
+            statement, max_staleness, coordinator, advance_clock, budget,
+            degraded_ok,
         )
 
     def _execute_statement(
@@ -140,6 +161,7 @@ class FederatedEngine:
         coordinator: str | None = None,
         advance_clock: bool = True,
         budget: float | None = None,
+        degraded_ok: bool = False,
     ) -> QueryResult:
         # Uncorrelated IN-subqueries run first (semijoin by materialization:
         # the inner membership set is fetched, then shipped into the outer
@@ -171,7 +193,13 @@ class FederatedEngine:
         if cache_scans:
             self.metrics.counter("cache.scan_hits").inc(cache_scans)
 
-        table, report = self.executor.execute(physical)
+        try:
+            table, report = self.executor.execute(
+                physical, degraded_ok=degraded_ok, max_staleness=max_staleness
+            )
+        except (PartialFailureError, SourceUnavailableError):
+            self.metrics.counter("queries.partial_failures").inc()
+            raise
         # Only *modeled* optimization seconds reach the simulated response
         # time (DESIGN §7 determinism); the host's real planning time is
         # reported out-of-band.
@@ -194,11 +222,31 @@ class FederatedEngine:
         if self.cache is not None:
             self._store_in_cache(plan, report)
 
+        self.record_report_metrics(report)
+        return QueryResult(table, report, physical)
+
+    def record_report_metrics(self, report: ExecutionReport) -> None:
+        """Feed one execution report into the metrics registry.
+
+        Public so harnesses that drive the optimizer/executor directly
+        (e.g. the availability bench, which interleaves failures between
+        planning and execution) surface the same counters as
+        :meth:`query`.
+        """
         self.metrics.counter("queries").inc()
         self.metrics.histogram("query.response_seconds").observe(report.response_seconds)
         self.metrics.histogram("query.staleness_seconds").observe(report.staleness_seconds)
         self.metrics.counter("rows.fetched").inc(report.rows_fetched)
         self.metrics.counter("rows.shipped").inc(report.rows_shipped)
+        if report.failover_attempts:
+            self.metrics.counter("failover.attempts").inc(report.failover_attempts)
+        if report.failovers:
+            self.metrics.counter("failover.successes").inc(report.failovers)
+        if report.retry_seconds:
+            self.metrics.counter("failover.retry_seconds").inc(report.retry_seconds)
+        if report.degraded:
+            self.metrics.counter("queries.degraded").inc()
+        self.metrics.histogram("query.completeness").observe(report.completeness)
         if report.fragments_total:
             self.metrics.counter("pruning.fragments_pruned").inc(
                 report.fragments_pruned
@@ -208,7 +256,6 @@ class FederatedEngine:
             )
         if report.operators is not None:
             self._record_operator_metrics(report.operators)
-        return QueryResult(table, report, physical)
 
     def _apply_rewrites(self, plan: PlanNode, bindings, binding_fields) -> PlanNode:
         """The standard rewrite pipeline, applied after pushdown in build_plan.
@@ -527,11 +574,25 @@ class FederatedEngine:
         self.metrics.counter("view.refresh_seconds").inc(result.report.response_seconds)
 
     def schedule_view_refresh(self, view: MaterializedView, loop: EventLoop) -> None:
-        """Refresh ``view`` on its interval, driven by the event loop."""
+        """Refresh ``view`` on its interval, driven by the event loop.
+
+        A refresh that finds a base site down must not crash the event loop
+        mid-simulation: the failure is counted on the view (and in metrics)
+        and the next scheduled tick simply tries again -- the view serves
+        its stale copy in the meantime, which is exactly its job.
+        """
         if view.refresh_interval is None or view.refresh_interval <= 0:
             raise QueryError(f"view {view.name!r} has no positive refresh interval")
+
+        def _refresh_or_skip() -> None:
+            try:
+                self.refresh_view(view)
+            except (SourceUnavailableError, QueryError):
+                view.refresh_failures += 1
+                self.metrics.counter("view.refresh_failures").inc()
+
         loop.schedule_every(
             view.refresh_interval,
-            lambda: self.refresh_view(view),
+            _refresh_or_skip,
             name=f"refresh:{view.name}",
         )

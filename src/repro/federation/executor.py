@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from repro.core.records import Table
 from repro.federation.catalog import FederationCatalog
+from repro.federation.health import RetryPolicy, SiteHealthTracker
 from repro.federation.physical import (
     Env,
     ExecContext,
@@ -51,19 +52,48 @@ __all__ = [
 
 
 class Executor:
-    """Runs physical plans against the catalog's sites."""
+    """Runs physical plans against the catalog's sites.
 
-    def __init__(self, catalog: FederationCatalog) -> None:
+    ``health`` (a :class:`SiteHealthTracker`) receives every scan outcome;
+    ``retry`` bounds and prices scan-level failover; ``cache`` is the
+    engine's semantic cache, consulted as a last-resort covering copy for
+    fragments with no live replica.
+    """
+
+    def __init__(
+        self,
+        catalog: FederationCatalog,
+        health: SiteHealthTracker | None = None,
+        retry: RetryPolicy | None = None,
+        cache=None,
+    ) -> None:
         self.catalog = catalog
         self.planner = PhysicalPlanner(catalog)
+        self.health = health
+        self.retry = retry or RetryPolicy()
+        self.cache = cache
 
-    def execute(self, plan: PhysicalPlan) -> tuple[Table, ExecutionReport]:
+    def execute(
+        self,
+        plan: PhysicalPlan,
+        degraded_ok: bool = False,
+        max_staleness: float | None = None,
+    ) -> tuple[Table, ExecutionReport]:
         report = ExecutionReport(price=plan.total_price)
         # Recompile every time: assignments may have changed since the
         # optimizer attached a tree (cache swap, text-filter annotation),
         # and operators hold per-execution state.
         root = self.planner.compile(plan)
-        ctx = ExecContext(self.catalog, plan, report)
+        ctx = ExecContext(
+            self.catalog,
+            plan,
+            report,
+            health=self.health,
+            retry=self.retry,
+            degraded_ok=degraded_ok,
+            cache=self.cache,
+            max_staleness=max_staleness,
+        )
 
         root.open(ctx)
         envs: list[Env] = []
@@ -74,4 +104,14 @@ class Executor:
         report.response_seconds = ctx.scan_elapsed + ctx.coordinator_seconds
         report.rows_returned = len(envs)
         report.operators = root.stats_tree()
+        report.unreachable_fragments = list(ctx.unreachable_fragments)
+        report.dead_sites = sorted(ctx.dead_sites)
+        if ctx.unreachable_rows > 0:
+            report.degraded = True
+            if ctx.scan_total_rows > 0:
+                report.completeness = (
+                    ctx.scan_total_rows - ctx.unreachable_rows
+                ) / ctx.scan_total_rows
+            else:
+                report.completeness = 0.0
         return envs_to_table(root, envs), report

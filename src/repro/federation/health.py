@@ -1,0 +1,199 @@
+"""Per-site health tracking: failure memory, circuit breaking, risk pricing.
+
+§3.2 C8 argues the federation must ride through "issues that lie outside
+the control of the query system".  Liveness (``Site.up``) is the instant
+truth, but a site that *just* repaired -- or keeps flapping -- is a worse
+bet than one that has served every request for an hour.  This module keeps
+that memory:
+
+* :class:`SiteHealthTracker` records every observed scan outcome per site:
+  consecutive failures, totals, and last failure/success times on the
+  simulation clock.
+* A simple **half-open circuit breaker**: after ``failure_threshold``
+  consecutive failures a site's circuit opens; while open, planners avoid
+  it when an alternative replica exists.  After ``cooldown_seconds`` the
+  circuit goes half-open and one probe is allowed through; a success closes
+  it, a failure re-opens it.
+* **Availability-aware pricing**: :meth:`SiteHealthTracker.price_multiplier`
+  inflates a flaky site's bid by up to ``1 + max_price_penalty``; the
+  penalty decays linearly over ``risk_decay_seconds`` since the last
+  failure, so a site earns its way back into the market by staying up --
+  the adaptive half of the agoric story applied to *availability* instead
+  of load.
+* :class:`RetryPolicy` bounds the executor's failover: a per-query retry
+  budget and an exponential backoff schedule whose modeled pauses are
+  charged to the simulated response time.
+
+All three optimizers consult the tracker (the engine attaches its tracker
+to whatever optimizer it is built with, exactly as it attaches the
+semantic cache) and the executor feeds it outcomes, closing the loop.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.sim.clock import SimClock
+
+
+class CircuitState(enum.Enum):
+    """The classic three breaker states."""
+
+    CLOSED = "closed"  # healthy: requests flow
+    OPEN = "open"  # tripped: avoid while alternatives exist
+    HALF_OPEN = "half-open"  # cooled down: one probe allowed
+
+
+@dataclass
+class SiteHealth:
+    """Observed availability record for one site."""
+
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    last_failure_at: float | None = None
+    last_success_at: float | None = None
+    opened_at: float | None = None  # when the circuit tripped (None = closed)
+
+
+@dataclass
+class RetryPolicy:
+    """Bounds and prices the executor's scan-level failover.
+
+    ``budget`` is per *query*: the total number of failover attempts (site
+    re-routes after a failed or dead primary) one execution may spend.
+    Each attempt is charged a modeled pause of
+    ``backoff_base_seconds * backoff_multiplier ** attempts_so_far``
+    (capped), accumulated into the scan pipeline's elapsed time -- so a
+    query that survives on retries pays for them in simulated latency, and
+    two identical seeded runs stay byte-identical.
+
+    ``enabled=False`` reproduces the pre-failover engine: the first dead
+    site aborts the query with :class:`~repro.core.errors.SourceUnavailableError`.
+    """
+
+    enabled: bool = True
+    budget: int = 8
+    backoff_base_seconds: float = 0.02
+    backoff_multiplier: float = 2.0
+    backoff_cap_seconds: float = 1.0
+
+    def backoff_seconds(self, retry_index: int) -> float:
+        """The modeled pause before retry number ``retry_index`` (0-based)."""
+        pause = self.backoff_base_seconds * (
+            self.backoff_multiplier ** max(0, retry_index)
+        )
+        return min(self.backoff_cap_seconds, pause)
+
+
+class SiteHealthTracker:
+    """Remembers per-site scan outcomes; prices risk; breaks circuits."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 60.0,
+        risk_decay_seconds: float = 600.0,
+        max_price_penalty: float = 4.0,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        self.clock = clock
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.risk_decay_seconds = risk_decay_seconds
+        self.max_price_penalty = max_price_penalty
+        self.trips = 0  # lifetime circuit-open transitions
+        self._sites: dict[str, SiteHealth] = {}
+
+    def health(self, site_name: str) -> SiteHealth:
+        if site_name not in self._sites:
+            self._sites[site_name] = SiteHealth()
+        return self._sites[site_name]
+
+    # -- outcome recording -------------------------------------------------
+
+    def record_failure(self, site_name: str) -> None:
+        record = self.health(site_name)
+        record.consecutive_failures += 1
+        record.total_failures += 1
+        record.last_failure_at = self.clock.now()
+        if (
+            record.consecutive_failures >= self.failure_threshold
+            and record.opened_at is None
+        ):
+            record.opened_at = self.clock.now()
+            self.trips += 1
+        elif record.opened_at is not None and self.state(site_name) is not (
+            CircuitState.OPEN
+        ):
+            # A failed half-open probe re-opens the circuit from *now*.
+            record.opened_at = self.clock.now()
+
+    def record_success(self, site_name: str) -> None:
+        record = self.health(site_name)
+        record.consecutive_failures = 0
+        record.total_successes += 1
+        record.last_success_at = self.clock.now()
+        record.opened_at = None  # a success closes the circuit
+
+    # -- breaker -----------------------------------------------------------
+
+    def state(self, site_name: str) -> CircuitState:
+        record = self._sites.get(site_name)
+        if record is None or record.opened_at is None:
+            return CircuitState.CLOSED
+        if self.clock.now() - record.opened_at >= self.cooldown_seconds:
+            return CircuitState.HALF_OPEN
+        return CircuitState.OPEN
+
+    def allow(self, site_name: str) -> bool:
+        """May work be routed here?  Open circuits say no; half-open lets a
+        probe through so the site can prove itself repaired."""
+        return self.state(site_name) is not CircuitState.OPEN
+
+    # -- risk pricing ------------------------------------------------------
+
+    def risk_penalty(self, site_name: str) -> float:
+        """A [0, 1] risk factor: 0 = no recent failures, 1 = tripped now.
+
+        Scales with how close the site is to (or past) the trip threshold
+        and decays linearly over ``risk_decay_seconds`` since the last
+        failure, so stale incidents stop distorting prices.
+        """
+        record = self._sites.get(site_name)
+        if (
+            record is None
+            or record.consecutive_failures == 0
+            or record.last_failure_at is None
+        ):
+            return 0.0
+        severity = min(1.0, record.consecutive_failures / self.failure_threshold)
+        age = self.clock.now() - record.last_failure_at
+        freshness = max(0.0, 1.0 - age / self.risk_decay_seconds)
+        return severity * freshness
+
+    def price_multiplier(self, site_name: str) -> float:
+        """Inflate a flaky site's ask: ``1 + max_price_penalty * risk``."""
+        return 1.0 + self.max_price_penalty * self.risk_penalty(site_name)
+
+    def prefer(self, site_names: list[str]) -> list[str]:
+        """Order candidate sites best-bet first (risk, then name).
+
+        Sites with open circuits sort last but are never dropped: when
+        every replica looks bad, the least-bad one still gets the probe.
+        """
+        return sorted(
+            site_names,
+            key=lambda name: (
+                0 if self.allow(name) else 1,
+                self.risk_penalty(name),
+                name,
+            ),
+        )
+
+    def snapshot(self) -> dict[str, SiteHealth]:
+        """A copy of the per-site records (for reports and tests)."""
+        return dict(self._sites)

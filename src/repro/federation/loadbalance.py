@@ -80,13 +80,16 @@ class PolicyOptimizer:
     """
 
     def __init__(self, catalog: FederationCatalog, policy: ReplicaPolicy,
-                 name: str | None = None, cache=None) -> None:
+                 name: str | None = None, cache=None, health=None) -> None:
         self.catalog = catalog
         self.policy = policy
         self.name = name or f"policy:{type(policy).__name__}"
         # Attached by the engine; covering cached regions pre-empt the
         # replica choice entirely (no replica beats a local answer).
         self.cache = cache
+        # Attached by the engine; a policy pick whose circuit is open is
+        # overridden with the least-risky allowed replica.
+        self.health = health
 
     def optimize(self, plan, coordinator=None, max_staleness=None):
         from repro.federation.cache import cache_scan_assignment
@@ -135,7 +138,26 @@ class PolicyOptimizer:
                 if not fragment_can_match(fragment.zone_map, scan.pushdown):
                     assignment.pruned_fragments += 1
                     continue
-                site_name = self.policy.choose(fragment, self.catalog)
+                try:
+                    site_name = self.policy.choose(fragment, self.catalog)
+                except QueryError:
+                    # No live replica right now: the executor retries at
+                    # scan time and applies the degraded-answer policy.
+                    assignment.unreachable.append(fragment)
+                    continue
+                if self.health is not None and not self.health.allow(site_name):
+                    # The policy picked a tripped site; reroute to the
+                    # least-risky allowed live replica when one exists.
+                    alternatives = [
+                        name
+                        for name in fragment.replica_sites()
+                        if self.catalog.site(name).up and self.health.allow(name)
+                    ]
+                    if alternatives:
+                        site_name = min(
+                            alternatives,
+                            key=lambda name: (self.health.risk_penalty(name), name),
+                        )
                 assignment.choices.append(FragmentChoice(fragment, site_name))
                 rows_by_site[site_name] = (
                     rows_by_site.get(site_name, 0) + fragment.estimated_rows

@@ -28,11 +28,16 @@ from dataclasses import dataclass, field
 from typing import Any, Iterator
 
 from repro.connect.source import apply_predicates
-from repro.core.errors import QueryError, SourceUnavailableError
+from repro.core.errors import (
+    PartialFailureError,
+    QueryError,
+    SourceUnavailableError,
+)
 from repro.core.records import Table
 from repro.core.schema import DataType, Field, Schema
 from repro.core.values import Money
 from repro.federation.catalog import FederationCatalog, Fragment
+from repro.federation.health import RetryPolicy, SiteHealthTracker
 from repro.federation.views import MaterializedView
 from repro.sql.ast import (
     AGGREGATE_FUNCTIONS,
@@ -95,6 +100,11 @@ class ScanAssignment:
     # proven empty under the scan's predicates and get no choice at all.
     pruned_fragments: int = 0
     total_fragments: int = 0
+    # Fragments that had no live replica at *plan* time.  The optimizers
+    # record them instead of refusing to plan: the executor retries them
+    # (the site may have repaired) and otherwise applies the query's
+    # degraded-answer policy -- availability is an execution-time property.
+    unreachable: list[Fragment] = field(default_factory=list)
 
 
 @dataclass
@@ -179,7 +189,15 @@ class ExecutionReport:
     network_seconds: float = 0.0
     site_work: dict[str, float] = field(default_factory=dict)
     price: float = 0.0
-    failovers: int = 0  # scans re-routed after a site died mid-query
+    failovers: int = 0  # scans successfully re-routed after a site died mid-query
+    failover_attempts: int = 0  # re-route attempts, successful or not
+    retry_seconds: float = 0.0  # modeled backoff latency charged for retries
+    # Graceful degradation: the fraction of the query's input rows that was
+    # reachable (1.0 = complete answer), with the fragments left behind.
+    completeness: float = 1.0
+    degraded: bool = False
+    unreachable_fragments: list[str] = field(default_factory=list)
+    dead_sites: list[str] = field(default_factory=list)
     # Host wall-clock the planner spent (kept out of response_seconds so
     # simulated time stays deterministic -- DESIGN §7).
     planner_wall_seconds: float = 0.0
@@ -232,6 +250,11 @@ class ExecContext:
         catalog: FederationCatalog,
         plan: PhysicalPlan,
         report: ExecutionReport,
+        health: "SiteHealthTracker | None" = None,
+        retry: RetryPolicy | None = None,
+        degraded_ok: bool = False,
+        cache=None,
+        max_staleness: float | None = None,
     ) -> None:
         self.catalog = catalog
         self.plan = plan
@@ -240,6 +263,19 @@ class ExecContext:
         self.scan_elapsed = 0.0  # slowest leaf pipeline (scans run in parallel)
         self.coordinator_seconds = 0.0  # serial coordinator work
         self.ambiguous = ambiguous_fields(catalog, plan)
+        # Fault-tolerance state shared by every scan in this execution.
+        self.health = health  # per-site outcome memory (may be None)
+        self.retry = retry or RetryPolicy()
+        self.degraded_ok = degraded_ok
+        self.cache = cache  # last-resort covering regions for dead fragments
+        # The query's staleness bound, honored by the covering fallback too:
+        # a LIVE_ONLY query must fail rather than silently serve stale data.
+        self.max_staleness = max_staleness
+        self.retries_used = 0  # failover attempts spent against retry.budget
+        self.scan_total_rows = 0  # estimated input rows across all scans
+        self.unreachable_rows = 0  # estimated rows behind dead fragments
+        self.unreachable_fragments: list[str] = []
+        self.dead_sites: set[str] = set()
         # Null-extension rows for outer joins: one all-None env per binding.
         self.null_envs: dict[str, Env] = {}
         for binding, assignment in plan.assignments.items():
@@ -364,6 +400,8 @@ class SiteScan(SiteOperator):
     def __init__(self, scan: ScanNode) -> None:
         super().__init__()
         self.scan = scan
+        self._failover_events: list[str] = []
+        self._capture_ok = True
 
     def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
         assignment = ctx.plan.assignments.get(self.scan.binding)
@@ -371,6 +409,11 @@ class SiteScan(SiteOperator):
             raise QueryError(f"no assignment for scan {self.scan.binding!r}")
         predicates = self.scan.pushdown
         now = ctx.catalog.clock.now()
+        self._failover_events = []
+        # A scan that failed over to a covering view/cache region, or that
+        # lost fragments to dead sites, must not feed the semantic cache:
+        # its output is stale or incomplete for the predicate region.
+        self._capture_ok = True
 
         if assignment.kind == "view":
             table_batches = self._view_batches(ctx, assignment, predicates)
@@ -396,18 +439,20 @@ class SiteScan(SiteOperator):
             # prove them empty under the pushdown), so the capture still
             # answers the full predicate region -- including a *fully*
             # pruned scan, whose provably empty table is as complete an
-            # answer as any.
-            if table_batches:
-                combined = table_batches[0][1]
-                for _, extra, _ in table_batches[1:]:
-                    combined = combined.union_all(extra)
-            else:
-                combined = Table(
-                    ctx.catalog.entry(assignment.table_name).schema, []
+            # answer as any.  Failover fallbacks and degraded scans are
+            # excluded (_capture_ok): their output is stale or partial.
+            if self._capture_ok:
+                if table_batches:
+                    combined = table_batches[0][1]
+                    for _, extra, _ in table_batches[1:]:
+                        combined = combined.union_all(extra)
+                else:
+                    combined = Table(
+                        ctx.catalog.entry(assignment.table_name).schema, []
+                    )
+                ctx.report.scan_tables[assignment.binding] = ScanCapture(
+                    combined, now, self.stats.seconds
                 )
-            ctx.report.scan_tables[assignment.binding] = ScanCapture(
-                combined, now, self.stats.seconds
-            )
 
         ctx.report.rows_fetched += sum(len(t) for _, t, _ in table_batches)
         self.stats.detail = self._describe(assignment)
@@ -429,7 +474,17 @@ class SiteScan(SiteOperator):
     def _fragment_batches(
         self, ctx: ExecContext, assignment: ScanAssignment, predicates
     ) -> list[tuple[str, Table, float]]:
-        if not assignment.choices:
+        choices = list(assignment.choices)
+        lost: list[FragmentChoice] = []
+        # Fragments with no live replica at plan time are retried now -- the
+        # site may have repaired between optimization and execution.
+        for fragment in assignment.unreachable:
+            preferred = self._preferred_replica(ctx, fragment)
+            if preferred is None:
+                lost.append(FragmentChoice(fragment, ""))
+            else:
+                choices.append(FragmentChoice(fragment, preferred))
+        if not choices and not lost:
             if (
                 assignment.total_fragments > 0
                 and assignment.pruned_fragments >= assignment.total_fragments
@@ -440,47 +495,186 @@ class SiteScan(SiteOperator):
             raise QueryError(
                 f"scan of {assignment.table_name!r} has no fragment choices"
             )
+        ctx.scan_total_rows += sum(
+            c.fragment.estimated_rows for c in choices + lost
+        )
         batches = []
-        for choice in assignment.choices:
-            result, work, delay, site_name = self._scan_with_failover(
-                ctx, choice, predicates
-            )
+        for choice in choices:
+            outcome = self._scan_with_failover(ctx, choice, predicates)
+            if outcome is None:
+                lost.append(choice)
+                continue
+            result, work, delay, site_name = outcome
             ctx.report.site_work[site_name] = (
                 ctx.report.site_work.get(site_name, 0.0) + work
             )
             self.stats.seconds += work
             batches.append((site_name, result.table, delay + work))
+        if lost:
+            self._capture_ok = False
+            fallback = self._covering_fallback(ctx, assignment, predicates)
+            if fallback is not None:
+                return fallback
+            self._register_unreachable(ctx, lost)
         return batches
 
+    def _preferred_replica(self, ctx: ExecContext, fragment: Fragment) -> str | None:
+        """Best replica to (re)try for a fragment the planner gave up on."""
+        replicas = fragment.replica_sites()
+        if not replicas:
+            return None
+        live = [name for name in replicas if ctx.catalog.site(name).up]
+        candidates = live or replicas
+        if ctx.health is not None:
+            return ctx.health.prefer(candidates)[0]
+        return candidates[0]
+
     def _scan_with_failover(self, ctx: ExecContext, choice, predicates):
-        """Run one fragment scan, rerouting to another live replica if the
-        chosen site died after optimization (§3.2 C8's robustness under
-        "issues that lie outside the control of the query system")."""
-        candidates = [choice.site_name] + [
-            name
-            for name in choice.fragment.replica_sites()
-            if name != choice.site_name
+        """Run one fragment scan, rerouting to live replicas if the chosen
+        site died after optimization (§3.2 C8's robustness under "issues
+        that lie outside the control of the query system").
+
+        Each re-route charges a modeled exponential-backoff pause to the
+        batch's pipeline time and spends one unit of the query's retry
+        budget.  Returns ``(result, work, delay, site_name)``, or ``None``
+        when every candidate failed (the fragment is unreachable); with
+        failover disabled the primary's :class:`SourceUnavailableError`
+        propagates as it did before the failover layer existed.
+        """
+        fragment = choice.fragment
+        fragment_name = f"{fragment.table_name}/{fragment.fragment_id}"
+        retry = ctx.retry
+        if not retry.enabled:
+            site = ctx.catalog.site(choice.site_name)
+            try:
+                result, work, delay = site.execute_scan(
+                    fragment.replicas[choice.site_name], predicates
+                )
+            except SourceUnavailableError as error:
+                if ctx.health is not None:
+                    ctx.health.record_failure(choice.site_name)
+                if error.fragment is None:
+                    error.fragment = fragment_name
+                raise
+            if ctx.health is not None:
+                ctx.health.record_success(choice.site_name)
+            return result, work, delay, choice.site_name
+
+        siblings = [
+            name for name in fragment.replica_sites() if name != choice.site_name
         ]
+        if ctx.health is not None:
+            siblings = ctx.health.prefer(siblings)
+        candidates = [choice.site_name] + siblings
+        backoff_delay = 0.0
         last_error: Exception | None = None
-        for site_name in candidates:
+        for index, site_name in enumerate(candidates):
+            if index > 0:
+                # A failover attempt: bounded by the per-query budget and
+                # charged a backoff pause that escalates per attempt.
+                if ctx.retries_used >= retry.budget:
+                    break
+                pause = retry.backoff_seconds(index - 1)
+                ctx.retries_used += 1
+                backoff_delay += pause
+                ctx.report.failover_attempts += 1
+                ctx.report.retry_seconds += pause
             site = ctx.catalog.site(site_name)
             if not site.up:
+                if ctx.health is not None:
+                    ctx.health.record_failure(site_name)
+                last_error = SourceUnavailableError(
+                    site_name, site=site_name, fragment=fragment_name
+                )
                 continue
             try:
                 result, work, delay = site.execute_scan(
-                    choice.fragment.replicas[site_name], predicates
+                    fragment.replicas[site_name], predicates
                 )
             except SourceUnavailableError as error:
+                if ctx.health is not None:
+                    ctx.health.record_failure(site_name)
+                if error.fragment is None:
+                    error.fragment = fragment_name
                 last_error = error
                 continue
+            if ctx.health is not None:
+                ctx.health.record_success(site_name)
             if site_name != choice.site_name:
                 ctx.report.failovers += 1
-            return result, work, delay, site_name
-        raise QueryError(
-            f"every replica of {choice.fragment.table_name}/"
-            f"{choice.fragment.fragment_id} is unavailable"
-            + (f" (last error: {last_error})" if last_error else "")
-        )
+                self._failover_events.append(
+                    f"failover {choice.site_name}→{site_name}, "
+                    f"+{backoff_delay:.2f}s retry"
+                )
+            return result, work, delay + backoff_delay, site_name
+        # Unreachable: the pauses were still spent waiting -- they bound the
+        # scan phase's elapsed time even though no batch carries them.
+        ctx.scan_elapsed = max(ctx.scan_elapsed, backoff_delay)
+        return None
+
+    def _covering_fallback(
+        self, ctx: ExecContext, assignment: ScanAssignment, predicates
+    ) -> list[tuple[str, Table, float]] | None:
+        """Last resort for dead fragments: answer the *whole* scan from a
+        covering copy -- a live whole-table materialized view, else a cache
+        region covering the pushdown.  The answer is complete but possibly
+        stale (within the query's own ``max_staleness`` bound -- a LIVE_ONLY
+        query gets no fallback), so staleness is stamped and the result is
+        never re-cached."""
+        now = ctx.catalog.clock.now()
+        view = ctx.catalog.view_for_table(assignment.table_name, ctx.max_staleness)
+        if (
+            view is not None
+            and view.data is not None
+            and ctx.catalog.site(view.site_name).up
+        ):
+            table = apply_predicates(view.data, predicates)
+            work = ctx.charge_site(view.site_name, len(table))
+            self.stats.seconds += work
+            view.rows_served += len(table)
+            ctx.report.staleness_seconds = max(
+                ctx.report.staleness_seconds, view.staleness(now)
+            )
+            ctx.report.failovers += 1
+            self._failover_events.append(
+                f"failover → view {view.name}@{view.site_name}"
+            )
+            return [(view.site_name, table, work)]
+        if ctx.cache is not None:
+            found = ctx.cache.lookup_entry(
+                assignment.table_name, list(predicates), ctx.max_staleness
+            )
+            if found is not None:
+                table, age = found
+                work = ctx.charge_site(ctx.coordinator, len(table))
+                self.stats.seconds += work
+                ctx.report.staleness_seconds = max(
+                    ctx.report.staleness_seconds, age
+                )
+                ctx.report.failovers += 1
+                self._failover_events.append("failover → cache region")
+                return [(ctx.coordinator, table, work)]
+        return None
+
+    def _register_unreachable(
+        self, ctx: ExecContext, lost: list[FragmentChoice]
+    ) -> None:
+        """Record dead fragments; degrade gracefully or fail structurally."""
+        for choice in lost:
+            fragment = choice.fragment
+            name = f"{fragment.table_name}/{fragment.fragment_id}"
+            if name not in ctx.unreachable_fragments:
+                ctx.unreachable_fragments.append(name)
+                ctx.unreachable_rows += fragment.estimated_rows
+            for site_name in fragment.replica_sites():
+                if not ctx.catalog.site(site_name).up:
+                    ctx.dead_sites.add(site_name)
+        if not ctx.degraded_ok:
+            raise PartialFailureError(
+                ctx.unreachable_fragments,
+                sorted(ctx.dead_sites),
+                retries_used=ctx.retries_used,
+            )
 
     def _view_batches(
         self, ctx: ExecContext, assignment: ScanAssignment, predicates
@@ -488,6 +682,24 @@ class SiteScan(SiteOperator):
         view = assignment.view
         if view is None or view.data is None:
             raise QueryError(f"view scan for {assignment.table_name!r} has no data")
+        ctx.scan_total_rows += len(view.data)
+        if not ctx.catalog.site(view.site_name).up:
+            # A view has exactly one host -- there is no replica to fail over
+            # to.  Register the whole scan unreachable and apply the query's
+            # degraded-answer policy.
+            self._capture_ok = False
+            name = f"view:{view.name}"
+            if name not in ctx.unreachable_fragments:
+                ctx.unreachable_fragments.append(name)
+                ctx.unreachable_rows += len(view.data)
+            ctx.dead_sites.add(view.site_name)
+            if not ctx.degraded_ok:
+                raise PartialFailureError(
+                    ctx.unreachable_fragments,
+                    sorted(ctx.dead_sites),
+                    retries_used=ctx.retries_used,
+                )
+            return []
         table = apply_predicates(view.data, predicates)
         work = ctx.charge_site(view.site_name, len(table))
         self.stats.seconds += work
@@ -503,6 +715,7 @@ class SiteScan(SiteOperator):
             raise QueryError(
                 f"cache scan for {assignment.table_name!r} has no cached rows"
             )
+        ctx.scan_total_rows += len(table)
         work = ctx.charge_site(ctx.coordinator, len(table))
         self.stats.seconds += work
         ctx.report.staleness_seconds = max(
@@ -553,6 +766,8 @@ class SiteScan(SiteOperator):
             detail += f" pushdown({predicates})"
         if assignment.text_filter is not None:
             detail += f" text-index{assignment.text_filter!r}"
+        for event in self._failover_events:
+            detail += f" [{event}]"
         return f"{self.scan.table} as {self.scan.binding}: {detail}"
 
 

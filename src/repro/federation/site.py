@@ -67,7 +67,9 @@ class Site:
     def source(self, name: str) -> ContentSource:
         if name not in self._sources:
             raise SourceUnavailableError(
-                self.name, f"site {self.name!r} does not host {name!r}"
+                self.name,
+                f"site {self.name!r} does not host {name!r}",
+                site=self.name,
             )
         return self._sources[name]
 
@@ -93,7 +95,14 @@ class Site:
     # -- scan estimation & execution -----------------------------------------------
 
     def quote_scan(self, source_name: str, row_fraction: float = 1.0) -> ScanQuote:
-        """Estimate (not execute) a scan -- used when forming bids."""
+        """Estimate (not execute) a scan -- used when forming bids.
+
+        Raises :class:`SourceUnavailableError` when the site is down, just
+        like :meth:`execute_scan`: a dead site must not cheerfully price
+        work it cannot do, or planning and execution disagree.
+        """
+        if not self.up:
+            raise SourceUnavailableError(self.name, site=self.name)
         source = self.source(source_name)
         rows = max(1, int(source.estimated_rows() * row_fraction))
         seconds = source.estimated_cost() + rows * self.cpu_seconds_per_row
@@ -117,7 +126,7 @@ class Site:
         Raises :class:`SourceUnavailableError` when the site is down.
         """
         if not self.up:
-            raise SourceUnavailableError(self.name)
+            raise SourceUnavailableError(self.name, site=self.name)
         source = self.source(source_name)
         result = source.fetch(predicates)
         work = result.cost_seconds + len(result.table) * self.cpu_seconds_per_row

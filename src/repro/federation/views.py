@@ -49,6 +49,7 @@ class MaterializedView:
         self.data: Table | None = None
         self.as_of: float = float("-inf")
         self.refresh_count = 0
+        self.refresh_failures = 0  # scheduled refreshes lost to dead sources
         self.refresh_cost_seconds = 0.0
         self.rows_served = 0  # rows produced by SiteScan reads of this view
         self._event: ScheduledEvent | None = None
