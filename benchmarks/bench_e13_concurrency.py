@@ -1,0 +1,326 @@
+"""E13 -- Multi-tenant concurrency: admission, fairness, congestion pricing.
+
+The paper's §4 e-marketplace serves many trading partners at once; §3.2 C8's
+scalability claim only means something under concurrent load.  This
+experiment drives the workload manager with **open-loop Poisson arrivals**
+(arrivals do not wait for completions, so overload actually overloads) and
+measures three things:
+
+* **The saturation knee.**  Sweeping offered load from 30% to 130% of the
+  federation's service capacity, p50 stays near the uncontended service
+  time while p99 rises super-linearly once queueing sets in, and bounded
+  queues convert overload into shed load (goodput < 1) instead of unbounded
+  latency.
+* **Fairness under an aggressive tenant.**  A light tenant (well under its
+  fair share) shares the federation with a heavy tenant submitting at 2x
+  capacity.  Weighted-fair scheduling keeps the light tenant's p95 within
+  2x of its uncontended p95; FIFO makes it queue behind the aggressor's
+  backlog and blows far past that.
+* **Congestion-priced placement.**  With a background tenant pinning one
+  replica site, the agoric optimizer's congestion-inflated bids steer a
+  probe query's scans to the idle replica; flattening the congestion curve
+  (alpha = 0) removes the signal and the scans pile onto the busy site.
+
+Everything runs on the simulation clock with seeded arrivals, so two runs
+produce byte-identical tables (the determinism CI job relies on this).
+"""
+
+import math
+import os
+import random
+
+from _bench_util import report
+from repro.core import DataType, Field, Schema, Table
+from repro.core.errors import QueryRejectedError
+from repro.federation import (
+    FederatedEngine,
+    FederationCatalog,
+    WorkloadManager,
+)
+from repro.sim import EventLoop, SimClock
+
+SEED = 20013
+SITES = [f"s{i}" for i in range(3)]
+FRAGMENTS = 6
+ROWS_PER_FRAGMENT = 20
+SLOTS = 3
+QUERY = "select count(*) from items"
+HEAVY_QUERY = "select count(*) from ads"
+# Env-overridable so CI can run a smaller smoke configuration.
+QUERIES = int(os.environ.get("E13_QUERIES", "120"))
+LIGHT_QUERIES = int(os.environ.get("E13_LIGHT_QUERIES", "24"))
+PROBES = int(os.environ.get("E13_PROBES", "10"))
+LOADS = [0.3, 0.6, 0.9, 1.3]
+QUEUE_LIMIT = 40
+
+
+def build(congestion_alpha=0.5, with_ads=False):
+    """items(k, v) hash-fragmented with RF=2; optionally a small ads table."""
+    catalog = FederationCatalog(SimClock())
+    for name in SITES:
+        catalog.make_site(name, congestion_alpha=congestion_alpha)
+    schema = Schema(
+        "items", (Field("k", DataType.STRING), Field("v", DataType.INTEGER))
+    )
+    total = FRAGMENTS * ROWS_PER_FRAGMENT
+    table = Table(schema, [(f"k{i:04d}", i) for i in range(total)])
+    placement = [
+        [SITES[i % len(SITES)], SITES[(i + 1) % len(SITES)]]
+        for i in range(FRAGMENTS)
+    ]
+    catalog.load_fragmented(table, FRAGMENTS, placement)
+    if with_ads:
+        # The aggressive tenant's table: one cheap fragment per site, so its
+        # queries are short but touch (and congest) every site.
+        ads_schema = Schema("ads", (Field("a", DataType.STRING),))
+        ads = Table(ads_schema, [(f"a{i}",) for i in range(6)])
+        catalog.load_fragmented(
+            ads, 3, [[s] for s in SITES], scan_cost_seconds=0.002
+        )
+    engine = FederatedEngine(catalog)
+    loop = EventLoop(catalog.clock)
+    return catalog, engine, loop
+
+
+def solo_response_seconds(sql=QUERY, **build_kwargs):
+    """Modeled response time of one query on an idle federation."""
+    _, engine, _ = build(**build_kwargs)
+    return engine.query(sql).report.response_seconds
+
+
+def poisson_arrivals(rng, rate, count):
+    times, now = [], 0.0
+    for _ in range(count):
+        now += rng.expovariate(rate)
+        times.append(now)
+    return times
+
+
+def percentile(values, q):
+    """Nearest-rank percentile of a non-empty list."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def run_open_loop(arrivals, scheduler="weighted-fair", slots=SLOTS,
+                  tenants=(), congestion_alpha=0.5, with_ads=False):
+    """Drive one open-loop run: ``arrivals`` is [(time, tenant, sql), ...].
+
+    Returns (completed handles by tenant, shed count).  Arrivals are event-
+    loop callbacks, so queries really do arrive while others are in flight.
+    """
+    _, engine, loop = build(congestion_alpha, with_ads=with_ads)
+    manager = WorkloadManager(
+        engine, loop, scheduler=scheduler, max_in_flight=slots
+    )
+    for name, kwargs in tenants:
+        manager.register_tenant(name, **kwargs)
+    handles = {}
+    shed = [0]
+
+    for when, tenant, sql in sorted(arrivals):
+        def arrive(tenant=tenant, sql=sql):
+            try:
+                handle = manager.submit(sql, tenant=tenant)
+            except QueryRejectedError:
+                shed[0] += 1
+            else:
+                handles.setdefault(tenant, []).append(handle)
+
+        loop.schedule_at(when, arrive)
+    while loop.pending():
+        loop.run_next()
+    return handles, shed[0]
+
+
+def latencies(handles):
+    return [h.finished_at - h.submitted_at for h in handles]
+
+
+def test_e13_saturation_knee(benchmark):
+    """Open-loop load sweep: p99 turns super-linear past the knee and the
+    bounded queue sheds overload instead of queueing without bound."""
+    service = solo_response_seconds()
+    capacity = SLOTS / service  # queries/sec the federation can absorb
+
+    rows = []
+    stats = {}
+    for load in LOADS:
+        arrival_times = poisson_arrivals(
+            random.Random(SEED + int(load * 100)), load * capacity, QUERIES
+        )
+        handles, shed = run_open_loop(
+            [(t, "default", QUERY) for t in arrival_times],
+            tenants=[("default", {"queue_limit": QUEUE_LIMIT})],
+        )
+        finished = latencies(handles.get("default", []))
+        goodput = len(finished) / QUERIES
+        stats[load] = {
+            "p50": percentile(finished, 50),
+            "p95": percentile(finished, 95),
+            "p99": percentile(finished, 99),
+            "goodput": goodput,
+            "shed": shed,
+        }
+        rows.append([
+            f"{load:.0%}", QUERIES, shed, goodput,
+            stats[load]["p50"], stats[load]["p95"], stats[load]["p99"],
+        ])
+
+    report(
+        "e13_saturation_knee",
+        f"E13: open-loop load sweep ({QUERIES} queries/level, {SLOTS} slots, "
+        f"queue limit {QUEUE_LIMIT}, service {service:.3f}s)",
+        ["offered load", "queries", "shed", "goodput", "p50 s", "p95 s",
+         "p99 s"],
+        rows,
+    )
+
+    low, knee, high = stats[LOADS[0]], stats[LOADS[2]], stats[LOADS[-1]]
+    # Under light load nothing queues and nothing is shed.
+    assert low["goodput"] == 1.0
+    assert low["p99"] < 4 * service
+    # Approaching saturation (30% -> 90%: load x3) p99 grows super-linearly:
+    # the latency ratio dwarfs the load ratio.  (Past saturation the bounded
+    # queue caps latency by shedding, so the knee is where queueing bites.)
+    assert knee["p99"] / low["p99"] > 1.5 * (LOADS[2] / LOADS[0])
+    # Past saturation the bounded queue converts overload into shed load.
+    assert high["goodput"] < 1.0
+    assert high["shed"] > 0
+    # The knee is a knee: latency is monotone across the sweep.
+    p99s = [stats[load]["p99"] for load in LOADS]
+    assert p99s == sorted(p99s)
+
+    benchmark(lambda: run_open_loop(
+        [(t, "default", QUERY) for t in poisson_arrivals(
+            random.Random(SEED), 0.5 * capacity, 12
+        )],
+        tenants=[("default", {"queue_limit": QUEUE_LIMIT})],
+    ))
+
+
+def fairness_arrivals():
+    """One light tenant well under its share; one aggressor at 2x capacity."""
+    service = solo_response_seconds(congestion_alpha=0.1, with_ads=True)
+    capacity = SLOTS / service
+    light_times = poisson_arrivals(
+        random.Random(SEED), 0.25 * capacity, LIGHT_QUERIES
+    )
+    horizon = light_times[-1]
+    heavy_rng = random.Random(SEED + 1)
+    heavy_times = []
+    now = 0.0
+    while True:
+        now += heavy_rng.expovariate(2.0 * capacity)
+        if now > horizon:
+            break
+        heavy_times.append(now)
+    light = [(t, "light", QUERY) for t in light_times]
+    heavy = [(t, "heavy", HEAVY_QUERY) for t in heavy_times]
+    return light, heavy
+
+
+def run_fairness(scheduler, light, heavy):
+    handles, _ = run_open_loop(
+        light + heavy,
+        scheduler=scheduler,
+        congestion_alpha=0.1,
+        with_ads=True,
+    )
+    return latencies(handles["light"])
+
+
+def test_e13_weighted_fair_protects_the_light_tenant(benchmark):
+    """The aggressive-tenant ablation: same arrivals, only the scheduler
+    differs.  Weighted-fair keeps the light tenant near its uncontended
+    latency; FIFO lets the aggressor's backlog starve it."""
+    light, heavy = fairness_arrivals()
+    solo_p95 = percentile(run_fairness("fifo", light, []), 95)
+    fair_p95 = percentile(run_fairness("weighted-fair", light, heavy), 95)
+    fifo_p95 = percentile(run_fairness("fifo", light, heavy), 95)
+
+    report(
+        "e13_fairness",
+        f"E13: light-tenant p95 vs a 2x-capacity aggressor "
+        f"({LIGHT_QUERIES} light queries, {len(heavy)} heavy, {SLOTS} slots)",
+        ["configuration", "light p95 s", "slowdown vs solo"],
+        [
+            ["uncontended", solo_p95, 1.0],
+            ["weighted-fair", fair_p95, fair_p95 / solo_p95],
+            ["fifo", fifo_p95, fifo_p95 / solo_p95],
+        ],
+    )
+
+    # The acceptance bar: fair keeps the light tenant within 2x of its
+    # uncontended p95; FIFO does not.
+    assert fair_p95 <= 2 * solo_p95
+    assert fifo_p95 > 2 * solo_p95
+    assert fifo_p95 > fair_p95
+
+    benchmark(lambda: run_fairness("weighted-fair", light[:6], heavy[:20]))
+
+
+def placement_shift(alpha):
+    """Probe scan placement while a background tenant pins the hot site.
+
+    Both replicas of every ``shared`` fragment exist on ``a_hot`` (also the
+    only host of the background tenant's ``pinned`` table) and ``b_cold``.
+    ``load_price_factor=0`` silences the backlog price term, isolating the
+    congestion signal; the hot site sorts first so price *ties* land on it.
+    """
+    catalog = FederationCatalog(SimClock())
+    for name in ("a_hot", "b_cold"):
+        catalog.make_site(
+            name, load_price_factor=0.0, congestion_alpha=alpha
+        )
+    shared_schema = Schema("shared", (Field("k", DataType.STRING),))
+    shared = Table(shared_schema, [(f"k{i}",) for i in range(40)])
+    catalog.load_fragmented(
+        shared, 2, [["a_hot", "b_cold"], ["a_hot", "b_cold"]]
+    )
+    pinned_schema = Schema("pinned", (Field("p", DataType.STRING),))
+    pinned = Table(pinned_schema, [(f"p{i}",) for i in range(400)])
+    catalog.load_fragmented(pinned, 1, [["a_hot"]])
+    engine = FederatedEngine(catalog)
+    loop = EventLoop(catalog.clock)
+    manager = WorkloadManager(engine, loop, max_in_flight=4)
+
+    hot = total = 0
+    for _ in range(PROBES):
+        manager.submit("select count(*) from pinned", tenant="background")
+        probe = manager.submit("select count(*) from shared", tenant="probe")
+        manager.drain()
+        for choice in probe.result().plan.assignments["shared"].choices:
+            total += 1
+            hot += choice.site_name == "a_hot"
+    return hot, total
+
+
+def test_e13_congestion_pricing_steers_placement(benchmark):
+    """With the congestion curve flattened the probe's scans pile onto the
+    busy (tie-winning) site; priced congestion moves them to the idle
+    replica -- load balancing emerging from the economics (§3.2 C8)."""
+    blind_hot, blind_total = placement_shift(alpha=0.0)
+    priced_hot, priced_total = placement_shift(alpha=0.5)
+
+    report(
+        "e13_congestion_placement",
+        f"E13: probe scan placement under a pinned hot site "
+        f"({PROBES} probes, 2 fragments each)",
+        ["congestion pricing", "scans on hot site", "scans on cold site",
+         "hot share"],
+        [
+            ["off (alpha=0)", blind_hot, blind_total - blind_hot,
+             blind_hot / blind_total],
+            ["on (alpha=0.5)", priced_hot, priced_total - priced_hot,
+             priced_hot / priced_total],
+        ],
+    )
+
+    # Without the congestion signal every scan lands on the loaded site.
+    assert blind_hot == blind_total
+    # With it, the market clears the hot site entirely.
+    assert priced_hot == 0
+
+    benchmark(lambda: placement_shift(alpha=0.5))

@@ -79,6 +79,54 @@ class PartialFailureError(QueryError):
         )
 
 
+class QueryRejectedError(QueryError):
+    """Admission control shed a query at submit time.
+
+    Raised by the workload manager when a tenant's bounded queue is already
+    full (load shedding keeps overload from growing queues without limit).
+    Carries the tenant and the limit that was hit so callers can back off or
+    resubmit under a different tenant.
+    """
+
+    def __init__(self, tenant: str, queue_limit: int, message: str = "") -> None:
+        self.tenant = tenant
+        self.queue_limit = queue_limit
+        super().__init__(
+            message
+            or (
+                f"tenant {tenant!r} queue is full "
+                f"(queue_limit={queue_limit}); query rejected"
+            )
+        )
+
+
+class QueryTimeoutError(QueryError):
+    """A queued query's deadline expired before a slot freed.
+
+    Raised (via the query handle) by the workload manager when a submission
+    waited longer than its ``deadline`` without being dispatched.  Carries
+    the tenant, the deadline, and how long the query actually waited.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        deadline: float,
+        waited: float,
+        message: str = "",
+    ) -> None:
+        self.tenant = tenant
+        self.deadline = deadline
+        self.waited = waited
+        super().__init__(
+            message
+            or (
+                f"query for tenant {tenant!r} timed out in queue after "
+                f"{waited:.3f}s (deadline {deadline:.3f}s)"
+            )
+        )
+
+
 class TransformError(ContentIntegrationError):
     """A workbench transformation could not be applied to a value or row."""
 

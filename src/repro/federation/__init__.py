@@ -38,6 +38,11 @@ The pieces:
   policy that bounds scan-level failover.
 * :mod:`repro.federation.engine` -- :class:`FederatedEngine`: SQL and XPath
   in, rows or XML out.
+* :mod:`repro.federation.workload` / :mod:`repro.federation.scheduler` --
+  the multi-tenant workload manager: admission control (slots, quotas,
+  bounded queues, deadlines), pluggable scheduling (FIFO / strict priority /
+  weighted fair), and the per-site congestion gauges that feed concurrency
+  back into the agoric prices.
 """
 
 from repro.federation.agoric import AgoricOptimizer, Bid, BudgetExceededError
@@ -79,6 +84,19 @@ from repro.federation.stats import (
     zone_selectivity,
 )
 from repro.federation.views import MaterializedView
+from repro.federation.scheduler import (
+    FifoScheduler,
+    Scheduler,
+    StrictPriorityScheduler,
+    WeightedFairScheduler,
+    make_scheduler,
+)
+from repro.federation.workload import (
+    QueryHandle,
+    QueryState,
+    Tenant,
+    WorkloadManager,
+)
 
 __all__ = [
     "AgoricOptimizer",
@@ -123,4 +141,13 @@ __all__ = [
     "fragment_selectivity",
     "zone_selectivity",
     "MaterializedView",
+    "FifoScheduler",
+    "Scheduler",
+    "StrictPriorityScheduler",
+    "WeightedFairScheduler",
+    "make_scheduler",
+    "QueryHandle",
+    "QueryState",
+    "Tenant",
+    "WorkloadManager",
 ]

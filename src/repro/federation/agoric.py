@@ -67,13 +67,21 @@ from dataclasses import dataclass
 
 @dataclass(frozen=True)
 class Bid:
-    """One site's offer to scan one fragment."""
+    """One site's offer to scan one fragment.
+
+    ``congestion`` is the live service-time inflation factor the site quoted
+    under (1.0 = idle): the bid's price already includes it, so sites busy
+    with concurrent in-flight queries price themselves out of the market --
+    the workload manager's congestion gauge feeds straight into the agoric
+    economics.
+    """
 
     site_name: str
     fragment_id: str
     price: float
     est_seconds: float
     queue_delay: float
+    congestion: float = 1.0
 
 
 class AgoricOptimizer:
@@ -176,6 +184,7 @@ class AgoricOptimizer:
                         price=price,
                         est_seconds=quote.seconds,
                         queue_delay=quote.queue_delay,
+                        congestion=quote.congestion,
                     )
                 )
             bids.sort(key=lambda b: (b.price, b.site_name))
@@ -326,7 +335,11 @@ class AgoricOptimizer:
         view = assignment.view
         assert view is not None and view.data is not None
         site = self.catalog.site(view.site_name)
-        seconds = len(view.data) * site.cpu_seconds_per_row
+        # Views compete in the same congested market: a view hosted on a
+        # site swamped with in-flight queries asks more, like any bid.
+        seconds = (
+            len(view.data) * site.cpu_seconds_per_row * site.congestion_factor()
+        )
         return (seconds + site.backlog() * site.load_price_factor) * site.price_per_second
 
     def _pick_coordinator(self, chosen_site_rows: dict[str, int]) -> str:

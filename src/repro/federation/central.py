@@ -66,6 +66,7 @@ class CentralizedOptimizer:
         # alternative replica exists.
         self.health = health
         self._snapshot_loads: dict[str, float] = {}
+        self._snapshot_congestion: dict[str, float] = {}
         self._snapshot_at = float("-inf")
         self.snapshots_taken = 0
 
@@ -75,6 +76,14 @@ class CentralizedOptimizer:
         """Collect load statistics from every site; returns modeled seconds."""
         self._snapshot_loads = {
             name: site.backlog() for name, site in self.catalog.sites.items()
+        }
+        # Concurrency statistics age like load statistics: between refreshes
+        # the optimizer plans against the congestion the federation had
+        # minutes ago, while the agoric broker prices the congestion it has
+        # *now* -- the adaptivity gap E4/E13 measure.
+        self._snapshot_congestion = {
+            name: site.congestion_factor()
+            for name, site in self.catalog.sites.items()
         }
         self._snapshot_at = self.catalog.clock.now()
         self.snapshots_taken += 1
@@ -90,6 +99,9 @@ class CentralizedOptimizer:
 
     def snapshot_load(self, site_name: str) -> float:
         return self._snapshot_loads.get(site_name, 0.0)
+
+    def snapshot_congestion(self, site_name: str) -> float:
+        return self._snapshot_congestion.get(site_name, 1.0)
 
     # -- optimization ------------------------------------------------------------
 
@@ -206,7 +218,8 @@ class CentralizedOptimizer:
             site = self.catalog.site(site_name)
             source_name = fragment.replicas[site_name]
             quote = site.quote_scan(source_name, row_fraction=selectivity)
-            seconds = quote.seconds
+            # Congestion from the (possibly stale) snapshot, never live.
+            seconds = quote.seconds * self.snapshot_congestion(site_name)
             if self.health is not None:
                 # Availability-aware cost: a flaky site's estimate carries a
                 # risk surcharge (the expected cost of a mid-scan failover).
@@ -243,7 +256,7 @@ class CentralizedOptimizer:
                 quote = site.quote_scan(
                     fragment.replicas[name], row_fraction=selectivity
                 )
-                seconds = quote.seconds
+                seconds = quote.seconds * self.snapshot_congestion(name)
                 if self.health is not None:
                     seconds *= self.health.price_multiplier(name)
                 return self.snapshot_load(name) + planned_extra.get(name, 0.0) + seconds

@@ -7,16 +7,26 @@ cursors execute federated SQL with qmark (``?``) parameter binding and
 expose ``description`` / ``rowcount`` / ``fetchone`` / ``fetchmany`` /
 ``fetchall`` exactly the way a driver would.  Any DB-API-shaped tool can
 sit on top of the federation unchanged.
+
+Multi-tenant deployments connect *through the workload manager*:
+``connect(engine, workload=manager, tenant="partner-a", priority=2)``
+routes every statement through admission control and the scheduler (the
+driver drives the event loop until the query resolves, so ``execute`` stays
+synchronous), and ``cursor.last_report.queue_wait_seconds`` shows what the
+statement paid in queueing.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, Sequence
+from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.errors import QueryError
 from repro.core.records import Table
 from repro.federation.engine import FederatedEngine
 from repro.federation.physical import ExecutionReport, PhysicalPlan
+
+if TYPE_CHECKING:  # imported lazily to avoid a module cycle at runtime
+    from repro.federation.workload import WorkloadManager
 
 apilevel = "2.0"
 threadsafety = 1
@@ -93,9 +103,24 @@ class Cursor:
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
         self._check_open()
         bound = _bind(sql, parameters)
-        result = self._connection.engine.query(
-            bound, max_staleness=self._connection.max_staleness
-        )
+        connection = self._connection
+        if connection.workload is not None:
+            # Tenanted execution: the statement goes through admission
+            # control and the scheduler, and the driver runs the event loop
+            # until it resolves -- DB-API callers stay synchronous while the
+            # federation underneath runs a concurrent workload.
+            handle = connection.workload.submit(
+                bound,
+                tenant=connection.tenant,
+                priority=connection.priority,
+                max_staleness=connection.max_staleness,
+            )
+            connection.workload.drain(handle)
+            result = handle.result()
+        else:
+            result = connection.engine.query(
+                bound, max_staleness=connection.max_staleness
+            )
         self._result = result.table
         self.last_plan = result.plan
         self.last_report = result.report
@@ -157,11 +182,26 @@ class Cursor:
 
 
 class Connection:
-    """A DB-API connection wrapping one federated engine."""
+    """A DB-API connection wrapping one federated engine.
 
-    def __init__(self, engine: FederatedEngine, max_staleness: float | None = None) -> None:
+    With a ``workload`` manager attached, every statement is submitted under
+    this connection's ``tenant`` and ``priority`` instead of running on the
+    engine directly.
+    """
+
+    def __init__(
+        self,
+        engine: FederatedEngine,
+        max_staleness: float | None = None,
+        workload: "WorkloadManager | None" = None,
+        tenant: str = "default",
+        priority: float = 0.0,
+    ) -> None:
         self.engine = engine
         self.max_staleness = max_staleness
+        self.workload = workload
+        self.tenant = tenant
+        self.priority = priority
         self.closed = False
 
     def cursor(self) -> Cursor:
@@ -185,6 +225,29 @@ class Connection:
         self.close()
 
 
-def connect(engine: FederatedEngine, max_staleness: float | None = None) -> Connection:
-    """Open a DB-API connection over a federated engine."""
-    return Connection(engine, max_staleness)
+def connect(
+    engine: FederatedEngine,
+    max_staleness: float | None = None,
+    workload: "WorkloadManager | None" = None,
+    tenant: str | None = None,
+    priority: float = 0.0,
+) -> Connection:
+    """Open a DB-API connection over a federated engine.
+
+    Pass ``workload=`` (a :class:`~repro.federation.workload.WorkloadManager`)
+    to route statements through admission control and scheduling;
+    ``tenant``/``priority`` identify this connection's population in that
+    queue and require a workload manager.
+    """
+    if workload is None and (tenant is not None or priority != 0.0):
+        raise InterfaceError(
+            "tenant/priority need a workload manager: "
+            "connect(engine, workload=manager, tenant=...)"
+        )
+    return Connection(
+        engine,
+        max_staleness,
+        workload=workload,
+        tenant=tenant if tenant is not None else "default",
+        priority=priority,
+    )

@@ -331,24 +331,7 @@ class FederatedEngine:
             result = self._execute_statement(
                 statement, max_staleness, advance_clock=False
             )
-            report = result.report
-            lines = [
-                f"optimizer: {result.plan.optimizer}  "
-                f"coordinator: {result.plan.coordinator}  "
-                f"price: {result.plan.total_price:.4f}",
-                f"response: {report.response_seconds:.6f}s  "
-                f"rows fetched: {report.rows_fetched}  "
-                f"shipped: {report.rows_shipped}  "
-                f"returned: {report.rows_returned}",
-            ]
-            if report.fragments_total:
-                lines.append(
-                    f"pruned fragments {report.fragments_pruned}/"
-                    f"{report.fragments_total}"
-                )
-            if report.operators is not None:
-                lines.extend(report.operators.tree_lines())
-            return "\n".join(lines)
+            return self.render_analyze(result)
 
         statement = parse_sql(sql)
         bindings = {statement.table.binding: statement.table.name}
@@ -366,6 +349,38 @@ class FederatedEngine:
             f"price: {physical.total_price:.4f}"
         ]
         lines.extend(self._explain_node(plan, physical, depth=0))
+        return "\n".join(lines)
+
+    def render_analyze(self, result: QueryResult) -> str:
+        """Render an executed query's EXPLAIN ANALYZE accounting.
+
+        Shared by :meth:`explain` (which runs the query itself) and
+        :meth:`~repro.federation.workload.WorkloadManager.explain_analyze`
+        (which runs it through the admission queue); a report stamped by the
+        workload manager shows its tenant, scheduler and queue wait.
+        """
+        report = result.report
+        lines = [
+            f"optimizer: {result.plan.optimizer}  "
+            f"coordinator: {result.plan.coordinator}  "
+            f"price: {result.plan.total_price:.4f}",
+            f"response: {report.response_seconds:.6f}s  "
+            f"rows fetched: {report.rows_fetched}  "
+            f"shipped: {report.rows_shipped}  "
+            f"returned: {report.rows_returned}",
+        ]
+        if report.tenant is not None:
+            lines.append(
+                f"tenant: {report.tenant}  scheduler: {report.scheduler}  "
+                f"queue wait: {report.queue_wait_seconds:.6f}s"
+            )
+        if report.fragments_total:
+            lines.append(
+                f"pruned fragments {report.fragments_pruned}/"
+                f"{report.fragments_total}"
+            )
+        if report.operators is not None:
+            lines.extend(report.operators.tree_lines())
         return "\n".join(lines)
 
     def _explain_node(self, node, physical: PhysicalPlan, depth: int) -> list[str]:

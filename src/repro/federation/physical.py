@@ -204,6 +204,12 @@ class ExecutionReport:
     # Zone-map partition elimination: fragments skipped / considered.
     fragments_pruned: int = 0
     fragments_total: int = 0
+    # Multi-tenant workload management (stamped by the WorkloadManager when
+    # the query went through submit(): how long it queued before dispatch,
+    # which tenant owned it, and which scheduling discipline dispatched it).
+    queue_wait_seconds: float = 0.0
+    tenant: str | None = None
+    scheduler: str | None = None
     # Live fragment-scan outputs, for the engine's semantic cache to store.
     scan_tables: dict[str, ScanCapture] = field(default_factory=dict)
     operators: OperatorStats | None = None  # per-operator stats tree

@@ -6,6 +6,16 @@ scans against them at a per-row CPU rate, maintains a decaying work backlog
 (its *load*), and quotes prices for work -- the raw material of the agoric
 protocol.  Sites can be marked down, which is how the availability
 experiments injure the federation.
+
+Concurrency enters through the **congestion model**: the workload manager
+raises :attr:`Site.active_scans` for every site a query touches while that
+query is in flight, and the site inflates service times by a linear curve
+``1 + congestion_alpha * active_scans``.  The inflation applies both to
+*executed* work (physical operator timings stretch under concurrency) and
+to *quoted* work (a busy site's live bid rises, so the agoric market routes
+new scans toward idle replicas -- load balancing is emergent, not policy).
+With no workload manager the gauge stays at zero and the factor is exactly
+1.0, so single-query behavior is unchanged.
 """
 
 from __future__ import annotations
@@ -22,9 +32,10 @@ from repro.sim.clock import SimClock
 class ScanQuote:
     """A site's estimate for scanning one source."""
 
-    seconds: float  # pure work time
+    seconds: float  # pure work time, uncontended
     queue_delay: float  # backlog ahead of this work
     rows: int
+    congestion: float = 1.0  # live service-time inflation factor
 
 
 class Site:
@@ -37,15 +48,19 @@ class Site:
         cpu_seconds_per_row: float = 0.00005,
         price_per_second: float = 1.0,
         load_price_factor: float = 1.0,
+        congestion_alpha: float = 0.5,
     ) -> None:
         self.name = name
         self.clock = clock
         self.cpu_seconds_per_row = cpu_seconds_per_row
         self.price_per_second = price_per_second
         self.load_price_factor = load_price_factor
+        self.congestion_alpha = congestion_alpha
         self.up = True
         self.busy_seconds = 0.0  # lifetime work executed (utilization metric)
         self.rows_processed = 0  # lifetime rows this site scanned or processed
+        self.active_scans = 0  # queries currently in flight on this site
+        self.peak_active_scans = 0  # high-water mark of the gauge
         self._sources: dict[str, ContentSource] = {}
         self._backlog = 0.0
         self._backlog_as_of = clock.now()
@@ -92,6 +107,32 @@ class Site:
         self.busy_seconds += seconds
         return delay
 
+    # -- congestion model ------------------------------------------------------
+
+    def scan_started(self) -> None:
+        """One more in-flight query is scanning here (workload manager)."""
+        self.active_scans += 1
+        self.peak_active_scans = max(self.peak_active_scans, self.active_scans)
+
+    def scan_finished(self) -> None:
+        """An in-flight query finished its work on this site."""
+        if self.active_scans <= 0:
+            raise ValueError(
+                f"site {self.name!r}: scan_finished without matching scan_started"
+            )
+        self.active_scans -= 1
+
+    def congestion_factor(self, active: int | None = None) -> float:
+        """Service-time inflation under ``active`` concurrent queries.
+
+        A linear curve: every query concurrently scanning this site
+        stretches service times by ``congestion_alpha``.  Zero in-flight
+        queries means exactly 1.0, so the model is inert outside the
+        workload manager.
+        """
+        count = self.active_scans if active is None else active
+        return 1.0 + self.congestion_alpha * max(0, count)
+
     # -- scan estimation & execution -----------------------------------------------
 
     def quote_scan(self, source_name: str, row_fraction: float = 1.0) -> ScanQuote:
@@ -106,16 +147,24 @@ class Site:
         source = self.source(source_name)
         rows = max(1, int(source.estimated_rows() * row_fraction))
         seconds = source.estimated_cost() + rows * self.cpu_seconds_per_row
-        return ScanQuote(seconds=seconds, queue_delay=self.backlog(), rows=rows)
+        return ScanQuote(
+            seconds=seconds,
+            queue_delay=self.backlog(),
+            rows=rows,
+            congestion=self.congestion_factor(),
+        )
 
     def price_quote(self, quote: ScanQuote) -> float:
         """The agoric price this site asks for executing ``quote``.
 
         Load enters the price directly: a busy site asks more, steering
         work toward idle replicas (the adaptive half of the agoric claim).
+        Both load signals count -- the decaying work backlog and the live
+        congestion factor from queries currently in flight here.
         """
         return (
-            quote.seconds + quote.queue_delay * self.load_price_factor
+            quote.seconds * quote.congestion
+            + quote.queue_delay * self.load_price_factor
         ) * self.price_per_second
 
     def execute_scan(
@@ -129,14 +178,16 @@ class Site:
             raise SourceUnavailableError(self.name, site=self.name)
         source = self.source(source_name)
         result = source.fetch(predicates)
-        work = result.cost_seconds + len(result.table) * self.cpu_seconds_per_row
+        work = (
+            result.cost_seconds + len(result.table) * self.cpu_seconds_per_row
+        ) * self.congestion_factor()
         self.rows_processed += len(result.table)
         delay = self.enqueue(work)
         return result, work, delay
 
     def process(self, rows: int) -> float:
         """Charge local processing of ``rows`` (joins, aggregation); returns work seconds."""
-        work = rows * self.cpu_seconds_per_row
+        work = rows * self.cpu_seconds_per_row * self.congestion_factor()
         self.rows_processed += rows
         self.enqueue(work)
         return work

@@ -1,0 +1,478 @@
+"""Multi-tenant workload management for concurrent federated queries.
+
+The paper's §4 e-marketplace is explicitly multi-user -- many trading
+partners issue catalog queries against the same federation at once -- and
+§3.2 C8's scalability claim only means something under concurrent load.
+:class:`~repro.federation.engine.FederatedEngine` answers one query at a
+time; this module adds the runtime layer that admits, queues, schedules and
+overlaps many in-flight queries on the shared simulation clock:
+
+* **Tenancy.**  A :class:`Tenant` names one query population (a trading
+  partner, a portal user class) with a fair-share ``weight``, an in-flight
+  ``max_concurrency`` quota and a bounded ``queue_limit``.
+* **Admission control.**  :meth:`WorkloadManager.submit` enforces a global
+  in-flight slot limit plus the per-tenant quotas.  A full tenant queue
+  sheds load with :class:`~repro.core.errors.QueryRejectedError`; a queued
+  query whose ``deadline`` passes before dispatch times out with
+  :class:`~repro.core.errors.QueryTimeoutError` -- overload degrades
+  crisply instead of growing queues without bound.
+* **Scheduling.**  When a slot frees, a pluggable discipline
+  (:mod:`repro.federation.scheduler`: FIFO, strict priority, weighted fair)
+  picks the next queued query.  Dispatch, execution and completion are all
+  events on the :class:`~repro.sim.events.EventLoop`, so runs are
+  deterministic under identical seeds.
+* **Congestion feedback.**  While a query is in flight, every site it
+  touched holds an elevated ``active_scans`` gauge; sites inflate both
+  executed and *quoted* service times by their congestion curve, so the
+  agoric market prices contention and later queries route around busy
+  replicas -- adaptive load balancing emerges from the economics, exactly
+  the C8 story, now under real concurrency.
+
+Execution model: the simulator executes a query's operator tree at dispatch
+time (clock frozen) to learn its modeled duration and site footprint, then
+holds the slot, the tenant quota and the site gauges until a completion
+event fires ``duration`` seconds later.  Queries dispatched in that window
+see the earlier query's congestion -- in their operator timings and in the
+bids their optimizer collects -- which is what makes concurrency more than
+bookkeeping.
+
+Every outcome lands on the engine's :class:`~repro.sim.metrics.MetricsRegistry`
+(per-tenant queue depth gauges, wait/service/total latency histograms,
+admission/rejection/timeout counters) and the completed query's
+:class:`~repro.federation.physical.ExecutionReport` carries
+``queue_wait_seconds`` / ``tenant`` / ``scheduler``.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.errors import (
+    ContentIntegrationError,
+    QueryError,
+    QueryRejectedError,
+    QueryTimeoutError,
+)
+from repro.federation.engine import FederatedEngine, QueryResult
+from repro.federation.scheduler import Scheduler, make_scheduler
+from repro.sim.events import EventLoop, ScheduledEvent
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class Tenant:
+    """One query population sharing the federation.
+
+    ``weight`` is the fair-share entitlement under the weighted-fair
+    scheduler; ``max_concurrency`` caps this tenant's simultaneously running
+    queries (None = bounded only by the global slot limit); ``queue_limit``
+    bounds its waiting queries -- submissions beyond it are shed.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_concurrency: int | None = None
+    queue_limit: int | None = None
+    # Lifetime accounting, mirrored into the metrics registry.
+    submitted: int = field(default=0, compare=False)
+    completed: int = field(default=0, compare=False)
+    failed: int = field(default=0, compare=False)
+    rejected: int = field(default=0, compare=False)
+    timed_out: int = field(default=0, compare=False)
+    running: int = field(default=0, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise QueryError(f"tenant {self.name!r} needs a positive weight")
+        if self.max_concurrency is not None and self.max_concurrency < 1:
+            raise QueryError(f"tenant {self.name!r}: max_concurrency must be >= 1")
+        if self.queue_limit is not None and self.queue_limit < 0:
+            raise QueryError(f"tenant {self.name!r}: queue_limit must be >= 0")
+
+
+class QueryState(enum.Enum):
+    """Lifecycle of one submission."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    TIMED_OUT = "timed-out"
+
+
+class QueryHandle:
+    """One submitted query: resolves when its completion event fires.
+
+    Returned by :meth:`WorkloadManager.submit`.  Not a future in the
+    threading sense -- resolution happens as the event loop runs (drive it
+    with ``loop.run_until`` or :meth:`WorkloadManager.drain`).
+    """
+
+    def __init__(
+        self,
+        seq: int,
+        sql: str,
+        tenant: Tenant,
+        priority: float,
+        submitted_at: float,
+        deadline: float | None,
+        max_staleness: float | None,
+        degraded_ok: bool,
+    ) -> None:
+        self.seq = seq
+        self.sql = sql
+        self.tenant = tenant
+        self.priority = priority
+        self.submitted_at = submitted_at
+        self.deadline = deadline
+        self.max_staleness = max_staleness
+        self.degraded_ok = degraded_ok
+        self.state = QueryState.QUEUED
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.error: Exception | None = None
+        self._result: QueryResult | None = None
+        self._deadline_event: ScheduledEvent | None = None
+        self._busy_sites: tuple[str, ...] = ()
+
+    # The scheduler-facing surface (see repro.federation.scheduler).
+
+    @property
+    def tenant_name(self) -> str:
+        return self.tenant.name
+
+    @property
+    def weight(self) -> float:
+        return self.tenant.weight
+
+    # -- resolution --------------------------------------------------------
+
+    @property
+    def done(self) -> bool:
+        return self.state in (
+            QueryState.COMPLETED,
+            QueryState.FAILED,
+            QueryState.TIMED_OUT,
+        )
+
+    def result(self) -> QueryResult:
+        """The finished query's result; raises its error if it failed."""
+        if not self.done:
+            raise QueryError(
+                f"query #{self.seq} is {self.state.value}; run the event loop "
+                "(WorkloadManager.drain) before reading its result"
+            )
+        if self.error is not None:
+            raise self.error
+        assert self._result is not None
+        return self._result
+
+    @property
+    def queue_wait_seconds(self) -> float:
+        """Seconds spent queued before dispatch (or before timing out)."""
+        end = self.started_at if self.started_at is not None else self.finished_at
+        if end is None:
+            return 0.0
+        return end - self.submitted_at
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryHandle(#{self.seq}, tenant={self.tenant.name!r}, "
+            f"{self.state.value})"
+        )
+
+
+class WorkloadManager:
+    """Admits, queues, schedules and overlaps queries on one engine.
+
+    ``max_in_flight`` is the global execution slot count (the federation's
+    multiprogramming level); ``scheduler`` is a name (``"fifo"``,
+    ``"priority"``, ``"weighted-fair"``/``"fair"``) or a
+    :class:`~repro.federation.scheduler.Scheduler` instance.  Unknown
+    tenants are auto-registered with defaults on first use; configure real
+    ones up front with :meth:`register_tenant`.
+    """
+
+    def __init__(
+        self,
+        engine: FederatedEngine,
+        loop: EventLoop,
+        scheduler: "str | Scheduler" = "weighted-fair",
+        max_in_flight: int = 4,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if max_in_flight < 1:
+            raise QueryError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if loop.clock is not engine.catalog.clock:
+            raise QueryError(
+                "workload manager's event loop must share the engine's clock"
+            )
+        self.engine = engine
+        self.loop = loop
+        self.scheduler = make_scheduler(scheduler)
+        self.max_in_flight = max_in_flight
+        self.metrics = metrics or engine.metrics
+        self.tenants: dict[str, Tenant] = {}
+        self.in_flight = 0
+        self.dispatched = 0  # lifetime dispatches
+        self._seq = itertools.count()
+        self._unfinished = 0  # queued + running
+
+    # -- tenancy -----------------------------------------------------------
+
+    def register_tenant(
+        self,
+        tenant: "Tenant | str",
+        weight: float = 1.0,
+        max_concurrency: int | None = None,
+        queue_limit: int | None = None,
+    ) -> Tenant:
+        """Register a tenant (pass a :class:`Tenant` or a name + limits)."""
+        if isinstance(tenant, str):
+            tenant = Tenant(tenant, weight, max_concurrency, queue_limit)
+        if tenant.name in self.tenants:
+            raise QueryError(f"tenant {tenant.name!r} already registered")
+        self.tenants[tenant.name] = tenant
+        self._gauge(tenant.name, "queue_depth").set(0)
+        return tenant
+
+    def tenant(self, name: str) -> Tenant:
+        """Look up (auto-registering with defaults) a tenant by name."""
+        if name not in self.tenants:
+            return self.register_tenant(Tenant(name))
+        return self.tenants[name]
+
+    # -- submission --------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return len(self.scheduler)
+
+    def submit(
+        self,
+        sql: str,
+        tenant: str = "default",
+        priority: float = 0.0,
+        deadline: float | None = None,
+        max_staleness: float | None = None,
+        degraded_ok: bool = False,
+    ) -> QueryHandle:
+        """Admit one query; returns a handle resolved via the event loop.
+
+        ``priority`` matters to the strict-priority scheduler (higher value
+        first); ``deadline`` (seconds from now) bounds how long the query
+        may *queue* -- once dispatched it runs to completion.  Raises
+        :class:`QueryRejectedError` immediately when the tenant's queue is
+        full.
+        """
+        owner = self.tenant(tenant)
+        if deadline is not None and deadline <= 0:
+            raise QueryError(f"deadline must be positive, got {deadline!r}")
+        if (
+            owner.queue_limit is not None
+            and self.scheduler.queued_for(owner.name) >= owner.queue_limit
+        ):
+            owner.rejected += 1
+            self._counter(owner.name, "rejected").inc()
+            raise QueryRejectedError(owner.name, owner.queue_limit)
+
+        handle = QueryHandle(
+            seq=next(self._seq),
+            sql=sql,
+            tenant=owner,
+            priority=priority,
+            submitted_at=self.loop.clock.now(),
+            deadline=deadline,
+            max_staleness=max_staleness,
+            degraded_ok=degraded_ok,
+        )
+        owner.submitted += 1
+        self._counter(owner.name, "admitted").inc()
+        self.scheduler.push(handle)
+        self._unfinished += 1
+        if deadline is not None:
+            handle._deadline_event = self.loop.schedule_after(
+                deadline,
+                lambda: self._timeout(handle),
+                name=f"wlm-deadline:{handle.seq}",
+            )
+        self._dispatch()
+        self._gauge(owner.name, "queue_depth").set(
+            self.scheduler.queued_for(owner.name)
+        )
+        return handle
+
+    # -- scheduling machinery ----------------------------------------------
+
+    def _eligible(self, handle: QueryHandle) -> bool:
+        quota = handle.tenant.max_concurrency
+        return quota is None or handle.tenant.running < quota
+
+    def _dispatch(self) -> None:
+        """Fill free slots with whatever the scheduler picks next."""
+        while self.in_flight < self.max_in_flight:
+            handle = self.scheduler.pop(self._eligible)
+            if handle is None:
+                break
+            self._start(handle)
+
+    def _start(self, handle: QueryHandle) -> None:
+        now = self.loop.clock.now()
+        handle.state = QueryState.RUNNING
+        handle.started_at = now
+        if handle._deadline_event is not None:
+            handle._deadline_event.cancel()  # dispatched: deadline satisfied
+        owner = handle.tenant
+        owner.running += 1
+        self.in_flight += 1
+        self.dispatched += 1
+        self.metrics.gauge("workload.in_flight").set(self.in_flight)
+        self.metrics.counter("workload.dispatches").inc()
+        self._gauge(owner.name, "queue_depth").set(
+            self.scheduler.queued_for(owner.name)
+        )
+        wait = now - handle.submitted_at
+        self._histogram(owner.name, "queue_wait_seconds").observe(wait)
+
+        # Execute now (clock frozen) to learn the modeled duration and the
+        # site footprint; occupancy is modeled by holding the slot and the
+        # site congestion gauges until the completion event.
+        try:
+            result = self.engine.query(
+                handle.sql,
+                max_staleness=handle.max_staleness,
+                advance_clock=False,
+                degraded_ok=handle.degraded_ok,
+            )
+        except ContentIntegrationError as error:
+            self._finish(handle, error=error)
+            return
+        report = result.report
+        report.queue_wait_seconds = wait
+        report.tenant = owner.name
+        report.scheduler = self.scheduler.name
+        handle._busy_sites = tuple(sorted(report.site_work))
+        catalog = self.engine.catalog
+        for site_name in handle._busy_sites:
+            site = catalog.site(site_name)
+            site.scan_started()
+            self.metrics.gauge(f"site.{site_name}.active_scans").set(
+                site.active_scans
+            )
+        self.loop.schedule_after(
+            report.response_seconds,
+            lambda: self._complete(handle, result),
+            name=f"wlm-complete:{handle.seq}",
+        )
+
+    def _complete(self, handle: QueryHandle, result: QueryResult) -> None:
+        catalog = self.engine.catalog
+        for site_name in handle._busy_sites:
+            site = catalog.site(site_name)
+            site.scan_finished()
+            self.metrics.gauge(f"site.{site_name}.active_scans").set(
+                site.active_scans
+            )
+        self._finish(handle, result=result)
+
+    def _finish(
+        self,
+        handle: QueryHandle,
+        result: QueryResult | None = None,
+        error: Exception | None = None,
+    ) -> None:
+        now = self.loop.clock.now()
+        owner = handle.tenant
+        handle.finished_at = now
+        owner.running -= 1
+        self.in_flight -= 1
+        self._unfinished -= 1
+        self.metrics.gauge("workload.in_flight").set(self.in_flight)
+        if error is not None:
+            handle.state = QueryState.FAILED
+            handle.error = error
+            owner.failed += 1
+            self._counter(owner.name, "failed").inc()
+        else:
+            assert result is not None
+            handle.state = QueryState.COMPLETED
+            handle._result = result
+            owner.completed += 1
+            self._counter(owner.name, "completed").inc()
+            self._histogram(owner.name, "service_seconds").observe(
+                result.report.response_seconds
+            )
+            self._histogram(owner.name, "total_seconds").observe(
+                now - handle.submitted_at
+            )
+        self._dispatch()
+
+    def _timeout(self, handle: QueryHandle) -> None:
+        if handle.state is not QueryState.QUEUED:
+            return  # dispatched (or resolved) before the deadline fired
+        self.scheduler.remove(handle)
+        now = self.loop.clock.now()
+        owner = handle.tenant
+        handle.state = QueryState.TIMED_OUT
+        handle.finished_at = now
+        waited = now - handle.submitted_at
+        handle.error = QueryTimeoutError(owner.name, handle.deadline or 0.0, waited)
+        owner.timed_out += 1
+        self._unfinished -= 1
+        self._counter(owner.name, "timed_out").inc()
+        self._histogram(owner.name, "queue_wait_seconds").observe(waited)
+        self._gauge(owner.name, "queue_depth").set(
+            self.scheduler.queued_for(owner.name)
+        )
+
+    # -- driving -----------------------------------------------------------
+
+    def drain(self, *handles: QueryHandle) -> None:
+        """Run the event loop until ``handles`` (or all work) resolve."""
+
+        def settled() -> bool:
+            if handles:
+                return all(handle.done for handle in handles)
+            return self._unfinished == 0
+
+        while not settled():
+            if self.loop.run_next() is None:
+                raise QueryError(
+                    "workload manager stalled: submissions pending but the "
+                    "event loop is empty"
+                )
+
+    def explain_analyze(
+        self,
+        sql: str,
+        tenant: str = "default",
+        priority: float = 0.0,
+        max_staleness: float | None = None,
+    ) -> str:
+        """EXPLAIN ANALYZE through the queue: the rendered plan includes the
+        tenant, the scheduler and the time the query spent queued."""
+        handle = self.submit(
+            sql, tenant=tenant, priority=priority, max_staleness=max_staleness
+        )
+        self.drain(handle)
+        return self.engine.render_analyze(handle.result())
+
+    def __repr__(self) -> str:
+        return (
+            f"WorkloadManager({self.scheduler.name}, "
+            f"in_flight={self.in_flight}/{self.max_in_flight}, "
+            f"queued={self.queued}, tenants={sorted(self.tenants)})"
+        )
+
+    # -- metrics helpers ---------------------------------------------------
+
+    def _counter(self, tenant_name: str, what: str):
+        return self.metrics.counter(f"workload.{tenant_name}.{what}")
+
+    def _gauge(self, tenant_name: str, what: str):
+        return self.metrics.gauge(f"workload.{tenant_name}.{what}")
+
+    def _histogram(self, tenant_name: str, what: str):
+        return self.metrics.histogram(f"workload.{tenant_name}.{what}")

@@ -6,8 +6,14 @@ loop pops events in timestamp order, advances the shared clock to each
 event's time, and invokes its callback.  Callbacks may schedule further
 events (that is how periodic activities recur).
 
-Ties on timestamp are broken by insertion order, which keeps runs
-deterministic even when several activities fire at the same instant.
+Ties on timestamp are broken by insertion order: every event carries a
+monotonically increasing sequence number and the heap orders on
+``(time, sequence)``, so equal-timestamp events fire strictly FIFO -- even
+events scheduled *during* a callback at the same instant run after everything
+already queued for that instant.  The workload manager's schedulers depend on
+this (a completion that frees a slot and the dispatch it triggers must
+interleave identically under identical seeds); the guarantee is pinned by
+regression tests in ``tests/test_sim_clock_events.py``.
 """
 
 from __future__ import annotations

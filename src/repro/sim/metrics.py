@@ -7,7 +7,14 @@ into it, and the bench prints the registry summary as its result table.
 from __future__ import annotations
 
 import math
+import random
 from dataclasses import dataclass, field
+
+# Histograms keep at most this many raw samples by default.  Large enough
+# that percentile error is negligible for experiment readouts, small enough
+# that millions of observations (e.g. per-query latencies in the workload
+# benchmarks) cost bounded memory.
+DEFAULT_RESERVOIR_SIZE = 4096
 
 
 @dataclass
@@ -41,40 +48,81 @@ class Gauge:
 class Histogram:
     """A collection of observations with summary statistics.
 
-    Keeps all samples (simulations here are small enough) so experiments can
-    compute exact percentiles.
+    Count, total, mean, min, max and stddev are **exact** over every
+    observation (maintained as running aggregates).  Raw samples are kept in
+    a bounded **reservoir** (Vitter's Algorithm R, ``capacity`` samples, at
+    least :data:`DEFAULT_RESERVOIR_SIZE` by default): up to ``capacity``
+    observations the reservoir holds everything and percentiles are exact;
+    beyond it, ``percentile`` is computed over a uniform random sample of
+    everything seen, so it is an approximation whose error shrinks with
+    capacity.  The reservoir's RNG is seeded from the histogram's name, so
+    identical runs produce identical reservoirs.
     """
 
     name: str
-    samples: list[float] = field(default_factory=list)
+    capacity: int = DEFAULT_RESERVOIR_SIZE
+    samples: list[float] = field(default_factory=list)  # the reservoir
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError(f"histogram {self.name!r} needs capacity >= 1")
+        self._rng = random.Random(self.name)
+        self._count = 0
+        self._total = 0.0
+        self._sumsq = 0.0
+        self._min = math.nan
+        self._max = math.nan
+        # Samples passed at construction are replayed as observations so the
+        # exact aggregates stay in sync with the reservoir.
+        seeded, self.samples = list(self.samples), []
+        for value in seeded:
+            self.observe(value)
 
     def observe(self, value: float) -> None:
-        self.samples.append(value)
+        self._count += 1
+        self._total += value
+        self._sumsq += value * value
+        if self._count == 1:
+            self._min = value
+            self._max = value
+        else:
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+        if len(self.samples) < self.capacity:
+            self.samples.append(value)
+        else:
+            slot = self._rng.randrange(self._count)
+            if slot < self.capacity:
+                self.samples[slot] = value
 
     @property
     def count(self) -> int:
-        return len(self.samples)
+        return self._count
 
     @property
     def total(self) -> float:
-        return sum(self.samples)
+        return self._total
 
     @property
     def mean(self) -> float:
-        if not self.samples:
+        if not self._count:
             return math.nan
-        return self.total / len(self.samples)
+        return self._total / self._count
 
     @property
     def minimum(self) -> float:
-        return min(self.samples) if self.samples else math.nan
+        return self._min
 
     @property
     def maximum(self) -> float:
-        return max(self.samples) if self.samples else math.nan
+        return self._max
 
     def percentile(self, q: float) -> float:
-        """Return the ``q``-th percentile (0 <= q <= 100), nearest-rank."""
+        """Return the ``q``-th percentile (0 <= q <= 100), nearest-rank.
+
+        Exact while ``count <= capacity``; a reservoir-sample approximation
+        beyond that.
+        """
         if not 0 <= q <= 100:
             raise ValueError(f"percentile {q!r} out of range [0, 100]")
         if not self.samples:
@@ -85,10 +133,12 @@ class Histogram:
 
     @property
     def stddev(self) -> float:
-        if len(self.samples) < 2:
+        if self._count < 2:
             return 0.0
         mean = self.mean
-        variance = sum((s - mean) ** 2 for s in self.samples) / (len(self.samples) - 1)
+        variance = max(0.0, (self._sumsq - self._count * mean * mean)) / (
+            self._count - 1
+        )
         return math.sqrt(variance)
 
 
@@ -110,9 +160,12 @@ class MetricsRegistry:
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(self, name: str, capacity: int | None = None) -> Histogram:
         if name not in self._histograms:
-            self._histograms[name] = Histogram(name)
+            self._histograms[name] = Histogram(
+                name,
+                capacity if capacity is not None else DEFAULT_RESERVOIR_SIZE,
+            )
         return self._histograms[name]
 
     def snapshot(self) -> dict[str, float]:

@@ -127,6 +127,50 @@ class TestEventLoop:
         loop.run_until(2.0)
         assert fired == ["first", "second"]
 
+    def test_many_way_ties_preserve_full_fifo_order(self):
+        # The workload scheduler depends on this: equal-timestamp events
+        # must fire in exact schedule order, not heap-internal order.
+        loop = EventLoop(SimClock())
+        fired = []
+        for index in range(50):
+            loop.schedule_at(3.0, lambda i=index: fired.append(i))
+        loop.run_until(3.0)
+        assert fired == list(range(50))
+
+    def test_interleaved_times_keep_fifo_within_each_instant(self):
+        loop = EventLoop(SimClock())
+        fired = []
+        for label, time in [("a", 2.0), ("b", 1.0), ("c", 2.0), ("d", 1.0)]:
+            loop.schedule_at(time, lambda tag=label: fired.append(tag))
+        loop.run_until(2.0)
+        assert fired == ["b", "d", "a", "c"]
+
+    def test_same_instant_event_from_callback_fires_after_queued_ones(self):
+        # An event scheduled *during* a callback for the current instant
+        # still runs after everything already queued at that instant.
+        clock = SimClock()
+        loop = EventLoop(clock)
+        fired = []
+
+        def spawn_sibling():
+            fired.append("spawner")
+            loop.schedule_at(clock.now(), lambda: fired.append("spawned"))
+
+        loop.schedule_at(1.0, spawn_sibling)
+        loop.schedule_at(1.0, lambda: fired.append("queued"))
+        loop.run_until(1.0)
+        assert fired == ["spawner", "queued", "spawned"]
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=5.0), max_size=40))
+    def test_fifo_tie_break_holds_under_any_schedule(self, times):
+        loop = EventLoop(SimClock())
+        fired = []
+        for index, time in enumerate(times):
+            loop.schedule_at(time, lambda i=index: fired.append(i))
+        loop.run_until(6.0)
+        expected = [i for _, i in sorted(zip(times, range(len(times))))]
+        assert fired == expected
+
     def test_schedule_after_is_relative(self):
         clock = SimClock(start=10.0)
         loop = EventLoop(clock)

@@ -1,12 +1,14 @@
 """Unit tests for the metrics registry."""
 
 import math
+import statistics
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.sim import MetricsRegistry
+from repro.sim.metrics import DEFAULT_RESERVOIR_SIZE
 
 
 class TestCounter:
@@ -72,6 +74,60 @@ class TestHistogram:
             histogram.observe(sample)
         assert histogram.percentile(50) in samples
         assert histogram.minimum <= histogram.percentile(50) <= histogram.maximum
+
+
+class TestHistogramReservoir:
+    def test_memory_is_capped_at_capacity(self):
+        histogram = MetricsRegistry().histogram("wait", capacity=64)
+        for sample in range(10_000):
+            histogram.observe(float(sample))
+        assert len(histogram.samples) == 64
+
+    def test_default_capacity_is_at_least_4096(self):
+        histogram = MetricsRegistry().histogram("wait")
+        assert histogram.capacity >= 4096
+        assert histogram.capacity == DEFAULT_RESERVOIR_SIZE
+
+    def test_aggregates_stay_exact_past_the_cap(self):
+        histogram = MetricsRegistry().histogram("wait", capacity=16)
+        samples = [float(i) for i in range(1000)]
+        for sample in samples:
+            histogram.observe(sample)
+        assert histogram.count == 1000
+        assert histogram.total == sum(samples)
+        assert histogram.mean == pytest.approx(499.5)
+        assert histogram.minimum == 0.0
+        assert histogram.maximum == 999.0
+        expected_stddev = statistics.stdev(samples)
+        assert histogram.stddev == pytest.approx(expected_stddev, rel=1e-9)
+
+    def test_reservoir_holds_a_representative_subset(self):
+        histogram = MetricsRegistry().histogram("wait", capacity=256)
+        for sample in range(100_000):
+            histogram.observe(float(sample))
+        # Every retained sample was actually observed, and the estimated
+        # median lands near the true median.
+        assert all(0.0 <= s < 100_000 for s in histogram.samples)
+        assert histogram.percentile(50) == pytest.approx(50_000, rel=0.15)
+
+    def test_sampling_is_deterministic_per_name(self):
+        def fill(name):
+            histogram = MetricsRegistry().histogram(name, capacity=32)
+            for sample in range(5000):
+                histogram.observe(float(sample))
+            return list(histogram.samples)
+
+        assert fill("latency") == fill("latency")
+
+    def test_below_capacity_keeps_every_sample(self):
+        histogram = MetricsRegistry().histogram("wait", capacity=100)
+        for sample in [5.0, 1.0, 3.0]:
+            histogram.observe(sample)
+        assert sorted(histogram.samples) == [1.0, 3.0, 5.0]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", capacity=0)
 
 
 class TestRegistry:
