@@ -9,9 +9,11 @@ EXPERIMENTS.md.  Assertions in each bench check the paper-claim *shape*
 
 from __future__ import annotations
 
+import json
 import os
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
 def report(name: str, title: str, header: list[str], rows: list[list]) -> str:
@@ -32,6 +34,22 @@ def report(name: str, title: str, header: list[str], rows: list[list]) -> str:
         f.write(text)
     print(f"\n{text}")
     return text
+
+
+def write_json(name: str, payload: dict) -> str:
+    """Persist a machine-readable benchmark summary at the repo root.
+
+    Wall-clock numbers (rows/sec, latency percentiles) live here, NOT in
+    the ``results/`` tables -- the tables must stay byte-identical across
+    runs (DESIGN.md §7, CI determinism job), while these JSON files are
+    the regression-gate inputs and vary with the machine.
+    """
+    path = os.path.join(REPO_ROOT, f"{name}.json")
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(f"\nwrote {path}")
+    return path
 
 
 def _fmt(cell) -> str:

@@ -29,7 +29,7 @@ import math
 import os
 import random
 
-from _bench_util import report
+from _bench_util import report, write_json
 from repro.core import DataType, Field, Schema, Table
 from repro.core.errors import QueryRejectedError
 from repro.federation import (
@@ -154,14 +154,17 @@ def test_e13_saturation_knee(benchmark):
             [(t, "default", QUERY) for t in arrival_times],
             tenants=[("default", {"queue_limit": QUEUE_LIMIT})],
         )
-        finished = latencies(handles.get("default", []))
+        done = handles.get("default", [])
+        finished = latencies(done)
         goodput = len(finished) / QUERIES
+        horizon = max(h.finished_at for h in done) if done else 0.0
         stats[load] = {
             "p50": percentile(finished, 50),
             "p95": percentile(finished, 95),
             "p99": percentile(finished, 99),
             "goodput": goodput,
             "shed": shed,
+            "throughput_qps": len(done) / horizon if horizon else 0.0,
         }
         rows.append([
             f"{load:.0%}", QUERIES, shed, goodput,
@@ -175,6 +178,36 @@ def test_e13_saturation_knee(benchmark):
         ["offered load", "queries", "shed", "goodput", "p50 s", "p95 s",
          "p99 s"],
         rows,
+    )
+
+    # Machine-readable summary for tooling; everything here is *modeled*
+    # (simulation-clock) time, so the file is deterministic too.  The
+    # per-query bytes figure comes from one probe on an idle federation.
+    probe = build()[1].query(QUERY, advance_clock=False)
+    write_json(
+        "BENCH_E13",
+        {
+            "queries_per_level": QUERIES,
+            "slots": SLOTS,
+            "queue_limit": QUEUE_LIMIT,
+            "service_seconds": round(service, 6),
+            "capacity_qps": round(capacity, 4),
+            "bytes_shipped_per_query": probe.report.bytes_shipped,
+            "rows_shipped_per_query": probe.report.rows_shipped,
+            "loads": {
+                f"{load:.0%}": {
+                    "p50_s": round(stats[load]["p50"], 6),
+                    "p95_s": round(stats[load]["p95"], 6),
+                    "p99_s": round(stats[load]["p99"], 6),
+                    "goodput": round(stats[load]["goodput"], 4),
+                    "shed": stats[load]["shed"],
+                    "throughput_qps": round(
+                        stats[load]["throughput_qps"], 4
+                    ),
+                }
+                for load in LOADS
+            },
+        },
     )
 
     low, knee, high = stats[LOADS[0]], stats[LOADS[2]], stats[LOADS[-1]]

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""CI gate: the columnar engine's throughput win must not regress.
+
+Usage::
+
+    check_columnar_regression.py BASELINE.json FRESH.json [FRESH2.json ...]
+
+Each file is a ``BENCH_E3.json`` produced by ``bench_e3_columnar.py``.
+The gate compares the *speedup* (columnar rows/sec over row-engine
+rows/sec measured in the same run on the same machine), not absolute
+rows/sec -- CI runners are slower and noisier than the machine that
+committed the baseline, but the ratio between the two engines transports.
+Multiple fresh files may be passed (CI runs the micro-bench twice); the
+best one counts, which absorbs warm-up and scheduling noise.
+
+Fails (exit 1) when the best fresh speedup drops below ``FLOOR`` times
+the committed baseline's speedup -- i.e. the columnar engine lost more
+than 30% of its relative throughput advantage.
+"""
+
+import json
+import sys
+
+FLOOR = 0.7
+
+
+def speedup(path: str) -> float:
+    with open(path) as f:
+        payload = json.load(f)
+    if "speedup" not in payload:
+        raise SystemExit(f"{path}: no 'speedup' key (throughput bench not run?)")
+    return float(payload["speedup"])
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline = speedup(argv[1])
+    fresh_runs = [speedup(path) for path in argv[2:]]
+    best = max(fresh_runs)
+    bar = FLOOR * baseline
+    print(
+        f"baseline speedup {baseline:.2f}x; fresh runs "
+        f"{', '.join(f'{s:.2f}x' for s in fresh_runs)}; "
+        f"bar {bar:.2f}x ({FLOOR:.0%} of baseline)"
+    )
+    if best < bar:
+        print(
+            f"FAIL: best fresh speedup {best:.2f}x regressed more than "
+            f"{1 - FLOOR:.0%} below the committed {baseline:.2f}x"
+        )
+        return 1
+    print(f"OK: best fresh speedup {best:.2f}x holds the bar")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

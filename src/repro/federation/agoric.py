@@ -59,7 +59,12 @@ class BudgetExceededError(ContentIntegrationError):
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
-from repro.federation.stats import fallback_selectivity, fragment_can_match, fragment_selectivity
+from repro.federation.stats import (
+    estimated_shipped_bytes,
+    fallback_selectivity,
+    fragment_can_match,
+    fragment_selectivity,
+)
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 from dataclasses import dataclass
@@ -82,6 +87,10 @@ class Bid:
     est_seconds: float
     queue_delay: float
     congestion: float = 1.0
+    # Estimated *encoded* wire bytes this fragment ships to the coordinator
+    # (zone-map-informed; identical across a fragment's replicas, so the
+    # shipping term never flips replica tie-breaks).
+    est_bytes: int = 0
 
 
 class AgoricOptimizer:
@@ -166,6 +175,13 @@ class AgoricOptimizer:
                 live = allowed or live
             if self.sample_size is not None and len(live) > self.sample_size:
                 live = sorted(self.rng.sample(live, self.sample_size))
+            # Shipping is priced in encoded bytes at the network tariff.
+            # The estimate depends only on the fragment (zone-map distinct
+            # counts model the dictionary encoding), never on the replica,
+            # so every bid for this fragment carries the same term.
+            est_rows = max(1, int(fragment.estimated_rows * selectivity))
+            est_bytes = estimated_shipped_bytes(fragment, entry.schema, est_rows)
+            ship_price = est_bytes * self.catalog.network.seconds_per_byte
             bids = []
             for site_name in live:
                 site = self.catalog.site(site_name)
@@ -181,10 +197,11 @@ class AgoricOptimizer:
                     Bid(
                         site_name=site_name,
                         fragment_id=fragment.fragment_id,
-                        price=price,
+                        price=price + ship_price,
                         est_seconds=quote.seconds,
                         queue_delay=quote.queue_delay,
                         congestion=quote.congestion,
+                        est_bytes=est_bytes,
                     )
                 )
             bids.sort(key=lambda b: (b.price, b.site_name))
@@ -315,6 +332,7 @@ class AgoricOptimizer:
             price += winner.price
             fragment = fragments[fragment_id]
             rows += fragment.estimated_rows
+            assignment.est_bytes += winner.est_bytes
             assignment.choices.append(FragmentChoice(fragment, winner.site_name))
         return assignment, price, contacted, rows
 
@@ -336,11 +354,19 @@ class AgoricOptimizer:
         assert view is not None and view.data is not None
         site = self.catalog.site(view.site_name)
         # Views compete in the same congested market: a view hosted on a
-        # site swamped with in-flight queries asks more, like any bid.
+        # site swamped with in-flight queries asks more, like any bid --
+        # and ships its (encoded) rows at the same network tariff the
+        # fragment bids pay.
+        assignment.est_bytes = estimated_shipped_bytes(
+            view, view.schema, len(view.data)
+        )
+        ship_price = assignment.est_bytes * self.catalog.network.seconds_per_byte
         seconds = (
             len(view.data) * site.cpu_seconds_per_row * site.congestion_factor()
         )
-        return (seconds + site.backlog() * site.load_price_factor) * site.price_per_second
+        return (
+            seconds + site.backlog() * site.load_price_factor
+        ) * site.price_per_second + ship_price
 
     def _pick_coordinator(self, chosen_site_rows: dict[str, int]) -> str:
         """Run post-processing where the most data already is."""

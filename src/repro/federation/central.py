@@ -32,7 +32,11 @@ from repro.core.errors import QueryError
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog, Fragment
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
-from repro.federation.stats import fragment_can_match, fragment_selectivity
+from repro.federation.stats import (
+    estimated_shipped_bytes,
+    fragment_can_match,
+    fragment_selectivity,
+)
 from repro.sql.planner import PlanNode, ScanNode, scans_in
 
 
@@ -58,6 +62,7 @@ class CentralizedOptimizer:
         self.per_site_stat_seconds = per_site_stat_seconds
         self.per_combination_seconds = per_combination_seconds
         self.max_combinations = max_combinations
+        self._transfer_cache: dict[tuple[str, str], tuple[int, float]] = {}
         # Attached by the engine; a covering cached region is a local
         # materialized answer and beats any remote plan under the snapshot.
         self.cache = cache
@@ -113,6 +118,9 @@ class CentralizedOptimizer:
     ) -> PhysicalPlan:
         started = time.perf_counter()
         modeled = self._stats_cost_if_due()
+        # Per-(scan, fragment) shipped-bytes estimates, shared by the
+        # makespan model and the greedy fallback within this optimization.
+        self._transfer_cache: dict[tuple[str, str], tuple[int, float]] = {}
 
         fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]] = []
         assignments: dict[str, ScanAssignment] = {}
@@ -132,9 +140,14 @@ class CentralizedOptimizer:
                 if view is not None and not self.catalog.site(view.site_name).up:
                     view = None
             if view is not None:
-                assignments[scan.binding] = ScanAssignment(
+                view_assignment = ScanAssignment(
                     scan.binding, scan.table, "view", view=view
                 )
+                if view.data is not None:
+                    view_assignment.est_bytes = estimated_shipped_bytes(
+                        view, view.schema, len(view.data)
+                    )
+                assignments[scan.binding] = view_assignment
                 continue
             entry = self.catalog.entry(scan.table)
             if not entry.fragments:
@@ -189,8 +202,12 @@ class CentralizedOptimizer:
             choice_lists = self._greedy(fragment_slots)
             modeled += sum(len(live) for _, _, live, _ in fragment_slots) * 1e-5
 
-        for (scan, fragment, _, _), site_name in zip(fragment_slots, choice_lists):
-            assignments[scan.binding].choices.append(FragmentChoice(fragment, site_name))
+        for (scan, fragment, _, selectivity), site_name in zip(
+            fragment_slots, choice_lists
+        ):
+            assignment = assignments[scan.binding]
+            assignment.est_bytes += self._slot_transfer(scan, fragment, selectivity)[0]
+            assignment.choices.append(FragmentChoice(fragment, site_name))
 
         chosen_coordinator = coordinator or self._pick_coordinator(assignments)
         # DESIGN §7: modeled seconds only on the simulated clock; real
@@ -206,6 +223,27 @@ class CentralizedOptimizer:
             sites_contacted=len(self.catalog.sites),
             total_price=0.0,
         )
+
+    def _slot_transfer(
+        self, scan: ScanNode, fragment: Fragment, selectivity: float
+    ) -> tuple[int, float]:
+        """(estimated shipped bytes, transfer seconds) for one fragment scan.
+
+        Replica-independent: the same fragment prices the same transfer no
+        matter which site serves it, so byte-aware costing never flips a
+        replica tie-break on its own.
+        """
+        key = (fragment.table_name, fragment.fragment_id)
+        cached = self._transfer_cache.get(key)
+        if cached is None:
+            schema = self.catalog.entry(fragment.table_name).schema
+            est_rows = max(1, int(fragment.estimated_rows * selectivity))
+            est_bytes = estimated_shipped_bytes(fragment, schema, est_rows)
+            cached = self._transfer_cache[key] = (
+                est_bytes,
+                est_bytes * self.catalog.network.seconds_per_byte,
+            )
+        return cached
 
     def _estimate_makespan(
         self,
@@ -224,6 +262,10 @@ class CentralizedOptimizer:
                 # Availability-aware cost: a flaky site's estimate carries a
                 # risk surcharge (the expected cost of a mid-scan failover).
                 seconds *= self.health.price_multiplier(site_name)
+            # Shipping the fragment's encoded bytes occupies the same
+            # pipeline: a placement that balances CPU but funnels bytes
+            # through one site no longer looks free.
+            seconds += self._slot_transfer(scan, fragment, selectivity)[1]
             site_work[site_name] = site_work.get(site_name, 0.0) + seconds
         return max(
             self.snapshot_load(name) + work for name, work in site_work.items()
@@ -251,6 +293,8 @@ class CentralizedOptimizer:
         planned_extra: dict[str, float] = {}
         chosen: list[str] = []
         for scan, fragment, live, selectivity in fragment_slots:
+            transfer = self._slot_transfer(scan, fragment, selectivity)[1]
+
             def planned_cost(name: str) -> float:
                 site = self.catalog.site(name)
                 quote = site.quote_scan(
@@ -259,14 +303,21 @@ class CentralizedOptimizer:
                 seconds = quote.seconds * self.snapshot_congestion(name)
                 if self.health is not None:
                     seconds *= self.health.price_multiplier(name)
-                return self.snapshot_load(name) + planned_extra.get(name, 0.0) + seconds
+                return (
+                    self.snapshot_load(name)
+                    + planned_extra.get(name, 0.0)
+                    + seconds
+                    + transfer
+                )
 
             winner = min(live, key=lambda name: (planned_cost(name), name))
             site = self.catalog.site(winner)
             quote = site.quote_scan(
                 fragment.replicas[winner], row_fraction=selectivity
             )
-            planned_extra[winner] = planned_extra.get(winner, 0.0) + quote.seconds
+            planned_extra[winner] = (
+                planned_extra.get(winner, 0.0) + quote.seconds + transfer
+            )
             chosen.append(winner)
         return chosen
 

@@ -1,0 +1,824 @@
+"""The columnar data plane: batches, filter kernels and wire encodings.
+
+ROADMAP item 1 (and the langbridge worker data plane it cites): the hot
+path of the executor should move *columns*, not per-row ``dict`` envs.  A
+:class:`ColumnBatch` is one fixed-size slice of one scan's output held as
+parallel per-column value arrays (nulls are in-band ``None``; kernels that
+need an explicit view call :meth:`ColumnBatch.null_mask`).  Site-side
+operators pass batches by reference and work on whole columns:
+
+* **Filter kernels** (:func:`compile_predicate`) compile a residual
+  predicate into a selection-vector function ``kernel(batch, sel) ->
+  sel'``.  Conjunctions short-circuit exactly like
+  :func:`repro.sql.expressions.evaluate` (the right side only sees rows
+  the left side kept), and the null semantics replicate ``evaluate`` bit
+  for bit -- ``NULL != x`` is True, range comparisons against NULL are
+  False, ``x IN (...)`` with a NULL operand is False even under ``NOT
+  IN``.  Anything the compiler cannot prove equivalent returns ``None``
+  and the operator falls back to per-row ``evaluate`` over the same batch,
+  so behavior (including errors) is identical by construction; a kernel
+  that discovers an incomparable pair mid-flight raises
+  :class:`KernelFallback` for the same reason.
+* **Wire encodings** (:func:`encode_batch` / :func:`decode_batch`): the
+  Ship operator serializes each column under the cheapest of five
+  self-describing encodings -- plain, dictionary (low-cardinality
+  columns), run-length (sorted/flag columns), zigzag-varint delta (int
+  columns) and front-coded prefixes (sorted-ish string columns).  Encoded
+  sizes use a fixed byte model (:func:`value_wire_bytes`), so
+  ``bytes_shipped`` is deterministic (DESIGN §7) and the network can
+  charge per byte instead of per row.  Decoding is exact: every encoding
+  round-trips values (and their types) unchanged.
+
+The row-compatibility shim is :meth:`ColumnBatch.to_envs`: at the Ship
+boundary batches are re-materialized into the same ``{qualified: value,
+bare: value}`` envs the coordinator operators, DB-API surface, semantic
+cache and workload manager always consumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.records import Table
+from repro.core.values import Money
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    Expr,
+    InList,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.sql.expressions import like_to_regex
+
+# Rows per batch.  Large enough that per-batch overhead (kernel dispatch,
+# encoding headers) amortizes to noise, small enough that a batch of wide
+# strings stays cache-resident and pipelined operators keep peak memory
+# bounded (see DESIGN §5f for the measured tradeoff).
+DEFAULT_BATCH_SIZE = 1024
+
+# Modeled (de)serialization cost, charged per *encoded* byte: encoding is
+# producer-site work, decoding is coordinator work.  Deterministic by
+# construction -- these never read the host clock.
+ENCODE_SECONDS_PER_BYTE = 2e-9
+DECODE_SECONDS_PER_BYTE = 1e-9
+
+# Every serialized column carries a small self-description header
+# (encoding tag, value count, name id).
+COLUMN_HEADER_BYTES = 4
+
+
+class KernelFallback(Exception):
+    """A compiled kernel hit a case it cannot decide (e.g. incomparable
+    types mid-column); the caller must re-run the batch through the row
+    path, which reproduces ``evaluate``'s exact behavior and errors."""
+
+
+class ColumnBatch:
+    """One fixed-size slice of a scan's rows, stored column-wise.
+
+    ``names`` are the qualified env keys (``binding.field``); ``aliases``
+    maps bare field names to column indexes for fields that are
+    unambiguous across the query's scans (mirroring
+    :func:`repro.federation.physical.row_env`).  ``count`` is tracked
+    explicitly so a batch projected down to zero columns still knows how
+    many rows it carries.
+    """
+
+    __slots__ = ("names", "columns", "aliases", "count", "_index")
+
+    def __init__(
+        self,
+        names: list[str],
+        columns: list[list],
+        aliases: dict[str, int],
+        count: int | None = None,
+    ) -> None:
+        self.names = names
+        self.columns = columns
+        self.aliases = aliases
+        self.count = count if count is not None else (len(columns[0]) if columns else 0)
+        self._index: dict[str, int] | None = None
+
+    def __len__(self) -> int:
+        return self.count
+
+    def index_of(self, key: str) -> int | None:
+        """Column index for a qualified or (unambiguous) bare env key."""
+        index = self._index
+        if index is None:
+            index = {name: i for i, name in enumerate(self.names)}
+            index.update(self.aliases)
+            self._index = index
+        return index.get(key)
+
+    def null_mask(self, column_index: int) -> list[bool]:
+        """Explicit null mask for one column (True where the value is NULL)."""
+        return [value is None for value in self.columns[column_index]]
+
+    def take(self, selection: list[int]) -> "ColumnBatch":
+        """Materialize the rows named by an ascending selection vector."""
+        return ColumnBatch(
+            self.names,
+            [[column[i] for i in selection] for column in self.columns],
+            self.aliases,
+            len(selection),
+        )
+
+    def project(self, allowed: set[str]) -> "ColumnBatch":
+        """Column-slice projection: keep columns whose env key is allowed.
+
+        Kept columns are shared by reference -- projection copies nothing.
+        """
+        keep = [j for j, name in enumerate(self.names) if name in allowed]
+        remap = {old: new for new, old in enumerate(keep)}
+        return ColumnBatch(
+            [self.names[j] for j in keep],
+            [self.columns[j] for j in keep],
+            {
+                alias: remap[j]
+                for alias, j in self.aliases.items()
+                if alias in allowed and j in remap
+            },
+            self.count,
+        )
+
+    def env_at(self, i: int) -> dict[str, Any]:
+        """One row's env (qualified keys plus unambiguous bare keys)."""
+        env = {name: column[i] for name, column in zip(self.names, self.columns)}
+        for alias, j in self.aliases.items():
+            env[alias] = self.columns[j][i]
+        return env
+
+    def to_envs(self) -> list[dict[str, Any]]:
+        """The row-compatibility shim: rebuild per-row env dicts."""
+        keys = list(self.names) + list(self.aliases)
+        if not keys:
+            return [{} for _ in range(self.count)]
+        cols = self.columns + [self.columns[j] for j in self.aliases.values()]
+        return [dict(zip(keys, values)) for values in zip(*cols)]
+
+
+def table_chunks(
+    binding: str,
+    table: Table,
+    ambiguous: set[str],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> list[ColumnBatch]:
+    """Split one site's scan output table into fixed-size column batches."""
+    fields = table.schema.fields
+    names = [f"{binding}.{field_def.name}" for field_def in fields]
+    aliases = {
+        field_def.name: i
+        for i, field_def in enumerate(fields)
+        if field_def.name not in ambiguous
+    }
+    rows = table.rows
+    chunks = []
+    for start in range(0, len(rows), batch_size):
+        slice_rows = rows[start : start + batch_size]
+        columns = [list(column) for column in zip(*slice_rows)]
+        if not columns:
+            columns = [[] for _ in names]
+        chunks.append(ColumnBatch(names, columns, aliases, len(slice_rows)))
+    return chunks
+
+
+# -- filter kernels ------------------------------------------------------------
+
+Kernel = Callable[[ColumnBatch, list[int]], list[int]]
+
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+_COMPARISONS = ("=", "!=", "<", "<=", ">", ">=", "contains")
+
+
+def compile_predicate(expr: Expr, layout: ColumnBatch) -> Kernel | None:
+    """Compile a predicate into a selection-vector kernel, or ``None``.
+
+    The returned kernel maps an ascending selection vector to the subset
+    of row indexes where the predicate is truthy, preserving order.
+    ``None`` means "not provably equivalent to :func:`evaluate`" -- the
+    caller must use the row path for the whole batch.
+    """
+    if isinstance(expr, BinaryOp):
+        if expr.op == "and":
+            left = compile_predicate(expr.left, layout)
+            right = compile_predicate(expr.right, layout)
+            if left is None or right is None:
+                return None
+            # evaluate() short-circuits: the right side only ever runs on
+            # rows the left side kept, so an error lurking in the right
+            # operand surfaces (or not) exactly as in the row path.
+            return lambda batch, sel: right(batch, left(batch, sel))
+        if expr.op == "or":
+            left = compile_predicate(expr.left, layout)
+            right = compile_predicate(expr.right, layout)
+            if left is None or right is None:
+                return None
+
+            def _or(batch: ColumnBatch, sel: list[int]) -> list[int]:
+                hits = left(batch, sel)
+                taken = set(hits)
+                more = right(batch, [i for i in sel if i not in taken])
+                return _merge_ascending(hits, more)
+
+            return _or
+        if expr.op in _COMPARISONS:
+            left = _operand(expr.left, layout)
+            right = _operand(expr.right, layout)
+            if left is None or right is None:
+                return None
+            return _comparison_kernel(expr.op, left, right)
+        return None
+    if isinstance(expr, UnaryOp):
+        if expr.op == "not":
+            inner = compile_predicate(expr.operand, layout)
+            if inner is None:
+                return None
+
+            def _not(batch: ColumnBatch, sel: list[int]) -> list[int]:
+                hits = set(inner(batch, sel))
+                return [i for i in sel if i not in hits]
+
+            return _not
+        if expr.op in ("is-null", "is-not-null"):
+            if not isinstance(expr.operand, Column):
+                return None
+            idx = layout.index_of(expr.operand.qualified)
+            if idx is None:
+                return None
+            want_null = expr.op == "is-null"
+
+            def _nulls(batch: ColumnBatch, sel: list[int]) -> list[int]:
+                mask = batch.null_mask(idx)
+                return [i for i in sel if mask[i] is want_null]
+
+            return _nulls
+        return None
+    if isinstance(expr, InList):
+        return _in_list_kernel(expr, layout)
+    if isinstance(expr, Between):
+        return _between_kernel(expr, layout)
+    if isinstance(expr, Like):
+        return _like_kernel(expr, layout)
+    return None
+
+
+def _operand(expr: Expr, layout: ColumnBatch):
+    if isinstance(expr, Literal):
+        return ("lit", expr.value)
+    if isinstance(expr, Column):
+        idx = layout.index_of(expr.qualified)
+        if idx is None:
+            return None
+        return ("col", idx)
+    return None
+
+
+def _merge_ascending(a: list[int], b: list[int]) -> list[int]:
+    if not a:
+        return b
+    if not b:
+        return a
+    out: list[int] = []
+    ia = ib = 0
+    while ia < len(a) and ib < len(b):
+        if a[ia] < b[ib]:
+            out.append(a[ia])
+            ia += 1
+        else:
+            out.append(b[ib])
+            ib += 1
+    out.extend(a[ia:])
+    out.extend(b[ib:])
+    return out
+
+
+def _comparison_kernel(op: str, left, right) -> Kernel | None:
+    lkind, lval = left
+    rkind, rval = right
+    if lkind == "lit" and rkind == "lit":
+        return None  # constant predicate: rare, leave to the row path
+    if lkind == "col" and rkind == "col":
+        return _col_col_kernel(op, lval, rval)
+    if lkind == "col":
+        return _col_lit_kernel(op, lval, rval)
+    # literal <op> column: flip range operators so the column is on the
+    # left; =, != and the null rules are symmetric.  ``contains`` is not
+    # symmetric (haystack CONTAINS needle), so it keeps its orientation.
+    if op in _FLIP:
+        return _col_lit_kernel(_FLIP[op], rval, lval)
+    if op in ("=", "!="):
+        return _col_lit_kernel(op, rval, lval)
+    if op == "contains":
+        return _lit_col_contains_kernel(lval, rval)
+    return None
+
+
+def _col_lit_kernel(op: str, idx: int, lit: Any) -> Kernel:
+    if op == "=":
+        if lit is None:
+            return lambda batch, sel: [
+                i for i in sel if batch.columns[idx][i] is None
+            ]
+
+        def _eq(batch: ColumnBatch, sel: list[int]) -> list[int]:
+            col = batch.columns[idx]
+            return [i for i in sel if (v := col[i]) is not None and v == lit]
+
+        return _eq
+    if op == "!=":
+        if lit is None:
+            return lambda batch, sel: [
+                i for i in sel if batch.columns[idx][i] is not None
+            ]
+
+        def _ne(batch: ColumnBatch, sel: list[int]) -> list[int]:
+            col = batch.columns[idx]
+            return [i for i in sel if (v := col[i]) is None or v != lit]
+
+        return _ne
+    if op == "contains":
+        if lit is None:
+            return lambda batch, sel: []
+        needle = str(lit).lower()
+
+        def _contains(batch: ColumnBatch, sel: list[int]) -> list[int]:
+            col = batch.columns[idx]
+            return [
+                i
+                for i in sel
+                if (v := col[i]) is not None and needle in str(v).lower()
+            ]
+
+        return _contains
+    # Range comparisons: NULL on either side is False; an incomparable
+    # pair aborts the kernel so the row path can raise its exact error.
+    if lit is None:
+        return lambda batch, sel: []
+
+    def _range(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        col = batch.columns[idx]
+        try:
+            if op == "<":
+                return [i for i in sel if (v := col[i]) is not None and v < lit]
+            if op == "<=":
+                return [i for i in sel if (v := col[i]) is not None and v <= lit]
+            if op == ">":
+                return [i for i in sel if (v := col[i]) is not None and v > lit]
+            return [i for i in sel if (v := col[i]) is not None and v >= lit]
+        except TypeError as error:
+            raise KernelFallback() from error
+
+    return _range
+
+
+def _col_col_kernel(op: str, a: int, b: int) -> Kernel | None:
+    if op == "=" or op == "!=":
+        want_equal = op == "="
+
+        def _eq(batch: ColumnBatch, sel: list[int]) -> list[int]:
+            ca, cb = batch.columns[a], batch.columns[b]
+            out = []
+            for i in sel:
+                x, y = ca[i], cb[i]
+                if x is None or y is None:
+                    equal = x is None and y is None
+                else:
+                    equal = bool(x == y)
+                if equal is want_equal:
+                    out.append(i)
+            return out
+
+        return _eq
+    if op == "contains":
+
+        def _contains(batch: ColumnBatch, sel: list[int]) -> list[int]:
+            ca, cb = batch.columns[a], batch.columns[b]
+            return [
+                i
+                for i in sel
+                if (x := ca[i]) is not None
+                and (y := cb[i]) is not None
+                and str(y).lower() in str(x).lower()
+            ]
+
+        return _contains
+
+    def _range(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        ca, cb = batch.columns[a], batch.columns[b]
+        try:
+            if op == "<":
+                return [
+                    i
+                    for i in sel
+                    if (x := ca[i]) is not None
+                    and (y := cb[i]) is not None
+                    and x < y
+                ]
+            if op == "<=":
+                return [
+                    i
+                    for i in sel
+                    if (x := ca[i]) is not None
+                    and (y := cb[i]) is not None
+                    and x <= y
+                ]
+            if op == ">":
+                return [
+                    i
+                    for i in sel
+                    if (x := ca[i]) is not None
+                    and (y := cb[i]) is not None
+                    and x > y
+                ]
+            return [
+                i
+                for i in sel
+                if (x := ca[i]) is not None
+                and (y := cb[i]) is not None
+                and x >= y
+            ]
+        except TypeError as error:
+            raise KernelFallback() from error
+
+    return _range
+
+
+def _lit_col_contains_kernel(lit: Any, idx: int) -> Kernel:
+    """``literal CONTAINS column``: the haystack is constant."""
+    if lit is None:
+        return lambda batch, sel: []
+    haystack = str(lit).lower()
+
+    def _contains(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        col = batch.columns[idx]
+        return [
+            i
+            for i in sel
+            if (v := col[i]) is not None and str(v).lower() in haystack
+        ]
+
+    return _contains
+
+
+def _in_list_kernel(expr: InList, layout: ColumnBatch) -> Kernel | None:
+    if not isinstance(expr.operand, Column):
+        return None
+    idx = layout.index_of(expr.operand.qualified)
+    if idx is None:
+        return None
+    if not all(isinstance(item, Literal) for item in expr.items):
+        return None
+    values = [item.value for item in expr.items]
+    negated = expr.negated
+    try:
+        value_set: set | None = set(values)
+    except TypeError:
+        value_set = None
+
+    def _in(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        col = batch.columns[idx]
+        out = []
+        for i in sel:
+            v = col[i]
+            if v is None:
+                continue  # NULL IN / NOT IN is False either way
+            if value_set is not None:
+                try:
+                    hit = v in value_set
+                except TypeError:
+                    hit = any(item == v for item in values)
+            else:
+                hit = any(item == v for item in values)
+            if hit != negated:
+                out.append(i)
+        return out
+
+    return _in
+
+
+def _between_kernel(expr: Between, layout: ColumnBatch) -> Kernel | None:
+    if not isinstance(expr.operand, Column):
+        return None
+    idx = layout.index_of(expr.operand.qualified)
+    if idx is None:
+        return None
+    if not (isinstance(expr.low, Literal) and isinstance(expr.high, Literal)):
+        return None
+    low, high = expr.low.value, expr.high.value
+    negated = expr.negated
+
+    def _between(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        col = batch.columns[idx]
+        out = []
+        try:
+            for i in sel:
+                v = col[i]
+                if v is None:
+                    continue
+                if (low <= v <= high) != negated:
+                    out.append(i)
+        except TypeError as error:
+            raise KernelFallback() from error
+        return out
+
+    return _between
+
+
+def _like_kernel(expr: Like, layout: ColumnBatch) -> Kernel | None:
+    if not isinstance(expr.operand, Column):
+        return None
+    idx = layout.index_of(expr.operand.qualified)
+    if idx is None:
+        return None
+    regex = like_to_regex(expr.pattern)
+    negated = expr.negated
+
+    def _like(batch: ColumnBatch, sel: list[int]) -> list[int]:
+        col = batch.columns[idx]
+        return [
+            i
+            for i in sel
+            if (v := col[i]) is not None
+            and ((regex.fullmatch(str(v)) is not None) != negated)
+        ]
+
+    return _like
+
+
+# -- wire encodings ------------------------------------------------------------
+
+
+def value_wire_bytes(value: Any) -> int:
+    """Bytes one value costs under naive (plain) row serialization."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, Money):
+        return 16
+    if isinstance(value, str):
+        return 2 + len(value.encode("utf-8"))
+    return 2 + len(str(value).encode("utf-8"))
+
+
+def env_wire_bytes(env: dict[str, Any]) -> int:
+    """Naive wire size of one row env (each field counted once)."""
+    values = [v for k, v in env.items() if "." in k]
+    if not values and env:
+        values = list(env.values())
+    return COLUMN_HEADER_BYTES + sum(value_wire_bytes(v) for v in values)
+
+
+@dataclass
+class EncodedColumn:
+    """One column serialized under its cheapest encoding."""
+
+    name: str
+    encoding: str  # plain | dict | rle | delta | bits | scaled | prefix
+    count: int
+    payload: Any
+    encoded_bytes: int
+    raw_bytes: int
+
+
+@dataclass
+class EncodedBatch:
+    """One ColumnBatch on the wire."""
+
+    names: list[str]
+    aliases: dict[str, int]
+    count: int
+    columns: list[EncodedColumn]
+
+    @property
+    def encoded_bytes(self) -> int:
+        return sum(column.encoded_bytes for column in self.columns)
+
+    @property
+    def raw_bytes(self) -> int:
+        return sum(column.raw_bytes for column in self.columns)
+
+
+def _zigzag(n: int) -> int:
+    return (n << 1) if n >= 0 else ((-n << 1) - 1)
+
+
+def _varint_len(n: int) -> int:
+    return max(1, (n.bit_length() + 6) // 7)
+
+
+def encode_column(name: str, values: list) -> EncodedColumn:
+    """Serialize one column under the cheapest applicable encoding."""
+    count = len(values)
+    raw = COLUMN_HEADER_BYTES + sum(value_wire_bytes(v) for v in values)
+    encoding, payload, size = "plain", list(values), raw
+
+    if count:
+        # Dictionary: first-appearance codes.  Keys pair the value with its
+        # type so 1/1.0/True never collapse into one entry; floats key by
+        # repr so 0.0/-0.0 stay distinct (and all NaNs share one entry).
+        mapping: dict = {}
+        dict_values: list = []
+        codes: list[int] = []
+        hashable = True
+        try:
+            for v in values:
+                key = (type(v), repr(v)) if type(v) is float else (type(v), v)
+                code = mapping.get(key, -1)
+                if code < 0:
+                    code = mapping[key] = len(dict_values)
+                    dict_values.append(v)
+                codes.append(code)
+        except TypeError:
+            hashable = False
+        if hashable and len(dict_values) < count and len(dict_values) <= 65536:
+            index_bytes = 1 if len(dict_values) <= 256 else 2
+            dict_size = (
+                COLUMN_HEADER_BYTES
+                + sum(value_wire_bytes(v) for v in dict_values)
+                + count * index_bytes
+            )
+            if dict_size < size:
+                encoding, payload, size = "dict", (dict_values, codes), dict_size
+
+        # Run-length: runs compare by (type, value) so True/1 stay distinct;
+        # floats compare by repr so 0.0/-0.0 never merge and equal-repr NaNs
+        # do (bit-equivalent on decode).
+        runs: list[tuple[Any, int]] = []
+        for v in values:
+            if runs:
+                last, n = runs[-1]
+                if type(last) is type(v):
+                    if type(v) is float:
+                        same = repr(last) == repr(v)
+                    else:
+                        try:
+                            same = bool(last == v)
+                        except Exception:
+                            same = False
+                    if same:
+                        runs[-1] = (last, n + 1)
+                        continue
+            runs.append((v, 1))
+        rle_size = COLUMN_HEADER_BYTES + sum(
+            value_wire_bytes(v) + 2 for v, _ in runs
+        )
+        if rle_size < size:
+            encoding, payload, size = "rle", list(runs), rle_size
+
+        # Delta: exact-int columns only (bool is excluded so decode
+        # preserves types), zigzag-varint deltas.
+        if all(type(v) is int for v in values):
+            deltas = [values[i] - values[i - 1] for i in range(1, count)]
+            delta_size = (
+                COLUMN_HEADER_BYTES
+                + 9
+                + sum(_varint_len(_zigzag(d)) for d in deltas)
+            )
+            if delta_size < size:
+                encoding, payload, size = "delta", (values[0], deltas), delta_size
+
+        # Bit-packing: pure flag columns (bool or NULL) at two bits per
+        # value -- random flags defeat RLE but still pack four values per
+        # byte against one byte each under plain.
+        if all(v is None or type(v) is bool for v in values):
+            bits_size = COLUMN_HEADER_BYTES + (count + 3) // 4
+            if bits_size < size:
+                encoding, payload, size = "bits", list(values), bits_size
+
+        # Scaled-decimal delta: float columns holding short decimals
+        # (prices, distances) store integer multiples of 1/scale,
+        # delta-coded.  Chosen only when every value provably round-trips
+        # bit-exactly through the scaling.
+        if all(type(v) is float for v in values):
+            for scale in (10, 100):
+                scaled: "list[int] | None" = []
+                for v in values:
+                    try:
+                        i = round(v * scale)
+                    except (OverflowError, ValueError):  # inf, nan
+                        scaled = None
+                        break
+                    if repr(i / scale) != repr(v):
+                        scaled = None
+                        break
+                    scaled.append(i)
+                if scaled is None:
+                    continue
+                deltas = [scaled[i] - scaled[i - 1] for i in range(1, count)]
+                scaled_size = (
+                    COLUMN_HEADER_BYTES
+                    + 1  # the scale
+                    + 9
+                    + sum(_varint_len(_zigzag(d)) for d in deltas)
+                )
+                if scaled_size < size:
+                    encoding, payload, size = (
+                        "scaled",
+                        (scale, scaled[0], deltas),
+                        scaled_size,
+                    )
+                break
+
+        # Prefix (front coding): string columns that share leading bytes
+        # with their predecessor (sorted or clustered identifiers).
+        if any(type(v) is str for v in values) and all(
+            v is None or type(v) is str for v in values
+        ):
+            entries: list = []
+            prefix_size = COLUMN_HEADER_BYTES
+            prev = ""
+            for v in values:
+                if v is None:
+                    entries.append(None)
+                    prefix_size += 1
+                    continue
+                shared = 0
+                limit = min(len(prev), len(v))
+                while shared < limit and prev[shared] == v[shared]:
+                    shared += 1
+                suffix = v[shared:]
+                entries.append((shared, suffix))
+                prefix_size += 2 + len(suffix.encode("utf-8"))
+                prev = v
+            if prefix_size < size:
+                encoding, payload, size = "prefix", entries, prefix_size
+
+    return EncodedColumn(name, encoding, count, payload, size, raw)
+
+
+def decode_column(column: EncodedColumn) -> list:
+    """Exact inverse of :func:`encode_column`."""
+    if column.encoding == "plain":
+        return list(column.payload)
+    if column.encoding == "dict":
+        dict_values, codes = column.payload
+        return [dict_values[code] for code in codes]
+    if column.encoding == "rle":
+        out: list = []
+        for value, run in column.payload:
+            out.extend([value] * run)
+        return out
+    if column.encoding == "delta":
+        first, deltas = column.payload
+        out = [first]
+        current = first
+        for delta in deltas:
+            current += delta
+            out.append(current)
+        return out
+    if column.encoding == "bits":
+        return list(column.payload)
+    if column.encoding == "scaled":
+        scale, first, deltas = column.payload
+        ints = [first]
+        current = first
+        for delta in deltas:
+            current += delta
+            ints.append(current)
+        return [i / scale for i in ints]
+    if column.encoding == "prefix":
+        out = []
+        prev = ""
+        for entry in column.payload:
+            if entry is None:
+                out.append(None)
+                continue
+            shared, suffix = entry
+            value = prev[:shared] + suffix
+            out.append(value)
+            prev = value
+        return out
+    raise ValueError(f"unknown column encoding {column.encoding!r}")
+
+
+def encode_batch(batch: ColumnBatch) -> EncodedBatch:
+    """Serialize a batch column-by-column for the wire."""
+    return EncodedBatch(
+        names=list(batch.names),
+        aliases=dict(batch.aliases),
+        count=batch.count,
+        columns=[
+            encode_column(name, column)
+            for name, column in zip(batch.names, batch.columns)
+        ],
+    )
+
+
+def decode_batch(encoded: EncodedBatch) -> ColumnBatch:
+    """Exact inverse of :func:`encode_batch`."""
+    return ColumnBatch(
+        list(encoded.names),
+        [decode_column(column) for column in encoded.columns],
+        dict(encoded.aliases),
+        encoded.count,
+    )

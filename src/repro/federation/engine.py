@@ -93,13 +93,15 @@ class FederatedEngine:
         cache: "SemanticCache | None" = None,
         health: "SiteHealthTracker | None" = None,
         retry: RetryPolicy | None = None,
+        columnar: bool = True,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer or AgoricOptimizer(catalog)
         self.health = health or SiteHealthTracker(catalog.clock)
         self.retry = retry or RetryPolicy()
         self.executor = Executor(
-            catalog, health=self.health, retry=self.retry, cache=cache
+            catalog, health=self.health, retry=self.retry, cache=cache,
+            columnar=columnar,
         )
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
@@ -238,6 +240,7 @@ class FederatedEngine:
         self.metrics.histogram("query.staleness_seconds").observe(report.staleness_seconds)
         self.metrics.counter("rows.fetched").inc(report.rows_fetched)
         self.metrics.counter("rows.shipped").inc(report.rows_shipped)
+        self.metrics.counter("bytes.shipped").inc(report.bytes_shipped)
         if report.failover_attempts:
             self.metrics.counter("failover.attempts").inc(report.failover_attempts)
         if report.failovers:
@@ -309,6 +312,18 @@ class FederatedEngine:
             self.metrics.histogram(f"operator.{stats.name}.seconds").observe(
                 stats.seconds
             )
+            if stats.batches:
+                self.metrics.counter(
+                    f"operator.{stats.name}.batches_processed"
+                ).inc(stats.batches)
+            if stats.encode_seconds:
+                self.metrics.counter(
+                    f"operator.{stats.name}.encode_seconds"
+                ).inc(stats.encode_seconds)
+            if stats.decode_seconds:
+                self.metrics.counter(
+                    f"operator.{stats.name}.decode_seconds"
+                ).inc(stats.decode_seconds)
 
     def explain(
         self,
@@ -367,7 +382,8 @@ class FederatedEngine:
             f"response: {report.response_seconds:.6f}s  "
             f"rows fetched: {report.rows_fetched}  "
             f"shipped: {report.rows_shipped}  "
-            f"returned: {report.rows_returned}",
+            f"returned: {report.rows_returned}  "
+            f"bytes shipped: {report.bytes_shipped}",
         ]
         if report.tenant is not None:
             lines.append(

@@ -66,12 +66,17 @@ class Executor:
         health: SiteHealthTracker | None = None,
         retry: RetryPolicy | None = None,
         cache=None,
+        columnar: bool = True,
     ) -> None:
         self.catalog = catalog
         self.planner = PhysicalPlanner(catalog)
         self.health = health
         self.retry = retry or RetryPolicy()
         self.cache = cache
+        # Batch-at-a-time columnar site-side execution; False selects the
+        # legacy row-at-a-time path (results are identical -- see
+        # tests/test_columnar_execution.py).
+        self.columnar = columnar
 
     def execute(
         self,
@@ -93,6 +98,7 @@ class Executor:
             degraded_ok=degraded_ok,
             cache=self.cache,
             max_staleness=max_staleness,
+            columnar=self.columnar,
         )
 
         root.open(ctx)

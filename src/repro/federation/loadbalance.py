@@ -98,7 +98,11 @@ class PolicyOptimizer:
             PhysicalPlan,
             ScanAssignment,
         )
-        from repro.federation.stats import fragment_can_match
+        from repro.federation.stats import (
+            estimated_shipped_bytes,
+            fragment_can_match,
+            fragment_selectivity,
+        )
         from repro.sql.planner import scans_in
 
         assignments = {}
@@ -116,9 +120,14 @@ class PolicyOptimizer:
                 if view is not None and not self.catalog.site(view.site_name).up:
                     view = None
             if view is not None:
-                assignments[scan.binding] = ScanAssignment(
+                view_assignment = ScanAssignment(
                     scan.binding, scan.table, "view", view=view
                 )
+                if view.data is not None:
+                    view_assignment.est_bytes = estimated_shipped_bytes(
+                        view, view.schema, len(view.data)
+                    )
+                assignments[scan.binding] = view_assignment
                 # The view's host already holds the rows; prefer it as the
                 # coordinator over the alphabetically-first up site.
                 rows_by_site[view.site_name] = (
@@ -159,6 +168,18 @@ class PolicyOptimizer:
                             key=lambda name: (self.health.risk_penalty(name), name),
                         )
                 assignment.choices.append(FragmentChoice(fragment, site_name))
+                # Policies don't price, but the plan still reports what it
+                # expects to put on the wire (encoded bytes, zone-map aware).
+                est_rows = max(
+                    1,
+                    int(
+                        fragment.estimated_rows
+                        * fragment_selectivity(fragment, scan.pushdown)
+                    ),
+                )
+                assignment.est_bytes += estimated_shipped_bytes(
+                    fragment, entry.schema, est_rows
+                )
                 rows_by_site[site_name] = (
                     rows_by_site.get(site_name, 0) + fragment.estimated_rows
                 )

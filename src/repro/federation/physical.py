@@ -36,6 +36,7 @@ from repro.core.errors import (
 from repro.core.records import Table
 from repro.core.schema import DataType, Field, Schema
 from repro.core.values import Money
+from repro.federation import columnar
 from repro.federation.catalog import FederationCatalog, Fragment
 from repro.federation.health import RetryPolicy, SiteHealthTracker
 from repro.federation.views import MaterializedView
@@ -100,6 +101,9 @@ class ScanAssignment:
     # proven empty under the scan's predicates and get no choice at all.
     pruned_fragments: int = 0
     total_fragments: int = 0
+    # Optimizer's estimate of encoded wire bytes this scan ships to the
+    # coordinator (0 for coordinator-local paths such as cache scans).
+    est_bytes: int = 0
     # Fragments that had no live replica at *plan* time.  The optimizers
     # record them instead of refusing to plan: the executor retries them
     # (the site may have repaired) and otherwise applies the query's
@@ -141,6 +145,12 @@ class OperatorStats:
     seconds: float = 0.0
     detail: str = ""
     children: list["OperatorStats"] = field(default_factory=list)
+    # Columnar data-plane accounting (zero for pure row-path operators).
+    batches: int = 0  # column batches this operator processed
+    encoded_bytes: int = 0  # wire bytes after column encoding (Ship only)
+    raw_bytes: int = 0  # wire bytes under naive row serialization
+    encode_seconds: float = 0.0  # modeled serialization work (producer sites)
+    decode_seconds: float = 0.0  # modeled deserialization work (coordinator)
 
     def tree_lines(self, depth: int = 0) -> list[str]:
         parts = [f"{'  ' * depth}{self.name}"]
@@ -148,6 +158,19 @@ class OperatorStats:
             parts.append(f"@ {self.site}")
         parts.append(f"rows_in={self.rows_in} rows_out={self.rows_out}")
         parts.append(f"seconds={self.seconds:.6f}")
+        if self.batches:
+            parts.append(f"batches={self.batches}")
+        if self.raw_bytes:
+            ratio = (
+                self.raw_bytes / self.encoded_bytes if self.encoded_bytes else 0.0
+            )
+            parts.append(
+                f"bytes={self.encoded_bytes}/{self.raw_bytes} ({ratio:.2f}x)"
+            )
+        if self.encode_seconds or self.decode_seconds:
+            parts.append(
+                f"encode={self.encode_seconds:.6f} decode={self.decode_seconds:.6f}"
+            )
         if self.detail:
             parts.append(self.detail)
         lines = ["  ".join(parts)]
@@ -184,6 +207,7 @@ class ExecutionReport:
     response_seconds: float = 0.0
     rows_fetched: int = 0  # rows produced by scans (after source pushdown)
     rows_shipped: int = 0  # rows that crossed the network to the coordinator
+    bytes_shipped: int = 0  # encoded wire bytes behind those shipped rows
     rows_returned: int = 0
     staleness_seconds: float = 0.0
     network_seconds: float = 0.0
@@ -261,10 +285,16 @@ class ExecContext:
         degraded_ok: bool = False,
         cache=None,
         max_staleness: float | None = None,
+        columnar: bool = True,
     ) -> None:
         self.catalog = catalog
         self.plan = plan
         self.report = report
+        # Batch-at-a-time columnar execution on the site side.  False runs
+        # the legacy row-at-a-time path; results are identical either way
+        # (the property tests in tests/test_columnar_execution.py hold the
+        # two engines row-for-row equal).
+        self.columnar = columnar
         self.coordinator = plan.coordinator
         self.scan_elapsed = 0.0  # slowest leaf pipeline (scans run in parallel)
         self.coordinator_seconds = 0.0  # serial coordinator work
@@ -300,6 +330,21 @@ class ExecContext:
 
     def charge_coordinator(self, rows: int) -> float:
         work = self.charge_site(self.coordinator, rows)
+        self.coordinator_seconds += work
+        return work
+
+    def charge_site_seconds(self, site_name: str, seconds: float) -> float:
+        """Enqueue a fixed amount of work (e.g. encode time) on a site."""
+        if seconds <= 0.0:
+            return 0.0
+        self.catalog.site(site_name).enqueue(seconds)
+        self.report.site_work[site_name] = (
+            self.report.site_work.get(site_name, 0.0) + seconds
+        )
+        return seconds
+
+    def charge_coordinator_seconds(self, seconds: float) -> float:
+        work = self.charge_site_seconds(self.coordinator, seconds)
         self.coordinator_seconds += work
         return work
 
@@ -355,11 +400,24 @@ class PhysicalOperator:
 
 @dataclass
 class SiteBatch:
-    """Rows produced at one site, with the pipeline time spent producing them."""
+    """Rows produced at one site, with the pipeline time spent producing them.
+
+    Under columnar execution ``chunks`` carries the same rows as a list of
+    fixed-size :class:`~repro.federation.columnar.ColumnBatch` slices and
+    ``rows`` stays empty until the Ship boundary re-materializes envs;
+    ``chunks is None`` means the batch is row-form (legacy path, or record
+    payloads such as partial-aggregate groups).
+    """
 
     site: str
     rows: list
     elapsed: float  # queue delay + site-side work along this batch's pipeline
+    chunks: "list[columnar.ColumnBatch] | None" = None
+
+    def row_count(self) -> int:
+        if self.chunks is not None:
+            return sum(chunk.count for chunk in self.chunks)
+        return len(self.rows)
 
 
 class SiteOperator(PhysicalOperator):
@@ -374,7 +432,10 @@ class SiteOperator(PhysicalOperator):
         self._batches = self._compute(ctx)
         sites = sorted({batch.site for batch in self._batches})
         self.stats.site = ",".join(sites) if sites else ctx.coordinator
-        self.stats.rows_out = sum(len(batch.rows) for batch in self._batches)
+        self.stats.rows_out = sum(batch.row_count() for batch in self._batches)
+        self.stats.batches += sum(
+            len(batch.chunks) for batch in self._batches if batch.chunks is not None
+        )
 
     def batches(self) -> list[SiteBatch]:
         return self._batches
@@ -463,6 +524,18 @@ class SiteScan(SiteOperator):
         ctx.report.rows_fetched += sum(len(t) for _, t, _ in table_batches)
         self.stats.detail = self._describe(assignment)
         binding = assignment.binding
+        if ctx.columnar:
+            # Transpose each site's table into fixed-size column batches;
+            # per-row env dicts are only rebuilt at the Ship boundary.
+            return [
+                SiteBatch(
+                    site,
+                    [],
+                    elapsed,
+                    chunks=columnar.table_chunks(binding, table, ctx.ambiguous),
+                )
+                for site, table, elapsed in table_batches
+            ]
         return [
             SiteBatch(
                 site,
@@ -788,14 +861,48 @@ class SiteFilter(SiteOperator):
 
     def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
         out = []
+        kernel: "columnar.Kernel | None" = None
+        kernel_compiled = False
         for batch in self.children[0].batches():
-            self.stats.rows_in += len(batch.rows)
+            self.stats.rows_in += batch.row_count()
+            if batch.chunks is not None:
+                if not kernel_compiled and batch.chunks:
+                    # Compile once against the first chunk's layout; every
+                    # chunk of the scan shares it.
+                    kernel = columnar.compile_predicate(
+                        self.condition, batch.chunks[0]
+                    )
+                    kernel_compiled = True
+                kept_chunks = [
+                    self._filter_chunk(chunk, kernel) for chunk in batch.chunks
+                ]
+                work = ctx.charge_site(batch.site, batch.row_count())
+                self.stats.seconds += work
+                out.append(
+                    SiteBatch(batch.site, [], batch.elapsed + work, kept_chunks)
+                )
+                continue
             kept = [env for env in batch.rows if evaluate(self.condition, env)]
             work = ctx.charge_site(batch.site, len(batch.rows))
             self.stats.seconds += work
             out.append(SiteBatch(batch.site, kept, batch.elapsed + work))
         self.stats.detail = describe_expr(self.condition)
         return out
+
+    def _filter_chunk(
+        self, chunk: "columnar.ColumnBatch", kernel: "columnar.Kernel | None"
+    ) -> "columnar.ColumnBatch":
+        if kernel is not None:
+            try:
+                return chunk.take(kernel(chunk, list(range(chunk.count))))
+            except columnar.KernelFallback:
+                pass  # incomparable values: the row path raises the exact error
+        selection = [
+            i
+            for i, env in enumerate(chunk.to_envs())
+            if evaluate(self.condition, env)
+        ]
+        return chunk.take(selection)
 
 
 class SiteProject(SiteOperator):
@@ -815,7 +922,17 @@ class SiteProject(SiteOperator):
             allowed.add(name)  # bare key exists only when unambiguous
         out = []
         for batch in self.children[0].batches():
-            self.stats.rows_in += len(batch.rows)
+            self.stats.rows_in += batch.row_count()
+            if batch.chunks is not None:
+                # Column-slice projection: kept columns are shared by
+                # reference, dropped ones simply stop flowing.
+                pruned_chunks = [chunk.project(allowed) for chunk in batch.chunks]
+                work = ctx.charge_site(batch.site, batch.row_count())
+                self.stats.seconds += work
+                out.append(
+                    SiteBatch(batch.site, [], batch.elapsed + work, pruned_chunks)
+                )
+                continue
             pruned = [
                 {key: env[key] for key in env.keys() & allowed} for env in batch.rows
             ]
@@ -917,44 +1034,199 @@ class PartialAggregate(SiteOperator):
     def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
         out = []
         for batch in self.children[0].batches():
-            self.stats.rows_in += len(batch.rows)
-            groups: dict[tuple, list[Env]] = {}
-            if self.node.group_by:
-                for env in batch.rows:
-                    key = tuple(evaluate(g, env) for g in self.node.group_by)
-                    groups.setdefault(key, []).append(env)
-            else:
-                groups[()] = list(batch.rows)
-            records = []
-            for key, group_envs in groups.items():
-                states = {
-                    repr(call): partial_state(call, group_envs)
-                    for call in self.calls
-                }
-                records.append(
-                    PartialGroup(
-                        key,
-                        len(group_envs),
-                        states,
-                        group_envs[0] if group_envs else {},
+            rows_in = batch.row_count()
+            self.stats.rows_in += rows_in
+            if batch.chunks is not None:
+                records = self._columnar_records(batch.chunks)
+                if records is None:
+                    # Group keys or aggregate arguments are general
+                    # expressions: materialize envs and take the row path.
+                    records = self._row_records(
+                        [env for chunk in batch.chunks for env in chunk.to_envs()]
                     )
-                )
-            work = ctx.charge_site(batch.site, len(batch.rows))
+            else:
+                records = self._row_records(batch.rows)
+            work = ctx.charge_site(batch.site, rows_in)
             self.stats.seconds += work
             out.append(SiteBatch(batch.site, records, batch.elapsed + work))
         self.stats.detail = ", ".join(describe_expr(c) for c in self.calls)
         return out
 
+    def _row_records(self, envs: list[Env]) -> list[PartialGroup]:
+        groups: dict[tuple, list[Env]] = {}
+        if self.node.group_by:
+            for env in envs:
+                key = tuple(evaluate(g, env) for g in self.node.group_by)
+                groups.setdefault(key, []).append(env)
+        else:
+            groups[()] = list(envs)
+        records = []
+        for key, group_envs in groups.items():
+            states = {
+                repr(call): partial_state(call, group_envs)
+                for call in self.calls
+            }
+            records.append(
+                PartialGroup(
+                    key,
+                    len(group_envs),
+                    states,
+                    group_envs[0] if group_envs else {},
+                )
+            )
+        return records
+
+    def _columnar_records(
+        self, chunks: "list[columnar.ColumnBatch]"
+    ) -> list[PartialGroup] | None:
+        """Tight-loop aggregation over column slices.
+
+        Only plain-column group keys and single-column (or ``count(*)``)
+        aggregates vectorize; anything else returns ``None`` and the caller
+        falls back to the row path.  Partial states stream across chunks in
+        row order, so float accumulation performs the exact same
+        left-associated addition sequence as :func:`partial_state` and
+        results stay bit-identical.
+        """
+        if not chunks:
+            return None
+        layout = chunks[0]
+        key_indexes = []
+        for group_expr in self.node.group_by:
+            if not isinstance(group_expr, Column):
+                return None
+            idx = layout.index_of(group_expr.qualified)
+            if idx is None:
+                return None
+            key_indexes.append(idx)
+        specs: list[tuple[str, int | None]] = []
+        for call in self.calls:
+            if call.star:
+                if call.name != "count":
+                    return None
+                specs.append(("count*", None))
+                continue
+            if len(call.args) != 1 or not isinstance(call.args[0], Column):
+                return None
+            if call.name not in ("count", "sum", "avg", "min", "max"):
+                return None
+            idx = layout.index_of(call.args[0].qualified)
+            if idx is None:
+                return None
+            specs.append((call.name, idx))
+
+        def fresh_states() -> list:
+            return [
+                0 if name == "count" else [None, 0] if name == "avg" else None
+                for name, _ in specs
+            ]
+
+        # key -> [row count, representative env, mutable per-call states]
+        groups: dict[tuple, list] = {}
+        for chunk in chunks:
+            cols = chunk.columns
+            if key_indexes:
+                key_cols = [cols[i] for i in key_indexes]
+                local: dict[tuple, list[int]] = {}
+                for i in range(chunk.count):
+                    local.setdefault(
+                        tuple(col[i] for col in key_cols), []
+                    ).append(i)
+            else:
+                local = {(): list(range(chunk.count))}
+            for key, indexes in local.items():
+                acc = groups.get(key)
+                if acc is None:
+                    representative = chunk.env_at(indexes[0]) if indexes else {}
+                    acc = groups[key] = [0, representative, fresh_states()]
+                elif not acc[1] and indexes:
+                    # The () group can be created by an empty chunk; adopt
+                    # the first real row as representative, like the row
+                    # path does.
+                    acc[1] = chunk.env_at(indexes[0])
+                acc[0] += len(indexes)
+                states = acc[2]
+                for s, (name, idx) in enumerate(specs):
+                    if name == "count*":
+                        continue  # the group count is the state
+                    column = cols[idx]
+                    values = [
+                        v for i in indexes if (v := column[i]) is not None
+                    ]
+                    if name == "count":
+                        states[s] += len(values)
+                    elif name == "min":
+                        if values:
+                            low = min(values)
+                            states[s] = (
+                                low if states[s] is None else min(states[s], low)
+                            )
+                    elif name == "max":
+                        if values:
+                            high = max(values)
+                            states[s] = (
+                                high if states[s] is None else max(states[s], high)
+                            )
+                    elif name == "sum":
+                        total = states[s]
+                        for value in values:
+                            total = value if total is None else total + value
+                        states[s] = total
+                    else:  # avg
+                        total, seen = states[s]
+                        for value in values:
+                            total = value if total is None else total + value
+                        states[s] = [total, seen + len(values)]
+
+        records = []
+        for key, (count, representative, states) in groups.items():
+            final_states: dict[str, Any] = {}
+            for call, (name, _), state in zip(self.calls, specs, states):
+                if name == "count*":
+                    final_states[repr(call)] = count
+                elif name == "avg":
+                    total, seen = state
+                    final_states[repr(call)] = (
+                        (None, 0) if seen == 0 else (total, seen)
+                    )
+                else:
+                    final_states[repr(call)] = state
+            records.append(PartialGroup(key, count, final_states, representative))
+        return records
+
 
 # -- the network boundary ------------------------------------------------------
+
+
+def record_wire_bytes(record: Any) -> int:
+    """Deterministic wire size of one row-form shipped record."""
+    if isinstance(record, PartialGroup):
+        total = 12  # group header: row count + state count + key arity
+        for value in record.key:
+            total += columnar.value_wire_bytes(value)
+        for state in record.states.values():
+            if isinstance(state, tuple):
+                total += sum(columnar.value_wire_bytes(v) for v in state)
+            else:
+                total += columnar.value_wire_bytes(state)
+        return total
+    if isinstance(record, dict):
+        return columnar.env_wire_bytes(record)
+    return 8
 
 
 class Ship(PhysicalOperator):
     """Move site batches to the coordinator over the network model.
 
     The slowest (pipeline + transfer) batch sets the parallel-scan phase's
-    elapsed time; rows from batches not already at the coordinator count as
-    shipped.
+    elapsed time; batches not already at the coordinator count as shipped,
+    in rows *and* in encoded wire bytes.  Column batches are serialized
+    per-column under the cheapest encoding (encode work charged to the
+    producing site, decode work to the coordinator) and the network charges
+    per encoded byte; coordinator-local batches are handed over by
+    reference and never serialize.  This is also the row-compatibility
+    boundary: whatever arrives is re-materialized into per-row envs for
+    the coordinator operators.
     """
 
     name = "Ship"
@@ -963,25 +1235,85 @@ class Ship(PhysicalOperator):
         rows: list[Any] = []
         arrival = 0.0
         shipped = 0
+        shipped_bytes = 0
+        encoded_total = 0
+        raw_total = 0
+        encode_total = 0.0
+        decode_total = 0.0
+        batch_count = 0
         transfer_total = 0.0
         sources = set()
+        network = ctx.catalog.network
         for batch in self.children[0].batches():
-            transfer = ctx.catalog.network.transfer_seconds(
-                batch.site, ctx.coordinator, len(batch.rows)
-            )
+            local = batch.site == ctx.coordinator
+            if batch.chunks is not None:
+                batch_count += len(batch.chunks)
+                batch_rows: list[Env] = []
+                elapsed = batch.elapsed
+                if local:
+                    # Already at the coordinator: no wire, no encoding.
+                    for chunk in batch.chunks:
+                        batch_rows.extend(chunk.to_envs())
+                    transfer = 0.0
+                else:
+                    batch_bytes = 0
+                    for chunk in batch.chunks:
+                        encoded = columnar.encode_batch(chunk)
+                        batch_bytes += encoded.encoded_bytes
+                        raw_total += encoded.raw_bytes
+                        batch_rows.extend(columnar.decode_batch(encoded).to_envs())
+                    encode_seconds = batch_bytes * columnar.ENCODE_SECONDS_PER_BYTE
+                    decode_seconds = batch_bytes * columnar.DECODE_SECONDS_PER_BYTE
+                    ctx.charge_site_seconds(batch.site, encode_seconds)
+                    ctx.charge_coordinator_seconds(decode_seconds)
+                    encode_total += encode_seconds
+                    decode_total += decode_seconds
+                    elapsed += encode_seconds
+                    transfer = network.transfer_seconds_bytes(
+                        batch.site, ctx.coordinator, batch_bytes
+                    )
+                    shipped += len(batch_rows)
+                    shipped_bytes += batch_bytes
+                    encoded_total += batch_bytes
+                    sources.add(batch.site)
+                ctx.report.network_seconds += transfer
+                transfer_total += transfer
+                arrival = max(arrival, elapsed + transfer)
+                rows.extend(batch_rows)
+                continue
+            # Row-form batches: partial-aggregate records, or the legacy
+            # row engine when columnar execution is off.
+            if ctx.columnar and not local:
+                nbytes = sum(record_wire_bytes(r) for r in batch.rows)
+                transfer = network.transfer_seconds_bytes(
+                    batch.site, ctx.coordinator, nbytes
+                )
+                shipped_bytes += nbytes
+                encoded_total += nbytes
+                raw_total += nbytes
+            else:
+                transfer = network.transfer_seconds(
+                    batch.site, ctx.coordinator, len(batch.rows)
+                )
             ctx.report.network_seconds += transfer
             transfer_total += transfer
-            if batch.site != ctx.coordinator:
+            if not local:
                 shipped += len(batch.rows)
                 sources.add(batch.site)
             arrival = max(arrival, batch.elapsed + transfer)
             rows.extend(batch.rows)
         ctx.scan_elapsed = max(ctx.scan_elapsed, arrival)
         ctx.report.rows_shipped += shipped
+        ctx.report.bytes_shipped += shipped_bytes
         self.stats.rows_in = len(rows)
+        self.stats.batches = batch_count
+        self.stats.encoded_bytes = encoded_total
+        self.stats.raw_bytes = raw_total
+        self.stats.encode_seconds = encode_total
+        self.stats.decode_seconds = decode_total
         # Unpacking arrived rows is coordinator work, as in the old walker.
         unpack = ctx.charge_coordinator(len(rows))
-        self.stats.seconds = transfer_total + unpack
+        self.stats.seconds = transfer_total + unpack + encode_total + decode_total
         self.stats.detail = (
             f"from {', '.join(sorted(sources))}" if sources else "coordinator-local"
         )

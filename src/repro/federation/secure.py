@@ -121,3 +121,16 @@ class SecureNetwork(Network):
             self.session_for(site_a, site_b)
             handshake = self.handshake_seconds
         return handshake + super().transfer_seconds(site_a, site_b, rows) * self.encryption_factor
+
+    def transfer_seconds_bytes(self, site_a: str, site_b: str, nbytes: int) -> float:
+        if site_a == site_b:
+            return 0.0
+        handshake = 0.0
+        if self._key(site_a, site_b) not in self._sessions:
+            self.session_for(site_a, site_b)
+            handshake = self.handshake_seconds
+        return (
+            handshake
+            + super().transfer_seconds_bytes(site_a, site_b, nbytes)
+            * self.encryption_factor
+        )

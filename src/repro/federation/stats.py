@@ -240,6 +240,64 @@ def _predicate_fraction(predicate: Predicate, zone: ZoneMap) -> float:
     return 0.5
 
 
+# Naive per-value wire bytes by logical type, matching the columnar byte
+# model (:func:`repro.federation.columnar.value_wire_bytes`; strings
+# assumed short).
+_TYPE_WIRE_BYTES = {
+    "STRING": 14,
+    "TEXT": 42,
+    "INTEGER": 8,
+    "FLOAT": 8,
+    "TIMESTAMP": 8,
+    "BOOLEAN": 1,
+    "MONEY": 16,
+}
+
+
+def estimated_row_bytes(schema) -> int:
+    """Naive wire bytes per row of ``schema``."""
+    total = 0
+    for field_def in schema.fields:
+        total += _TYPE_WIRE_BYTES.get(field_def.dtype.name, 8)
+    return max(1, total)
+
+
+# Without statistics, assume column encoding halves the payload -- the
+# conservative end of what dictionary/RLE/delta achieve on real columns.
+_DEFAULT_ENCODING_RATIO = 0.5
+
+
+def estimated_shipped_bytes(fragment, schema, rows: int) -> int:
+    """Estimated *encoded* wire bytes for shipping ``rows`` of a fragment.
+
+    Uses the zone map's distinct counts to model dictionary encoding per
+    column (dictionary entries plus small per-row codes); columns without
+    statistics assume a flat encoding ratio.  Replica-independent by
+    construction: every optimizer prices the same fragment identically
+    regardless of which site would serve it, so bytes-aware pricing shifts
+    access-path choices (cache vs view vs fragments), never replica
+    tie-breaks.
+    """
+    if rows <= 0:
+        return 0
+    zone = getattr(fragment, "zone_map", None)
+    total = 0.0
+    for field_def in schema.fields:
+        full = _TYPE_WIRE_BYTES.get(field_def.dtype.name, 8)
+        if field_def.dtype.name == "BOOLEAN":
+            total += rows * 0.25  # flag columns bit-pack four per byte
+            continue
+        stats = zone.columns.get(field_def.name) if zone is not None else None
+        if stats is None or zone.row_count <= 0:
+            total += rows * full * _DEFAULT_ENCODING_RATIO
+            continue
+        distinct = max(1, stats.distinct)
+        index_bytes = 1 if distinct <= 256 else 2
+        dictionary = distinct * full / zone.row_count  # amortized per row
+        total += rows * min(float(full), index_bytes + dictionary)
+    return max(1, int(total))
+
+
 def _range_fraction(op: str, value: Any, stats: ColumnStats) -> float | None:
     """Linear interpolation of a range predicate across ``[min, max]``.
 
