@@ -43,6 +43,10 @@ The pieces:
   bounded queues, deadlines), pluggable scheduling (FIFO / strict priority /
   weighted fair), and the per-site congestion gauges that feed concurrency
   back into the agoric prices.
+* :mod:`repro.federation.gateway` -- the client-facing serving layer:
+  pooled sessions, a prepared-statement plan cache keyed by normalized
+  SQL, and cursor-token result pagination, all dispatching through the
+  workload manager.
 """
 
 from repro.federation.agoric import AgoricOptimizer, Bid, BudgetExceededError
@@ -55,8 +59,9 @@ from repro.federation.availability import (
 from repro.federation.cache import SemanticCache
 from repro.federation.catalog import FederationCatalog, Fragment, TableEntry
 from repro.federation.central import CentralizedOptimizer
-from repro.federation.engine import FederatedEngine, QueryResult
+from repro.federation.engine import FederatedEngine, PreparedStatement, QueryResult
 from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
+from repro.federation.gateway import Gateway, GatewaySession, Page, PlanCache
 from repro.federation.health import (
     CircuitState,
     RetryPolicy,
@@ -112,10 +117,15 @@ __all__ = [
     "TableEntry",
     "CentralizedOptimizer",
     "FederatedEngine",
+    "PreparedStatement",
     "QueryResult",
     "ExecutionReport",
     "Executor",
     "PhysicalPlan",
+    "Gateway",
+    "GatewaySession",
+    "Page",
+    "PlanCache",
     "CircuitState",
     "RetryPolicy",
     "SiteHealth",

@@ -67,6 +67,11 @@ class FederationCatalog:
         self.sites: dict[str, Site] = {}
         self.tables: dict[str, TableEntry] = {}
         self.views: dict[str, MaterializedView] = {}
+        # Monotonic counter over planning-relevant metadata: new tables or
+        # views, fragment/replica changes, and base-table updates all bump
+        # it.  Prepared statements stamp the version they planned against
+        # and replan when it moves (gateway plan-cache invalidation).
+        self.version = 0
         # Base-table update listeners (semantic caches, view schedulers...).
         self._update_listeners: list = []
         # Zone-map statistics describe fragment *content*, so any base-table
@@ -95,6 +100,7 @@ class FederationCatalog:
 
     def notify_table_updated(self, table_name: str) -> None:
         """Tell listeners that ``table_name``'s base content changed."""
+        self.version += 1
         for callback in list(self._update_listeners):
             callback(table_name)
 
@@ -125,6 +131,7 @@ class FederationCatalog:
             raise QueryError(f"table or view {name!r} already exists")
         entry = TableEntry(name, schema, key_column=key_column)
         self.tables[name] = entry
+        self.version += 1
         return entry
 
     def entry(self, name: str) -> TableEntry:
@@ -138,6 +145,7 @@ class FederationCatalog:
             raise QueryError(f"fragment {fragment_id!r} already exists on {table_name!r}")
         fragment = Fragment(fragment_id, table_name, estimated_rows)
         entry.fragments.append(fragment)
+        self.version += 1
         return fragment
 
     def place_replica(self, fragment: Fragment, site_name: str, source: ContentSource) -> None:
@@ -146,11 +154,13 @@ class FederationCatalog:
         local_name = f"{fragment.table_name}/{fragment.fragment_id}"
         site.host(source, local_name)
         fragment.replicas[site_name] = local_name
+        self.version += 1
 
     def drop_replica(self, fragment: Fragment, site_name: str) -> None:
         local_name = fragment.replicas.pop(site_name, None)
         if local_name is not None and site_name in self.sites:
             self.sites[site_name].unhost(local_name)
+        self.version += 1
 
     # -- bulk loading helpers -----------------------------------------------------
 
@@ -373,6 +383,7 @@ class FederationCatalog:
         if view.name in self.views or view.name in self.tables:
             raise QueryError(f"table or view {view.name!r} already exists")
         self.views[view.name] = view
+        self.version += 1
         return view
 
     def direct_view(self, name: str) -> MaterializedView | None:

@@ -18,12 +18,20 @@ statement paid in queueing.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING, Any, Iterator, Sequence
 
 from repro.core.errors import QueryError
 from repro.core.records import Table
 from repro.federation.engine import FederatedEngine
+from repro.federation.gateway import PlanCache
 from repro.federation.physical import ExecutionReport, PhysicalPlan
+from repro.sql.parser import SqlParseError
+from repro.sql.sqltext import (
+    count_placeholders,
+    render_literal,
+    replace_placeholders,
+)
 
 if TYPE_CHECKING:  # imported lazily to avoid a module cycle at runtime
     from repro.federation.workload import WorkloadManager
@@ -38,33 +46,67 @@ class InterfaceError(QueryError):
 
 
 def _quote_literal(value: Any) -> str:
-    if value is None:
-        return "null"
-    if isinstance(value, bool):
-        return "true" if value else "false"
-    if isinstance(value, (int, float)):
-        return repr(value)
-    return "'" + str(value).replace("'", "''") + "'"
+    """One parameter value as a SQL literal token.
+
+    Non-finite floats and bytes have no spelling in the grammar -- binding
+    them textually would produce unparseable (or silently wrong) SQL, so
+    they are rejected here with a clear error instead of downstream with a
+    confusing one.  Types without a literal form fall back to their string
+    representation, quoted.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        raise InterfaceError(
+            f"cannot bind non-finite float {value!r}: inf/nan have no SQL "
+            "literal form"
+        )
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raise InterfaceError(
+            "cannot bind bytes: this SQL dialect has no blob literal syntax"
+        )
+    try:
+        return render_literal(value)
+    except ValueError:
+        return "'" + str(value).replace("'", "''") + "'"
 
 
 def _bind(sql: str, parameters: Sequence[Any]) -> str:
-    """Substitute qmark placeholders, respecting string literals."""
-    pieces = []
+    """Substitute qmark placeholders into the statement text.
+
+    Shares the gateway's segment scanner (:mod:`repro.sql.sqltext`), so a
+    ``?`` inside a single-quoted string (with ``''`` escapes), a
+    double-quoted identifier or a ``--`` line comment is never mistaken
+    for a placeholder.
+    """
     params = list(parameters)
-    in_string = False
-    for char in sql:
-        if char == "'":
-            in_string = not in_string
-            pieces.append(char)
-        elif char == "?" and not in_string:
-            if not params:
-                raise InterfaceError("more placeholders than parameters")
-            pieces.append(_quote_literal(params.pop(0)))
-        else:
-            pieces.append(char)
-    if params:
-        raise InterfaceError(f"{len(params)} unused parameters")
-    return "".join(pieces)
+    needed = count_placeholders(sql)
+    if needed > len(params):
+        raise InterfaceError("more placeholders than parameters")
+    if needed < len(params):
+        raise InterfaceError(f"{len(params) - needed} unused parameters")
+    return replace_placeholders(sql, lambda i: _quote_literal(params[i]))
+
+
+def _check_bindable(parameters: Sequence[Any]) -> tuple:
+    """Validate parameter values for the prepared (AST-binding) path.
+
+    The same rejections as :func:`_quote_literal` apply even though no SQL
+    text is rendered: a non-finite float or a bytes value has no SQL-level
+    meaning, and accepting it on one path but not the other would make
+    driver behaviour depend on which grammar position the ``?`` sat in.
+    """
+    values = tuple(parameters)
+    for value in values:
+        if isinstance(value, float) and not math.isfinite(value):
+            raise InterfaceError(
+                f"cannot bind non-finite float {value!r}: inf/nan have no "
+                "SQL literal form"
+            )
+        if isinstance(value, (bytes, bytearray, memoryview)):
+            raise InterfaceError(
+                "cannot bind bytes: this SQL dialect has no blob literal "
+                "syntax"
+            )
+    return values
 
 
 class Cursor:
@@ -101,35 +143,95 @@ class Cursor:
     # -- execution -----------------------------------------------------------------
 
     def execute(self, sql: str, parameters: Sequence[Any] = ()) -> "Cursor":
+        """Run one statement, with qmark parameters bound.
+
+        Statements route through the connection's prepared-statement plan
+        cache: the first execution of a SQL shape pays parse + rewrite +
+        optimize, repeats bind values into the cached template.  Grammar
+        positions that cannot hold a placeholder (``LIKE ?``, ``LIMIT ?``)
+        fall back to textual binding per-statement.
+        """
         self._check_open()
-        bound = _bind(sql, parameters)
         connection = self._connection
+        values = _check_bindable(parameters)
+        try:
+            prepared = connection._plan_cache.get_or_prepare(
+                sql, max_staleness=connection.max_staleness
+            )
+        except SqlParseError:
+            if not count_placeholders(sql):
+                raise  # not a placeholder problem: the SQL is just invalid
+            return self._execute_textual(sql, values)
+        if len(values) < prepared.param_count:
+            raise InterfaceError("more placeholders than parameters")
+        if len(values) > prepared.param_count:
+            raise InterfaceError(
+                f"{len(values) - prepared.param_count} unused parameters"
+            )
         if connection.workload is not None:
             # Tenanted execution: the statement goes through admission
             # control and the scheduler, and the driver runs the event loop
             # until it resolves -- DB-API callers stay synchronous while the
             # federation underneath runs a concurrent workload.
             handle = connection.workload.submit(
+                prepared=prepared,
+                params=values,
+                tenant=connection.tenant,
+                priority=connection.priority,
+                degraded_ok=connection.degraded_ok,
+            )
+            connection.workload.drain(handle)
+            result = handle.result()
+        else:
+            result = connection.engine.execute(
+                prepared, values, degraded_ok=connection.degraded_ok
+            )
+        self._install_result(result)
+        return self
+
+    def _execute_textual(self, sql: str, values: tuple) -> "Cursor":
+        """The textual-binding fallback for unpreparable statements."""
+        bound = _bind(sql, values)
+        connection = self._connection
+        if connection.workload is not None:
+            handle = connection.workload.submit(
                 bound,
                 tenant=connection.tenant,
                 priority=connection.priority,
                 max_staleness=connection.max_staleness,
+                degraded_ok=connection.degraded_ok,
             )
             connection.workload.drain(handle)
             result = handle.result()
         else:
             result = connection.engine.query(
-                bound, max_staleness=connection.max_staleness
+                bound,
+                max_staleness=connection.max_staleness,
+                degraded_ok=connection.degraded_ok,
             )
+        self._install_result(result)
+        return self
+
+    def _install_result(self, result) -> None:
         self._result = result.table
         self.last_plan = result.plan
         self.last_report = result.report
         self._position = 0
-        return self
 
     def executemany(self, sql: str, seq_of_parameters) -> "Cursor":
+        executed = False
         for parameters in seq_of_parameters:
             self.execute(sql, parameters)
+            executed = True
+        if not executed:
+            # PEP 249 leaves this unspecified, but retaining the *previous*
+            # statement's rows would let a caller fetch stale results from
+            # a statement that never ran -- reset instead.
+            self._check_open()
+            self._result = None
+            self._position = 0
+            self.last_plan = None
+            self.last_report = None
         return self
 
     # -- fetching ---------------------------------------------------------------------
@@ -196,13 +298,18 @@ class Connection:
         workload: "WorkloadManager | None" = None,
         tenant: str = "default",
         priority: float = 0.0,
+        degraded_ok: bool = False,
     ) -> None:
         self.engine = engine
         self.max_staleness = max_staleness
         self.workload = workload
         self.tenant = tenant
         self.priority = priority
+        self.degraded_ok = degraded_ok
         self.closed = False
+        # Per-connection prepared-statement cache (parse + plan once per
+        # SQL shape; see repro.federation.gateway.PlanCache).
+        self._plan_cache = PlanCache(engine, metrics=engine.metrics)
 
     def cursor(self) -> Cursor:
         if self.closed:
@@ -231,13 +338,17 @@ def connect(
     workload: "WorkloadManager | None" = None,
     tenant: str | None = None,
     priority: float = 0.0,
+    degraded_ok: bool = False,
 ) -> Connection:
     """Open a DB-API connection over a federated engine.
 
     Pass ``workload=`` (a :class:`~repro.federation.workload.WorkloadManager`)
     to route statements through admission control and scheduling;
     ``tenant``/``priority`` identify this connection's population in that
-    queue and require a workload manager.
+    queue and require a workload manager.  ``degraded_ok=True`` accepts
+    partial answers when content is unreachable after failover (the
+    report's ``completeness`` says how partial), on both the direct and
+    the tenanted path.
     """
     if workload is None and (tenant is not None or priority != 0.0):
         raise InterfaceError(
@@ -250,4 +361,5 @@ def connect(
         workload=workload,
         tenant=tenant if tenant is not None else "default",
         priority=priority,
+        degraded_ok=degraded_ok,
     )

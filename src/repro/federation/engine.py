@@ -34,6 +34,7 @@ per-operator accounting.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.core.errors import PartialFailureError, QueryError, SourceUnavailableError
@@ -52,7 +53,15 @@ from repro.sql.ast import (
     InList,
     InSubquery,
     Literal,
+    SelectStatement,
     UnaryOp,
+)
+from repro.sql.params import (
+    bind_plan,
+    bind_statement,
+    check_parameters,
+    count_parameters,
+    statement_has_subqueries,
 )
 from repro.sql.parser import parse_sql
 from repro.sql.planner import PlanNode, build_plan, scans_in
@@ -80,6 +89,46 @@ class QueryResult:
     table: Table
     report: ExecutionReport
     plan: PhysicalPlan
+
+
+@dataclass
+class PreparedStatement:
+    """A statement parsed, rewritten and optimized once, executed many times.
+
+    The fast path (no subqueries) holds an immutable logical-plan template
+    with :class:`~repro.sql.ast.Parameter` nodes still in place plus the
+    optimizer's physical decisions; each :meth:`FederatedEngine.execute`
+    binds values into a fresh copy of the plan and runs it, paying zero
+    modeled optimization seconds.  The template is stamped with the catalog
+    version it planned against and (for staleness-sensitive access paths) a
+    modeled-time validity bound -- when either expires the next execution
+    replans transparently.
+
+    Statements containing ``IN (SELECT ...)`` take a slow path: the inner
+    select materializes data-dependent membership lists, so every execution
+    binds the pristine statement and plans from scratch.
+    """
+
+    sql: str
+    param_count: int
+    max_staleness: float | None
+    coordinator: str | None
+    statement: SelectStatement
+    has_subqueries: bool
+    # Fast-path template (None on the subquery slow path):
+    logical: PlanNode | None = None
+    physical: PhysicalPlan | None = None
+    catalog_version: int = -1
+    # Modeled time after which a cached/materialized access path in the
+    # template would exceed ``max_staleness`` (None = no expiry).
+    valid_until: float | None = None
+    # Host wall-clock spent in parse+rewrite+optimize at prepare time; the
+    # per-statement planning cost that re-execution amortizes away.
+    prepare_wall_seconds: float = 0.0
+    # Modeled planning seconds charged when this template was built.
+    optimization_seconds: float = 0.0
+    executions: int = 0
+    replans: int = 0
 
 
 class FederatedEngine:
@@ -181,7 +230,6 @@ class FederatedEngine:
         plan = build_plan(statement, binding_fields)
         plan = self._apply_rewrites(plan, bindings, binding_fields)
 
-        start = self.catalog.clock.now()
         if budget is not None:
             physical = self.optimizer.optimize(
                 plan, coordinator, max_staleness, budget=budget
@@ -189,6 +237,27 @@ class FederatedEngine:
         else:
             physical = self.optimizer.optimize(plan, coordinator, max_staleness)
         self._annotate_text_filters(plan, physical)
+        return self._run_physical(
+            plan, physical, max_staleness, advance_clock, degraded_ok
+        )
+
+    def _run_physical(
+        self,
+        plan: PlanNode,
+        physical: PhysicalPlan,
+        max_staleness: float | None,
+        advance_clock: bool,
+        degraded_ok: bool,
+    ) -> QueryResult:
+        """Execute an already-optimized plan and do all the accounting.
+
+        Shared by the parse-per-statement path and prepared-statement
+        execution.  ``physical.optimization_seconds`` is whatever planning
+        this *particular* execution should be charged: the full modeled
+        planning cost for ad-hoc statements, zero for a cached prepared
+        template (that is the speedup being bought).
+        """
+        start = self.catalog.clock.now()
         cache_scans = sum(
             1 for a in physical.assignments.values() if a.kind == "cache"
         )
@@ -226,6 +295,139 @@ class FederatedEngine:
 
         self.record_report_metrics(report)
         return QueryResult(table, report, physical)
+
+    # -- prepared statements -----------------------------------------------------
+
+    def prepare(
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        coordinator: str | None = None,
+    ) -> PreparedStatement:
+        """Parse, rewrite and optimize ``sql`` once for repeated execution.
+
+        ``?`` placeholders become :class:`~repro.sql.ast.Parameter` nodes
+        that survive planning; :meth:`execute` binds values into a copy of
+        the template.  ``max_staleness`` is fixed at prepare time because it
+        shapes access-path choice (a plan reading a materialized view is
+        only valid for queries that tolerate its staleness).
+        """
+        wall_start = time.perf_counter()
+        statement = parse_sql(sql)
+        prepared = PreparedStatement(
+            sql=sql,
+            param_count=count_parameters(statement),
+            max_staleness=max_staleness,
+            coordinator=coordinator,
+            statement=statement,
+            has_subqueries=statement_has_subqueries(statement),
+        )
+        if not prepared.has_subqueries:
+            self._plan_prepared(prepared)
+        prepared.prepare_wall_seconds = time.perf_counter() - wall_start
+        self.metrics.counter("queries.prepared").inc()
+        return prepared
+
+    def _plan_prepared(self, prepared: PreparedStatement) -> None:
+        """(Re)build the template plan; stamps catalog version + validity."""
+        statement = prepared.statement
+        bindings = {statement.table.binding: statement.table.name}
+        for join in statement.joins:
+            bindings[join.table.binding] = join.table.name
+        binding_fields = self.catalog.binding_fields(bindings)
+        plan = build_plan(statement, binding_fields)
+        plan = self._apply_rewrites(plan, bindings, binding_fields)
+        physical = self.optimizer.optimize(
+            plan, prepared.coordinator, prepared.max_staleness
+        )
+        self._annotate_text_filters(plan, physical)
+        prepared.logical = plan
+        prepared.physical = physical
+        prepared.catalog_version = self.catalog.version
+        prepared.optimization_seconds = physical.optimization_seconds
+        prepared.valid_until = self._prepared_validity(
+            physical, prepared.max_staleness
+        )
+
+    def _prepared_validity(
+        self, physical: PhysicalPlan, max_staleness: float | None
+    ) -> float | None:
+        """Modeled time at which the template's access paths go stale.
+
+        Fragment scans read live content and never expire here (catalog
+        version changes cover topology).  View and cache paths serve copies
+        stamped at fetch time: under a numeric ``max_staleness`` bound the
+        plan stops being an answer the query would accept once the copy's
+        age exceeds the bound.
+        """
+        if max_staleness is None or max_staleness < 0:
+            return None
+        now = self.catalog.clock.now()
+        bounds: list[float] = []
+        for assignment in physical.assignments.values():
+            if assignment.kind == "view" and assignment.view is not None:
+                bounds.append(assignment.view.as_of + max_staleness)
+            elif assignment.kind == "cache":
+                as_of = now - assignment.cached_staleness
+                bounds.append(as_of + max_staleness)
+        return min(bounds) if bounds else None
+
+    def execute(
+        self,
+        prepared: PreparedStatement,
+        params: "tuple | list" = (),
+        advance_clock: bool = True,
+        degraded_ok: bool = False,
+    ) -> QueryResult:
+        """Run a prepared statement with ``params`` bound to its ``?`` slots.
+
+        Fast path: the cached template is revalidated (catalog version and
+        staleness bound), values are bound into a fresh copy of the logical
+        plan, and execution pays **zero** modeled planning seconds -- plan
+        once, bind many.  A stale template replans transparently (counted
+        in ``prepared.replans`` and the ``prepared.replans`` metric).
+        """
+        values = check_parameters(prepared.param_count, params)
+        prepared.executions += 1
+        self.metrics.counter("queries.prepared_executions").inc()
+
+        if prepared.has_subqueries:
+            # Slow path: the inner select's result is data-dependent, so
+            # bind the pristine statement and plan from scratch.
+            statement = bind_statement(prepared.statement, values)
+            return self._execute_statement(
+                statement,
+                prepared.max_staleness,
+                prepared.coordinator,
+                advance_clock,
+                None,
+                degraded_ok,
+            )
+
+        if prepared.catalog_version != self.catalog.version or (
+            prepared.valid_until is not None
+            and self.catalog.clock.now() > prepared.valid_until
+        ):
+            self._plan_prepared(prepared)
+            prepared.replans += 1
+            self.metrics.counter("prepared.replans").inc()
+
+        bound = bind_plan(prepared.logical, values)
+        template = prepared.physical
+        physical = PhysicalPlan(
+            logical=bound,
+            assignments=template.assignments,
+            coordinator=template.coordinator,
+            optimizer=template.optimizer,
+            # Planning was paid at prepare time; re-execution charges none.
+            optimization_seconds=0.0,
+            planner_wall_seconds=0.0,
+            sites_contacted=template.sites_contacted,
+            total_price=template.total_price,
+        )
+        return self._run_physical(
+            bound, physical, prepared.max_staleness, advance_clock, degraded_ok
+        )
 
     def record_report_metrics(self, report: ExecutionReport) -> None:
         """Feed one execution report into the metrics registry.

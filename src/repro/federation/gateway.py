@@ -1,0 +1,425 @@
+"""The query gateway: the federation's client-facing front door.
+
+The paper's deployment story (§4) puts a portal in front of the
+integrator -- "Cohera Connect can present a traditional ODBC or JDBC
+interface to query applications" -- serving many trading partners at
+once.  This module is that serving layer, sitting in front of the
+:class:`~repro.federation.workload.WorkloadManager`:
+
+* **Session pooling.**  :meth:`Gateway.connect` checks a
+  :class:`GatewaySession` out of a per-tenant free list instead of
+  building connection state per request; :meth:`GatewaySession.close`
+  returns it.  ``gateway.sessions.active`` / ``.pooled`` gauges and
+  ``.opened`` / ``.reused`` counters make pool behaviour observable.
+* **Prepared-statement plan cache.**  Statements are keyed by their
+  *normalized* SQL text (comments stripped, whitespace collapsed, code
+  lowercased -- quoted material verbatim) plus the staleness bound, and
+  the parse + rewrite + optimize work happens once per key:
+  :meth:`~repro.federation.engine.FederatedEngine.prepare` builds an
+  immutable parameterizable template, every later execution binds values
+  into a copy (``gateway.plan_cache.hits``/``misses``).  Stale templates
+  are *not* served: the engine revalidates each one against the catalog
+  version and its staleness bound at execution time, so repartitions and
+  base-table updates transparently replan rather than answer from a dead
+  topology.
+* **Pagination.**  :meth:`GatewaySession.execute_paged` returns the
+  first :class:`Page` of a result with an opaque cursor token;
+  :meth:`Gateway.fetch_page` walks the remainder without re-running the
+  query.  Tokens are deterministic counters, not timestamps, so paged
+  runs replay byte-identically (DESIGN §7).
+
+Everything dispatches through the workload manager, so gateway traffic
+is admitted, queued, scheduled and priced exactly like any other load.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.errors import QueryError
+from repro.federation.engine import FederatedEngine, PreparedStatement, QueryResult
+from repro.federation.workload import QueryHandle, WorkloadManager
+from repro.sim.metrics import MetricsRegistry
+from repro.sql.parser import SqlParseError
+from repro.sql.sqltext import (
+    count_placeholders,
+    normalize_sql,
+    render_literal,
+    replace_placeholders,
+)
+
+
+class PlanCache:
+    """LRU cache of prepared-statement templates, keyed by normalized SQL.
+
+    The key is ``(normalize_sql(sql), max_staleness)``: two spellings of
+    the same statement -- different comments, whitespace, keyword case --
+    share one template, while different staleness bounds plan separately
+    (the bound shapes access-path choice).  Entries are never served
+    stale: revalidation against the catalog version lives in
+    :meth:`FederatedEngine.execute`, so the cache only manages identity
+    and eviction.
+    """
+
+    def __init__(
+        self,
+        engine: FederatedEngine,
+        capacity: int = 256,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise QueryError(f"plan cache capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.metrics = metrics or engine.metrics
+        self._entries: "OrderedDict[tuple[str, float | None], PreparedStatement]" = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get_or_prepare(
+        self, sql: str, max_staleness: float | None = None
+    ) -> PreparedStatement:
+        """The cached template for ``sql``, preparing (and caching) on miss."""
+        key = (normalize_sql(sql), max_staleness)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.metrics.counter("gateway.plan_cache.hits").inc()
+            return entry
+        entry = self.engine.prepare(sql, max_staleness=max_staleness)
+        # Count the miss only once the statement proves preparable, so
+        # unpreparable statements (textual-binding fallback) don't depress
+        # the hit rate on every execution.
+        self.misses += 1
+        self.metrics.counter("gateway.plan_cache.misses").inc()
+        self._entries[key] = entry
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self.metrics.counter("gateway.plan_cache.evictions").inc()
+        self.metrics.gauge("gateway.plan_cache.size").set(len(self._entries))
+        return entry
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+
+@dataclass
+class Page:
+    """One page of a paginated result set."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    # Opaque token for Gateway.fetch_page; None when the set is exhausted.
+    cursor: str | None
+
+
+@dataclass
+class GatewayResult:
+    """What a synchronous gateway execution hands back to the client."""
+
+    result: QueryResult
+    # None when the statement took the textual-binding fallback.
+    prepared: PreparedStatement | None
+
+    @property
+    def rows(self) -> list[tuple]:
+        return self.result.table.rows
+
+    @property
+    def columns(self) -> tuple[str, ...]:
+        return tuple(self.result.table.schema.field_names)
+
+
+class GatewaySession:
+    """One pooled client connection to the gateway.
+
+    Sessions are tenant-scoped: every statement executed on the session is
+    admitted under the session's tenant (and degraded-answer policy).  Use
+    the session synchronously (:meth:`execute` / :meth:`execute_paged`) or
+    asynchronously (:meth:`submit`, resolving handles via the workload
+    manager's event loop).
+    """
+
+    def __init__(self, gateway: "Gateway", tenant: str, degraded_ok: bool) -> None:
+        self.gateway = gateway
+        self.tenant = tenant
+        self.degraded_ok = degraded_ok
+        self.closed = False
+        self.statements = 0  # lifetime statements across checkouts
+
+    # -- statement execution ----------------------------------------------
+
+    def submit(
+        self,
+        sql: str,
+        params: "tuple | list" = (),
+        priority: float = 0.0,
+        deadline: float | None = None,
+        max_staleness: float | None = None,
+    ) -> QueryHandle:
+        """Admit one statement; the handle resolves as the loop runs.
+
+        The statement is prepared through the plan cache (or bound
+        textually when the grammar cannot hold a placeholder, e.g.
+        ``LIKE ?``) and dispatched via the workload manager under this
+        session's tenant.
+        """
+        self._check_open()
+        self.statements += 1
+        workload = self.gateway.workload
+        try:
+            prepared = self.gateway.plan_cache.get_or_prepare(
+                sql, max_staleness=max_staleness
+            )
+        except SqlParseError:
+            if not count_placeholders(sql):
+                raise
+            # Grammar positions that cannot hold a Parameter (LIKE
+            # patterns, LIMIT counts) fall back to textual binding: the
+            # fully-bound text plans per-statement, outside the cache.
+            bound_sql = bind_sql_text(sql, params)
+            return workload.submit(
+                bound_sql,
+                tenant=self.tenant,
+                priority=priority,
+                deadline=deadline,
+                max_staleness=max_staleness,
+                degraded_ok=self.degraded_ok,
+            )
+        return workload.submit(
+            prepared=prepared,
+            params=params,
+            tenant=self.tenant,
+            priority=priority,
+            deadline=deadline,
+            degraded_ok=self.degraded_ok,
+        )
+
+    def execute(
+        self,
+        sql: str,
+        params: "tuple | list" = (),
+        priority: float = 0.0,
+        deadline: float | None = None,
+        max_staleness: float | None = None,
+    ) -> GatewayResult:
+        """Submit one statement and drive the loop until it resolves."""
+        handle = self.submit(
+            sql,
+            params,
+            priority=priority,
+            deadline=deadline,
+            max_staleness=max_staleness,
+        )
+        self.gateway.workload.drain(handle)
+        result = handle.result()
+        return GatewayResult(result=result, prepared=handle.prepared)
+
+    def execute_paged(
+        self,
+        sql: str,
+        params: "tuple | list" = (),
+        limit: int = 100,
+        priority: float = 0.0,
+        max_staleness: float | None = None,
+    ) -> Page:
+        """Execute and return the first ``limit`` rows plus a cursor.
+
+        The full result is computed once and held by the gateway; walk the
+        remainder with :meth:`Gateway.fetch_page`.
+        """
+        self._check_open()
+        outcome = self.execute(
+            sql, params, priority=priority, max_staleness=max_staleness
+        )
+        return self.gateway._open_cursor(
+            outcome.columns, outcome.rows, limit
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Return this session to the gateway's pool."""
+        if not self.closed:
+            self.closed = True
+            self.gateway._release(self)
+
+    def __enter__(self) -> "GatewaySession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise QueryError("session is closed; connect() a fresh one")
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"GatewaySession(tenant={self.tenant!r}, {state})"
+
+
+def bind_sql_text(sql: str, params: "tuple | list") -> str:
+    """Textually substitute ``params`` into the ``?`` slots of ``sql``.
+
+    Comment/identifier/escape-aware (a ``?`` inside a string, a
+    double-quoted identifier or a ``--`` comment is not a placeholder).
+    The parameter-count check matches DB-API semantics.
+    """
+    values = tuple(params)
+    needed = count_placeholders(sql)
+    if needed != len(values):
+        raise QueryError(
+            f"statement takes {needed} parameter(s), got {len(values)}"
+        )
+    try:
+        return replace_placeholders(sql, lambda i: render_literal(values[i]))
+    except ValueError as error:
+        raise QueryError(str(error)) from error
+
+
+@dataclass
+class _Cursor:
+    """Server-side state behind one pagination token."""
+
+    columns: tuple[str, ...]
+    rows: list[tuple]
+    position: int = 0
+
+
+class Gateway:
+    """Session pool + plan cache in front of one workload manager."""
+
+    def __init__(
+        self,
+        workload: WorkloadManager,
+        max_sessions: int = 64,
+        max_idle: int = 16,
+        plan_cache_size: int = 256,
+    ) -> None:
+        if max_sessions < 1:
+            raise QueryError(f"max_sessions must be >= 1, got {max_sessions}")
+        if max_idle < 0:
+            raise QueryError(f"max_idle must be >= 0, got {max_idle}")
+        self.workload = workload
+        self.engine = workload.engine
+        self.metrics = workload.metrics
+        self.max_sessions = max_sessions
+        self.max_idle = max_idle
+        self.plan_cache = PlanCache(
+            self.engine, capacity=plan_cache_size, metrics=self.metrics
+        )
+        self.active_sessions = 0
+        self.sessions_opened = 0
+        self.sessions_reused = 0
+        # tenant name -> idle sessions ready for reuse (LIFO: the most
+        # recently released session is the warmest).
+        self._idle: dict[str, list[GatewaySession]] = {}
+        self._cursors: dict[str, _Cursor] = {}
+        self._cursor_seq = 0
+
+    # -- session pool ------------------------------------------------------
+
+    def connect(self, tenant: str = "default", degraded_ok: bool = False) -> GatewaySession:
+        """Check a session out of the pool (creating one on a cold pool).
+
+        Raises :class:`QueryError` when ``max_sessions`` sessions are
+        already checked out -- the gateway sheds connections rather than
+        oversubscribing, mirroring the workload manager's bounded queues.
+        """
+        if self.active_sessions >= self.max_sessions:
+            self.metrics.counter("gateway.sessions.rejected").inc()
+            raise QueryError(
+                f"gateway session pool exhausted ({self.max_sessions} active)"
+            )
+        free = self._idle.get(tenant)
+        if free:
+            session = free.pop()
+            session.closed = False
+            session.degraded_ok = degraded_ok
+            self.sessions_reused += 1
+            self.metrics.counter("gateway.sessions.reused").inc()
+        else:
+            session = GatewaySession(self, tenant, degraded_ok)
+            self.sessions_opened += 1
+            self.metrics.counter("gateway.sessions.opened").inc()
+        self.active_sessions += 1
+        self.metrics.gauge("gateway.sessions.active").set(self.active_sessions)
+        self._set_pooled_gauge()
+        return session
+
+    def _release(self, session: GatewaySession) -> None:
+        self.active_sessions -= 1
+        self.metrics.gauge("gateway.sessions.active").set(self.active_sessions)
+        free = self._idle.setdefault(session.tenant, [])
+        if len(free) < self.max_idle:
+            free.append(session)
+        self._set_pooled_gauge()
+
+    def _set_pooled_gauge(self) -> None:
+        self.metrics.gauge("gateway.sessions.pooled").set(
+            sum(len(free) for free in self._idle.values())
+        )
+
+    # -- pagination --------------------------------------------------------
+
+    def _open_cursor(
+        self, columns: tuple[str, ...], rows: list[tuple], limit: int
+    ) -> Page:
+        if limit < 1:
+            raise QueryError(f"page limit must be >= 1, got {limit}")
+        first = rows[:limit]
+        if len(rows) <= limit:
+            return Page(columns=columns, rows=first, cursor=None)
+        self._cursor_seq += 1
+        token = f"c{self._cursor_seq}"
+        self._cursors[token] = _Cursor(columns=columns, rows=rows, position=limit)
+        self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
+        return Page(columns=columns, rows=first, cursor=token)
+
+    def fetch_page(self, cursor_token: str, limit: int = 100) -> Page:
+        """The next ``limit`` rows behind ``cursor_token``.
+
+        The returned page carries the token to continue with (the same
+        one) or ``None`` once the set is exhausted, at which point the
+        server-side cursor is dropped.  An unknown or exhausted token
+        raises :class:`QueryError`.
+        """
+        if limit < 1:
+            raise QueryError(f"page limit must be >= 1, got {limit}")
+        cursor = self._cursors.get(cursor_token)
+        if cursor is None:
+            raise QueryError(f"unknown or exhausted cursor {cursor_token!r}")
+        rows = cursor.rows[cursor.position : cursor.position + limit]
+        cursor.position += len(rows)
+        if cursor.position >= len(cursor.rows):
+            del self._cursors[cursor_token]
+            self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
+            return Page(columns=cursor.columns, rows=rows, cursor=None)
+        return Page(columns=cursor.columns, rows=rows, cursor=cursor_token)
+
+    def close_cursor(self, cursor_token: str) -> None:
+        """Drop a cursor early (a client abandoning a paged result)."""
+        if self._cursors.pop(cursor_token, None) is not None:
+            self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
+
+    def __repr__(self) -> str:
+        return (
+            f"Gateway(active={self.active_sessions}/{self.max_sessions}, "
+            f"plan_cache={len(self.plan_cache)}, "
+            f"hit_rate={self.plan_cache.hit_rate:.2f})"
+        )

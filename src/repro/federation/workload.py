@@ -55,7 +55,7 @@ from repro.core.errors import (
     QueryRejectedError,
     QueryTimeoutError,
 )
-from repro.federation.engine import FederatedEngine, QueryResult
+from repro.federation.engine import FederatedEngine, PreparedStatement, QueryResult
 from repro.federation.scheduler import Scheduler, make_scheduler
 from repro.sim.events import EventLoop, ScheduledEvent
 from repro.sim.metrics import MetricsRegistry
@@ -120,6 +120,8 @@ class QueryHandle:
         deadline: float | None,
         max_staleness: float | None,
         degraded_ok: bool,
+        prepared: PreparedStatement | None = None,
+        params: tuple = (),
     ) -> None:
         self.seq = seq
         self.sql = sql
@@ -129,6 +131,10 @@ class QueryHandle:
         self.deadline = deadline
         self.max_staleness = max_staleness
         self.degraded_ok = degraded_ok
+        # When set, dispatch runs the prepared template with ``params``
+        # bound instead of re-parsing ``sql`` (the gateway's fast path).
+        self.prepared = prepared
+        self.params = params
         self.state = QueryState.QUEUED
         self.started_at: float | None = None
         self.finished_at: float | None = None
@@ -252,12 +258,14 @@ class WorkloadManager:
 
     def submit(
         self,
-        sql: str,
+        sql: str | None = None,
         tenant: str = "default",
         priority: float = 0.0,
         deadline: float | None = None,
         max_staleness: float | None = None,
         degraded_ok: bool = False,
+        prepared: PreparedStatement | None = None,
+        params: "tuple | list" = (),
     ) -> QueryHandle:
         """Admit one query; returns a handle resolved via the event loop.
 
@@ -266,7 +274,19 @@ class WorkloadManager:
         may *queue* -- once dispatched it runs to completion.  Raises
         :class:`QueryRejectedError` immediately when the tenant's queue is
         full.
+
+        Pass ``prepared`` (with ``params``) instead of ``sql`` to dispatch
+        a prepared template through the same admission/scheduling path;
+        the statement's ``max_staleness`` was fixed at prepare time, so
+        the per-submission argument is not accepted alongside it.
         """
+        if (sql is None) == (prepared is None):
+            raise QueryError("submit() takes exactly one of sql or prepared")
+        if prepared is not None and max_staleness is not None:
+            raise QueryError(
+                "max_staleness is fixed at prepare time for prepared "
+                "statements; do not pass it to submit()"
+            )
         owner = self.tenant(tenant)
         if deadline is not None and deadline <= 0:
             raise QueryError(f"deadline must be positive, got {deadline!r}")
@@ -280,13 +300,17 @@ class WorkloadManager:
 
         handle = QueryHandle(
             seq=next(self._seq),
-            sql=sql,
+            sql=sql if sql is not None else prepared.sql,
             tenant=owner,
             priority=priority,
             submitted_at=self.loop.clock.now(),
             deadline=deadline,
-            max_staleness=max_staleness,
+            max_staleness=(
+                max_staleness if prepared is None else prepared.max_staleness
+            ),
             degraded_ok=degraded_ok,
+            prepared=prepared,
+            params=tuple(params),
         )
         owner.submitted += 1
         self._counter(owner.name, "admitted").inc()
@@ -340,12 +364,20 @@ class WorkloadManager:
         # site footprint; occupancy is modeled by holding the slot and the
         # site congestion gauges until the completion event.
         try:
-            result = self.engine.query(
-                handle.sql,
-                max_staleness=handle.max_staleness,
-                advance_clock=False,
-                degraded_ok=handle.degraded_ok,
-            )
+            if handle.prepared is not None:
+                result = self.engine.execute(
+                    handle.prepared,
+                    handle.params,
+                    advance_clock=False,
+                    degraded_ok=handle.degraded_ok,
+                )
+            else:
+                result = self.engine.query(
+                    handle.sql,
+                    max_staleness=handle.max_staleness,
+                    advance_clock=False,
+                    degraded_ok=handle.degraded_ok,
+                )
         except ContentIntegrationError as error:
             self._finish(handle, error=error)
             return

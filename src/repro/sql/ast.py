@@ -14,6 +14,19 @@ class Literal:
 
 
 @dataclass(frozen=True)
+class Parameter:
+    """One ``?`` placeholder, numbered left to right across the statement.
+
+    Parameters survive planning: a prepared statement's logical plan keeps
+    them in place so the plan can be optimized once and bound many times
+    (:mod:`repro.sql.params` substitutes values at execution).  An unbound
+    Parameter reaching row evaluation is an error.
+    """
+
+    index: int  # 0-based position among the statement's placeholders
+
+
+@dataclass(frozen=True)
 class Column:
     name: str
     qualifier: str | None = None  # table alias
@@ -85,8 +98,8 @@ class Like:
 
 
 Expr = Union[
-    Literal, Column, Star, BinaryOp, UnaryOp, FuncCall, InList, InSubquery,
-    Between, Like,
+    Literal, Parameter, Column, Star, BinaryOp, UnaryOp, FuncCall, InList,
+    InSubquery, Between, Like,
 ]
 
 AGGREGATE_FUNCTIONS = frozenset({"count", "sum", "avg", "min", "max"})

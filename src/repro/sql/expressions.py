@@ -30,6 +30,7 @@ from repro.sql.ast import (
     InSubquery,
     Like,
     Literal,
+    Parameter,
     Star,
     UnaryOp,
 )
@@ -116,6 +117,11 @@ def evaluate(expr: Expr, env: Env) -> Any:
         raise QueryError(
             "IN (SELECT ...) must be rewritten by the federated engine "
             "before row evaluation; evaluate() only sees closed expressions"
+        )
+    if isinstance(expr, Parameter):
+        raise QueryError(
+            f"unbound parameter ?{expr.index + 1}: a prepared statement was "
+            "executed without binding its values"
         )
     raise QueryError(f"cannot evaluate expression {expr!r}")
 

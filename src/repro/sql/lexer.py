@@ -22,7 +22,7 @@ KEYWORDS = frozenset(
 )
 
 PUNCTUATION = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*", "+",
-               "-", "/", ".")
+               "-", "/", ".", "?")
 
 
 class SqlLexError(Exception):
@@ -49,6 +49,14 @@ def tokenize_sql(text: str) -> list[Token]:
         char = text[position]
         if char.isspace():
             position += 1
+            continue
+        if char == "-" and text.startswith("--", position):
+            # Line comment: skip to (not past) the newline, which the
+            # whitespace branch then consumes.  Matches the segment
+            # scanner in repro.sql.sqltext, so the plan-cache normalizer
+            # and the grammar agree on what is commentary.
+            end = text.find("\n", position)
+            position = length if end < 0 else end
             continue
         if char == "'":
             value, position = _read_string(text, position)

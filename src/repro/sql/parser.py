@@ -31,6 +31,7 @@ from repro.sql.ast import (
     Like,
     Literal,
     OrderItem,
+    Parameter,
     SelectItem,
     SelectStatement,
     Star,
@@ -50,6 +51,9 @@ class _Parser:
     def __init__(self, tokens: list[Token]) -> None:
         self.tokens = tokens
         self.position = 0
+        # ``?`` placeholders are numbered left to right in parse order,
+        # shared across subqueries (one parameter list per statement).
+        self.parameter_count = 0
 
     # -- token plumbing ------------------------------------------------------
 
@@ -335,6 +339,11 @@ class _Parser:
         if token.kind == "keyword" and token.value == "null":
             self.advance()
             return Literal(None)
+        if self.at_punct("?"):
+            self.advance()
+            parameter = Parameter(self.parameter_count)
+            self.parameter_count += 1
+            return parameter
         if self.at_punct("-"):
             self.advance()
             return UnaryOp("-", self._primary())

@@ -1,0 +1,169 @@
+"""Lossless SQL text scanning: placeholders, comments, normalization.
+
+The DB-API layer and the gateway both need to look at raw SQL text
+*before* parsing -- to substitute ``?`` placeholders (textual binding
+fallback) and to compute plan-cache keys.  Both must agree on what is
+code and what is quoted material: a ``?`` inside a string literal, a
+double-quoted identifier, or a ``--`` line comment is not a placeholder,
+and two statements differing only in comments or whitespace should hit
+the same cache entry.
+
+This module provides one segment scanner and builds both operations on
+top of it, so they can never drift apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+# Segment kinds produced by scan_segments:
+#   "code"     -- plain SQL text (keywords, idents, operators, numbers)
+#   "string"   -- a single-quoted literal, quotes included, '' escapes kept
+#   "ident"    -- a double-quoted identifier, quotes included, "" escapes kept
+#   "comment"  -- a ``--`` line comment up to (not including) the newline
+
+
+class SqlTextError(ValueError):
+    """Raised on unterminated quoted material."""
+
+
+def scan_segments(sql: str) -> Iterator[tuple[str, str]]:
+    """Split ``sql`` into (kind, text) segments; concatenation round-trips."""
+    i = 0
+    length = len(sql)
+    code_start = 0
+    while i < length:
+        char = sql[i]
+        if char == "'" or char == '"':
+            if code_start < i:
+                yield "code", sql[code_start:i]
+            end = _read_quoted(sql, i, char)
+            yield ("string" if char == "'" else "ident"), sql[i:end]
+            i = end
+            code_start = i
+        elif char == "-" and sql.startswith("--", i):
+            if code_start < i:
+                yield "code", sql[code_start:i]
+            end = sql.find("\n", i)
+            if end < 0:
+                end = length
+            yield "comment", sql[i:end]
+            i = end
+            code_start = i
+        else:
+            i += 1
+    if code_start < length:
+        yield "code", sql[code_start:length]
+
+
+def _read_quoted(sql: str, start: int, quote: str) -> int:
+    """Index one past the closing quote, honoring doubled-quote escapes."""
+    i = start + 1
+    length = len(sql)
+    while i < length:
+        if sql[i] == quote:
+            if i + 1 < length and sql[i + 1] == quote:
+                i += 2
+                continue
+            return i + 1
+        i += 1
+    kind = "string literal" if quote == "'" else "quoted identifier"
+    raise SqlTextError(f"unterminated {kind} starting at offset {start}")
+
+
+def count_placeholders(sql: str) -> int:
+    """Number of ``?`` placeholders in code segments of ``sql``."""
+    return sum(
+        text.count("?") for kind, text in scan_segments(sql) if kind == "code"
+    )
+
+
+def replace_placeholders(sql: str, substitute: Callable[[int], str]) -> str:
+    """Replace each code-segment ``?`` with ``substitute(ordinal)``.
+
+    Placeholders inside string literals, double-quoted identifiers, and
+    ``--`` comments are left untouched.
+    """
+    pieces: list[str] = []
+    ordinal = 0
+    for kind, text in scan_segments(sql):
+        if kind != "code" or "?" not in text:
+            pieces.append(text)
+            continue
+        parts = text.split("?")
+        pieces.append(parts[0])
+        for part in parts[1:]:
+            pieces.append(substitute(ordinal))
+            pieces.append(part)
+            ordinal += 1
+    return "".join(pieces)
+
+
+def render_literal(value) -> str:
+    """Render a Python value as a SQL literal token.
+
+    Raises :class:`ValueError` for values with no SQL spelling: non-finite
+    floats (``inf``/``nan`` are not literals the grammar accepts) and bytes
+    (no blob literal syntax in this dialect).  Callers map this to their
+    interface-level error type.
+    """
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, int):
+        return repr(value)
+    if isinstance(value, float):
+        if value != value or value in (float("inf"), float("-inf")):
+            raise ValueError(
+                f"cannot render non-finite float {value!r} as a SQL literal"
+            )
+        return repr(value)
+    if isinstance(value, (bytes, bytearray, memoryview)):
+        raise ValueError(
+            "cannot render bytes as a SQL literal; this dialect has no "
+            "blob literal syntax"
+        )
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    raise ValueError(
+        f"cannot render {type(value).__name__} value {value!r} as a SQL literal"
+    )
+
+
+def normalize_sql(sql: str) -> str:
+    """Canonical cache-key form of a statement.
+
+    Strips comments, collapses runs of whitespace in code to single
+    spaces, and lowercases code text (the grammar's keywords are
+    case-insensitive and schema names are kept lowercase).  Quoted
+    strings and identifiers pass through verbatim -- their case and
+    spacing are semantic.
+    """
+    out: list[str] = []
+    pending_space = False
+    for kind, text in scan_segments(sql):
+        if kind == "comment":
+            # A comment ends a token just as the newline after it would;
+            # keep a separator so "a--c\nb" doesn't fuse into "ab".
+            pending_space = True
+            continue
+        if kind == "code":
+            if text[:1].isspace():
+                pending_space = True
+            body = " ".join(text.lower().split())
+            if not body:
+                continue
+            if pending_space and out:
+                out.append(" ")
+            out.append(body)
+            pending_space = text[-1:].isspace()
+        else:
+            # Quoted material passes through verbatim; spacing adjacent to
+            # it is preserved as a single separator.
+            if pending_space and out:
+                out.append(" ")
+            out.append(text)
+            pending_space = False
+    return "".join(out)

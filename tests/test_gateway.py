@@ -1,0 +1,352 @@
+"""Tests for the query gateway: the serving layer in front of the federation.
+
+Covers the prepared-statement plan cache (normalized-SQL keying, LRU
+eviction, invalidation on repartition and base-table updates), the session
+pool (reuse, exhaustion, idle cap), cursor-token pagination, the
+textual-binding fallback for grammar positions that cannot hold a
+placeholder, and the load-bearing property: gateway-prepared execution is
+row-identical to direct ``engine.query`` for randomized bindings.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataType, Field, Schema, Table
+from repro.core.errors import QueryError
+from repro.federation import (
+    FederatedEngine,
+    FederationCatalog,
+    Gateway,
+    WorkloadManager,
+)
+from repro.federation.gateway import PlanCache, bind_sql_text
+from repro.sim import EventLoop, SimClock
+from repro.sql.parser import SqlParseError
+
+
+def build_federation(sites=3, fragments=6, rows_per_fragment=20):
+    """A small replicated federation: `items(k, v)` with RF=2 placement."""
+    catalog = FederationCatalog(SimClock())
+    site_names = [f"s{i}" for i in range(sites)]
+    for name in site_names:
+        catalog.make_site(name)
+    schema = Schema(
+        "items", (Field("k", DataType.STRING), Field("v", DataType.INTEGER))
+    )
+    total = fragments * rows_per_fragment
+    table = Table(schema, [(f"k{i:04d}", i) for i in range(total)])
+    placement = [
+        [site_names[i % sites], site_names[(i + 1) % sites]]
+        for i in range(fragments)
+    ]
+    catalog.load_fragmented(table, fragments, placement)
+    engine = FederatedEngine(catalog)
+    loop = EventLoop(catalog.clock)
+    return catalog, engine, loop
+
+
+def make_gateway(max_sessions=4, max_idle=2, plan_cache_size=8, **federation_kwargs):
+    catalog, engine, loop = build_federation(**federation_kwargs)
+    manager = WorkloadManager(engine, loop, max_in_flight=2)
+    gateway = Gateway(
+        manager,
+        max_sessions=max_sessions,
+        max_idle=max_idle,
+        plan_cache_size=plan_cache_size,
+    )
+    return catalog, engine, gateway
+
+
+QUERY = "select count(*) from items where v < ?"
+
+
+class TestPlanCache:
+    def test_same_statement_hits_once_prepared(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            session.execute(QUERY, (10,))
+            session.execute(QUERY, (50,))
+            session.execute(QUERY, (90,))
+        cache = gateway.plan_cache
+        assert cache.misses == 1
+        assert cache.hits == 2
+        assert cache.hit_rate == pytest.approx(2 / 3)
+        assert gateway.metrics.counter("gateway.plan_cache.hits").value == 2
+        assert gateway.metrics.counter("gateway.plan_cache.misses").value == 1
+
+    def test_normalized_spellings_share_one_template(self):
+        _, _, gateway = make_gateway()
+        spellings = [
+            "select count(*) from items where v < ?",
+            "SELECT COUNT(*) FROM items WHERE v < ?",
+            "select count(*)  from items\n  where v < ?  -- portal probe",
+        ]
+        with gateway.connect() as session:
+            for spelling in spellings:
+                assert session.execute(spelling, (30,)).rows == [(30,)]
+        assert gateway.plan_cache.misses == 1
+        assert gateway.plan_cache.hits == len(spellings) - 1
+
+    def test_quoted_material_is_not_normalized(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            session.execute("select count(*) from items where k = 'K0001'")
+            session.execute("select count(*) from items where k = 'k0001'")
+        # Different string literals are different statements.
+        assert gateway.plan_cache.misses == 2
+
+    def test_staleness_bound_keys_separately(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            session.execute(QUERY, (10,))
+            session.execute(QUERY, (10,), max_staleness=60.0)
+        assert gateway.plan_cache.misses == 2
+
+    def test_lru_evicts_oldest_template(self):
+        _, _, gateway = make_gateway(plan_cache_size=2)
+        statements = [
+            "select count(*) from items where v < ?",
+            "select count(*) from items where v > ?",
+            "select count(*) from items where v = ?",
+        ]
+        with gateway.connect() as session:
+            for sql in statements:
+                session.execute(sql, (5,))
+            # The first statement was evicted by the third; re-running it
+            # must miss again.
+            session.execute(statements[0], (5,))
+        assert gateway.plan_cache.misses == 4
+        assert gateway.plan_cache.evictions == 2
+        assert len(gateway.plan_cache) == 2
+
+    def test_capacity_must_be_positive(self):
+        _, engine, _ = build_federation()
+        with pytest.raises(QueryError):
+            PlanCache(engine, capacity=0)
+
+    def test_repartition_invalidates_cached_plan(self):
+        catalog, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            assert session.execute(QUERY, (60,)).rows == [(60,)]
+            template = session.execute(QUERY, (60,)).prepared
+            assert template.replans == 0
+            catalog.repartition("items", 4, [[f"s{i % 3}"] for i in range(4)])
+            # Same template object, revalidated and replanned on use.
+            outcome = session.execute(QUERY, (60,))
+            assert outcome.prepared is template
+            assert template.replans == 1
+            assert outcome.rows == [(60,)]
+
+    def test_base_table_update_invalidates_cached_plan(self):
+        catalog, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            before = session.execute(QUERY, (999,))
+            assert before.rows == [(120,)]
+            template = before.prepared
+            assert template.replans == 0
+            # An update notification bumps the catalog version; the cached
+            # template must replan rather than answer from the old plan's
+            # access-path choices.
+            catalog.notify_table_updated("items")
+            after = session.execute(QUERY, (999,))
+            assert after.prepared is template
+            assert template.replans == 1
+            assert after.rows == [(120,)]
+
+
+class TestSessionPool:
+    def test_sessions_are_reused_after_close(self):
+        _, _, gateway = make_gateway()
+        first = gateway.connect(tenant="acme")
+        first.close()
+        second = gateway.connect(tenant="acme")
+        assert second is first
+        assert gateway.sessions_opened == 1
+        assert gateway.sessions_reused == 1
+        second.close()
+
+    def test_pool_exhaustion_rejects_connect(self):
+        _, _, gateway = make_gateway(max_sessions=2)
+        a = gateway.connect()
+        b = gateway.connect()
+        with pytest.raises(QueryError):
+            gateway.connect()
+        assert gateway.metrics.counter("gateway.sessions.rejected").value == 1
+        a.close()
+        b.close()
+        # Closing frees capacity again.
+        gateway.connect().close()
+
+    def test_idle_cap_bounds_the_free_list(self):
+        _, _, gateway = make_gateway(max_sessions=4, max_idle=1)
+        sessions = [gateway.connect(tenant="acme") for _ in range(3)]
+        for session in sessions:
+            session.close()
+        assert gateway.metrics.gauge("gateway.sessions.pooled").value == 1
+
+    def test_closed_session_rejects_statements(self):
+        _, _, gateway = make_gateway()
+        session = gateway.connect()
+        session.close()
+        with pytest.raises(QueryError):
+            session.execute(QUERY, (10,))
+
+    def test_active_gauge_tracks_checkouts(self):
+        _, _, gateway = make_gateway()
+        session = gateway.connect()
+        assert gateway.metrics.gauge("gateway.sessions.active").value == 1
+        session.close()
+        assert gateway.metrics.gauge("gateway.sessions.active").value == 0
+
+
+class TestPagination:
+    def test_page_walk_covers_all_rows_in_order(self):
+        _, engine, gateway = make_gateway()
+        sql = "select k, v from items order by v"
+        direct = engine.query(sql, advance_clock=False).table.rows
+        with gateway.connect() as session:
+            page = session.execute_paged(sql, limit=50)
+        walked = list(page.rows)
+        token = page.cursor
+        while token is not None:
+            page = gateway.fetch_page(token, limit=50)
+            walked.extend(page.rows)
+            token = page.cursor
+        assert walked == direct
+        # The cursor was dropped on exhaustion.
+        assert gateway.metrics.gauge("gateway.cursors.open").value == 0
+
+    def test_single_page_result_has_no_cursor(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            page = session.execute_paged(QUERY, (10,), limit=5)
+        assert page.rows == [(10,)]
+        assert page.cursor is None
+
+    def test_unknown_cursor_raises(self):
+        _, _, gateway = make_gateway()
+        with pytest.raises(QueryError):
+            gateway.fetch_page("c999")
+
+    def test_exhausted_cursor_raises_on_reuse(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            page = session.execute_paged("select k from items", limit=100)
+        token = page.cursor
+        last = gateway.fetch_page(token, limit=100)
+        assert last.cursor is None
+        with pytest.raises(QueryError):
+            gateway.fetch_page(token)
+
+    def test_close_cursor_abandons_the_walk(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            page = session.execute_paged("select k from items", limit=10)
+        gateway.close_cursor(page.cursor)
+        assert gateway.metrics.gauge("gateway.cursors.open").value == 0
+        with pytest.raises(QueryError):
+            gateway.fetch_page(page.cursor)
+
+    def test_page_limit_must_be_positive(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            with pytest.raises(QueryError):
+                session.execute_paged("select k from items", limit=0)
+
+
+class TestTextualFallback:
+    def test_like_parameter_falls_back_and_answers(self):
+        _, engine, gateway = make_gateway()
+        direct = engine.query(
+            "select k from items where k like 'k000%'", advance_clock=False
+        ).table.rows
+        with gateway.connect() as session:
+            outcome = session.execute(
+                "select k from items where k like ?", ("k000%",)
+            )
+        assert outcome.rows == direct
+        assert outcome.prepared is None  # not served from the plan cache
+        assert gateway.plan_cache.misses == 0
+
+    def test_fallback_binding_quotes_strings(self):
+        assert (
+            bind_sql_text("select * from t where a like ?", ("it's%",))
+            == "select * from t where a like 'it''s%'"
+        )
+
+    def test_fallback_checks_parameter_count(self):
+        with pytest.raises(QueryError):
+            bind_sql_text("select * from t where a like ?", ())
+
+    def test_invalid_sql_without_placeholders_raises_parse_error(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            with pytest.raises(SqlParseError):
+                session.execute("select from from items")
+
+
+class TestParameterErrors:
+    def test_too_few_parameters(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            with pytest.raises(QueryError):
+                session.execute(QUERY, ())
+
+    def test_too_many_parameters(self):
+        _, _, gateway = make_gateway()
+        with gateway.connect() as session:
+            with pytest.raises(QueryError):
+                session.execute(QUERY, (1, 2))
+
+
+class TestPreparedDirectEquivalence:
+    """Gateway-prepared execution answers exactly like direct engine.query."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        low=st.integers(min_value=-5, max_value=125),
+        span=st.integers(min_value=0, max_value=60),
+    )
+    def test_between_bindings_match_direct(self, low, span):
+        _, engine, gateway = make_gateway()
+        sql = "select k, v from items where v between ? and ? order by v"
+        direct = engine.query(
+            f"select k, v from items where v between {low} and {low + span} "
+            "order by v",
+            advance_clock=False,
+        ).table.rows
+        with gateway.connect() as session:
+            assert session.execute(sql, (low, low + span)).rows == direct
+
+    @settings(max_examples=25, deadline=None)
+    @given(key=st.integers(min_value=0, max_value=130))
+    def test_point_lookup_bindings_match_direct(self, key):
+        _, engine, gateway = make_gateway()
+        literal = f"k{key:04d}"
+        direct = engine.query(
+            f"select v from items where k = '{literal}'", advance_clock=False
+        ).table.rows
+        with gateway.connect() as session:
+            assert (
+                session.execute(
+                    "select v from items where k = ?", (literal,)
+                ).rows
+                == direct
+            )
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        threshold=st.integers(min_value=-10, max_value=130),
+        repeats=st.integers(min_value=1, max_value=3),
+    )
+    def test_repeated_executions_stay_identical(self, threshold, repeats):
+        """The template is immutable: binding N times never drifts."""
+        _, engine, gateway = make_gateway()
+        direct = engine.query(
+            f"select count(*) from items where v < {threshold}",
+            advance_clock=False,
+        ).table.rows
+        with gateway.connect() as session:
+            for _ in range(repeats):
+                assert session.execute(QUERY, (threshold,)).rows == direct

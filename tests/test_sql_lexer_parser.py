@@ -55,6 +55,30 @@ class TestLexer:
     def test_eof_token_always_present(self):
         assert tokenize_sql("")[-1].kind == "eof"
 
+    def test_line_comment_skipped(self):
+        tokens = tokenize_sql("select a -- the ? column\nfrom t")
+        values = [t.value for t in tokens if t.kind != "eof"]
+        assert values == ["select", "a", "from", "t"]
+
+    def test_comment_at_end_of_text(self):
+        tokens = tokenize_sql("select a from t -- trailing")
+        assert [t.value for t in tokens if t.kind != "eof"] == [
+            "select", "a", "from", "t",
+        ]
+
+    def test_minus_operator_not_a_comment(self):
+        tokens = tokenize_sql("select a - b from t")
+        assert ("punct", "-") in [(t.kind, t.value) for t in tokens]
+
+    def test_double_dash_inside_string_kept(self):
+        tokens = tokenize_sql("select '--not a comment' from t")
+        assert tokens[1].kind == "string"
+        assert tokens[1].value == "--not a comment"
+
+    def test_commented_statement_parses(self):
+        plan = parse_sql("select a from t where b = 1 -- why is this slow")
+        assert plan is not None
+
 
 class TestParserBasics:
     def test_select_star(self):

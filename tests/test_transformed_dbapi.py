@@ -203,3 +203,165 @@ class TestDbApi:
         connection = self.make_connection()
         connection.commit()
         connection.rollback()
+
+
+class TestDbApiBindingFixes:
+    """Regression tests for the driver's binding and tenancy surface."""
+
+    def make_connection(self):
+        return TestDbApi.make_connection(self)
+
+    def make_failover_connection(self, degraded_ok=False, tenanted=False):
+        """parts split over two RF=1 fragments, so one dead site degrades."""
+        from repro.federation import WorkloadManager
+        from repro.sim import EventLoop
+
+        clock = SimClock()
+        catalog = FederationCatalog(clock)
+        names = [catalog.make_site(f"s{i}").name for i in range(2)]
+        schema = Schema(
+            "parts",
+            (Field("sku", DataType.STRING), Field("price", DataType.FLOAT)),
+        )
+        table = Table(schema, [(f"A-{i}", float(i)) for i in range(10)])
+        catalog.load_fragmented(table, 2, [[names[0]], [names[1]]])
+        engine = FederatedEngine(catalog)
+        if tenanted:
+            manager = WorkloadManager(engine, EventLoop(clock))
+            connection = connect(
+                engine, workload=manager, tenant="acme", degraded_ok=degraded_ok
+            )
+        else:
+            connection = connect(engine, degraded_ok=degraded_ok)
+        return connection, engine
+
+    # -- placeholder scanning (comments, quoted identifiers) ---------------
+
+    def test_placeholder_inside_comment_not_substituted(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute(
+            "select sku from parts where price > ? -- is ? expensive\n"
+            "order by sku",
+            (8,),
+        )
+        assert cursor.fetchall() == [("A-9",)]
+
+    def test_bind_leaves_comments_and_quoted_identifiers_alone(self):
+        from repro.federation.dbapi import _bind
+
+        assert (
+            _bind("select a from t where b = ? -- b = ?", ("x",))
+            == "select a from t where b = 'x' -- b = ?"
+        )
+        assert (
+            _bind('select "a?b" from t where c = ?', (1,))
+            == 'select "a?b" from t where c = 1'
+        )
+        assert (
+            _bind("select a from t where b = 'it''s ?' and c = ?", (2,))
+            == "select a from t where b = 'it''s ?' and c = 2"
+        )
+
+    def test_like_placeholder_binds_textually(self):
+        # LIKE patterns cannot hold a placeholder in the grammar, so the
+        # driver falls back to comment/escape-aware textual binding.
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where sku like ?", ("A-1%",))
+        assert cursor.fetchall() == [("A-1",)]
+
+    # -- unbindable values -------------------------------------------------
+
+    def test_non_finite_floats_rejected(self):
+        cursor = self.make_connection().cursor()
+        for bad in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(InterfaceError):
+                cursor.execute("select sku from parts where price > ?", (bad,))
+            # The textual-fallback path rejects them identically.
+            with pytest.raises(InterfaceError):
+                cursor.execute("select sku from parts where sku like ?", (bad,))
+
+    def test_bytes_rejected(self):
+        cursor = self.make_connection().cursor()
+        for bad in (b"blob", bytearray(b"blob"), memoryview(b"blob")):
+            with pytest.raises(InterfaceError):
+                cursor.execute("select sku from parts where sku = ?", (bad,))
+
+    def test_finite_floats_still_bind(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where price = ?", (3.0,))
+        assert cursor.fetchall() == [("A-3",)]
+
+    # -- executemany with an empty sequence --------------------------------
+
+    def test_executemany_empty_sequence_resets_result(self):
+        cursor = self.make_connection().cursor()
+        cursor.execute("select sku from parts where sku = ?", ("A-1",))
+        assert cursor.rowcount == 1
+        cursor.executemany("select sku from parts where sku = ?", [])
+        # No stale rows from the earlier statement are fetchable.
+        with pytest.raises(InterfaceError):
+            cursor.fetchall()
+        assert cursor.rowcount == -1
+        assert cursor.last_plan is None and cursor.last_report is None
+
+    def test_executemany_empty_on_closed_cursor_still_refuses(self):
+        cursor = self.make_connection().cursor()
+        cursor.close()
+        with pytest.raises(InterfaceError):
+            cursor.executemany("select sku from parts where sku = ?", [])
+
+    # -- degraded answers through the driver -------------------------------
+
+    def kill_first_fragment(self, engine):
+        fragment = engine.catalog.entry("parts").fragments[0]
+        for name in fragment.replica_sites():
+            engine.catalog.site(name).up = False
+
+    def test_degraded_ok_direct_path(self):
+        connection, engine = self.make_failover_connection(degraded_ok=True)
+        self.kill_first_fragment(engine)
+        cursor = connection.cursor()
+        cursor.execute("select sku from parts")
+        assert cursor.last_report.degraded
+        assert 0.0 < cursor.last_report.completeness < 1.0
+        assert 0 < cursor.rowcount < 10
+
+    def test_degraded_ok_tenanted_path(self):
+        connection, engine = self.make_failover_connection(
+            degraded_ok=True, tenanted=True
+        )
+        self.kill_first_fragment(engine)
+        cursor = connection.cursor()
+        cursor.execute("select sku from parts")
+        assert cursor.last_report.degraded
+        assert cursor.last_report.tenant == "acme"
+
+    def test_without_degraded_ok_partial_failure_raises(self):
+        from repro.core.errors import PartialFailureError
+
+        for tenanted in (False, True):
+            connection, engine = self.make_failover_connection(
+                degraded_ok=False, tenanted=tenanted
+            )
+            self.kill_first_fragment(engine)
+            with pytest.raises(PartialFailureError):
+                connection.cursor().execute("select sku from parts")
+
+    # -- the per-connection plan cache -------------------------------------
+
+    def test_repeated_statements_plan_once(self):
+        connection = self.make_connection()
+        cursor = connection.cursor()
+        for threshold in (2, 4, 6, 8):
+            cursor.execute("select sku from parts where price > ?", (threshold,))
+        assert connection._plan_cache.misses == 1
+        assert connection._plan_cache.hits == 3
+
+    def test_prepared_and_textual_paths_answer_identically(self):
+        prepared_cursor = self.make_connection().cursor()
+        prepared_cursor.execute(
+            "select sku from parts where price > ? order by sku", (6,)
+        )
+        textual = self.make_connection().cursor()
+        textual.execute("select sku from parts where price > 6 order by sku")
+        assert prepared_cursor.fetchall() == textual.fetchall()

@@ -413,3 +413,147 @@ class TestSerialEquivalence:
         manager.drain()
         concurrent_rows = [h.result().table.rows for h in handles]
         assert concurrent_rows == serial_rows
+
+
+class TestDeadlineDispatchRace:
+    """The deadline event and the slot-freeing completion event can land on
+    the same clock tick; the resolution must be deterministic."""
+
+    def _solo_response(self):
+        _, engine, _ = build_federation()
+        return engine.query(QUERY, advance_clock=False).report.response_seconds
+
+    def test_slot_free_at_exact_deadline_dispatches_not_times_out(self):
+        # The first query's completion event was scheduled (at dispatch)
+        # before the second's deadline event (at submit), so at the shared
+        # tick the slot frees first and _start cancels the deadline.
+        solo = self._solo_response()
+        _, _, _, manager = make_manager(max_in_flight=1)
+        first = manager.submit(QUERY)
+        second = manager.submit(QUERY, deadline=solo)
+        manager.drain()
+        assert first.state is QueryState.COMPLETED
+        assert second.state is QueryState.COMPLETED
+        assert second.started_at == first.finished_at
+        assert second.queue_wait_seconds == pytest.approx(solo)
+        assert manager.tenants["default"].timed_out == 0
+
+    def test_deadline_just_before_slot_free_times_out(self):
+        solo = self._solo_response()
+        _, _, _, manager = make_manager(max_in_flight=1)
+        first = manager.submit(QUERY)
+        second = manager.submit(QUERY, deadline=solo * 0.999)
+        manager.drain()
+        assert first.state is QueryState.COMPLETED
+        assert second.state is QueryState.TIMED_OUT
+        # The freed slot did not resurrect the expired submission, and the
+        # manager is idle and reusable afterwards.
+        assert manager.in_flight == 0
+        replacement = manager.submit(QUERY)
+        manager.drain(replacement)
+        assert replacement.state is QueryState.COMPLETED
+
+    def test_timeout_after_dispatch_same_tick_is_noop(self):
+        # Losing side of the race: _timeout fires for a handle that was
+        # dispatched at the same tick.  It must leave the running query
+        # (and the tenant's accounting) untouched.
+        _, _, _, manager = make_manager(max_in_flight=1)
+        handle = manager.submit(QUERY, deadline=5.0)
+        assert handle.state is QueryState.RUNNING
+        manager._timeout(handle)
+        assert handle.state is QueryState.RUNNING
+        assert handle.error is None
+        manager.drain(handle)
+        assert handle.state is QueryState.COMPLETED
+        assert manager.tenants["default"].timed_out == 0
+
+
+class _Item:
+    """Minimal scheduler item: seq, tenant_name, priority, weight."""
+
+    def __init__(self, seq, tenant_name, weight=1.0, priority=0.0):
+        self.seq = seq
+        self.tenant_name = tenant_name
+        self.weight = weight
+        self.priority = priority
+
+
+class TestWeightedFairPassAccounting:
+    """Quota-ineligible tenants are *skipped* in pop, not charged."""
+
+    def test_skipped_tenant_pass_is_not_advanced(self):
+        scheduler = make_scheduler("weighted-fair")
+        a_items = [_Item(1, "a"), _Item(3, "a")]
+        b_items = [_Item(2, "b"), _Item(4, "b"), _Item(5, "b")]
+        for item in a_items + b_items:
+            scheduler.push(item)
+
+        # While tenant a is over quota, b dispatches twice -- a's pass must
+        # not move, so a is not punished for being skipped.
+        not_a = lambda item: item.tenant_name != "a"  # noqa: E731
+        assert scheduler.pop(not_a) is b_items[0]
+        assert scheduler.pop(not_a) is b_items[1]
+        # The moment a is eligible again it goes first: its pass (0.0) is
+        # behind b's (2.0), exactly as if the skips never happened.
+        everyone = lambda item: True  # noqa: E731
+        assert scheduler.pop(everyone) is a_items[0]
+        assert scheduler.pop(everyone) is a_items[1]
+        assert scheduler.pop(everyone) is b_items[2]
+
+    def test_all_ineligible_pops_nothing_and_charges_nothing(self):
+        scheduler = make_scheduler("weighted-fair")
+        scheduler.push(_Item(1, "a"))
+        scheduler.push(_Item(2, "b"))
+        nobody = lambda item: False  # noqa: E731
+        assert scheduler.pop(nobody) is None
+        assert len(scheduler) == 2
+        # No pass was advanced by the failed pop: the next dispatch order
+        # is untouched (a first by name on equal pass, then b).
+        everyone = lambda item: True  # noqa: E731
+        assert scheduler.pop(everyone).tenant_name == "a"
+        assert scheduler.pop(everyone).tenant_name == "b"
+
+    def test_quota_capped_tenant_keeps_fair_share_after_skips(self):
+        # Integration: a quota-1 tenant is repeatedly skipped while its
+        # query runs, yet still interleaves 1:1 with the other tenant once
+        # slots free (no pass debt accumulated from the skips).
+        _, _, _, manager = make_manager(max_in_flight=2)
+        manager.register_tenant("capped", max_concurrency=1)
+        capped = [manager.submit(QUERY, tenant="capped") for _ in range(3)]
+        other = [manager.submit(QUERY, tenant="other") for _ in range(3)]
+        manager.drain()
+        assert all(h.state is QueryState.COMPLETED for h in capped + other)
+        # Quota respected: capped never overlapped itself.
+        ordered = sorted(capped, key=lambda h: h.started_at)
+        for earlier, later in zip(ordered, ordered[1:]):
+            assert later.started_at >= earlier.finished_at
+
+
+class TestPreparedSubmission:
+    """WorkloadManager.submit routes prepared templates with bindings."""
+
+    def test_prepared_submission_matches_sql_submission(self):
+        _, engine, _, manager = make_manager()
+        prepared = engine.prepare("select count(*) from items where v < ?")
+        via_prepared = manager.submit(prepared=prepared, params=(37,))
+        via_sql = manager.submit("select count(*) from items where v < 37")
+        manager.drain()
+        assert via_prepared.result().table.rows == via_sql.result().table.rows
+        assert via_prepared.result().report.tenant == "default"
+
+    def test_exactly_one_of_sql_or_prepared(self):
+        _, engine, _, manager = make_manager()
+        prepared = engine.prepare(QUERY)
+        with pytest.raises(QueryError):
+            manager.submit(QUERY, prepared=prepared)
+        with pytest.raises(QueryError):
+            manager.submit()
+
+    def test_prepared_rejects_max_staleness_override(self):
+        # Staleness is fixed at prepare time (it shapes access-path
+        # choice); overriding it per submission would silently serve the
+        # wrong plan.
+        _, engine, _, manager = make_manager()
+        prepared = engine.prepare(QUERY)
+        with pytest.raises(QueryError):
+            manager.submit(prepared=prepared, max_staleness=10.0)
