@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""CI gate: stage-artifact reuse must not regress against the committed run.
+
+Usage::
+
+    check_artifact_reuse.py BASELINE.json FRESH.json
+
+Each file is a ``BENCH_E15.json`` produced by ``bench_e15_artifact_reuse.py``.
+The fresh file typically comes from a smoke run (``E15_QUERIES`` scaled far
+down), so the gate compares *shapes*, not exact numbers:
+
+* **Correctness is scale-free.**  ``identical_results`` must be true and
+  the error count exactly zero at any scale -- a reuse run that answers
+  differently from its control is wrong, full stop.  Likewise the
+  fault-injection scenario must show the subscriber completing with the
+  correct answer after its producer was cancelled.
+* **Row and byte reductions** may fall at most ``REDUCTION_SLACK``
+  (absolute) below the baseline's.  Hit rates approach 1 as the run
+  lengthens, so the smoke run's reduction is a little lower; a hashing or
+  admission bug sends it toward zero.
+* **In-flight sharing** must happen: at least one join in any run.  Hot
+  Zipf-head statements overlap even at smoke scale.
+* **Invalidation** must fire: every run schedules writes, and each write
+  must find live artifacts to drop -- zero invalidations means the
+  write-to-store listener came unhooked.
+
+Exits 1 on the first violated bound.
+"""
+
+import json
+import sys
+
+REDUCTION_SLACK = 0.15  # absolute headroom below baseline reductions
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        payload = json.load(f)
+    for key in ("totals", "sharing", "invalidation", "fault"):
+        if key not in payload:
+            raise SystemExit(f"{path}: no '{key}' key (full E15 bench not run?)")
+    return payload
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    fresh = load(argv[2])
+    failures = []
+
+    if not fresh.get("identical_results"):
+        failures.append("reuse run is not bit-identical to its control")
+    if fresh.get("errors", 1) != 0:
+        failures.append(f"nonzero error count {fresh.get('errors')}")
+
+    for metric in ("row_reduction", "byte_reduction"):
+        bar = baseline["totals"][metric] - REDUCTION_SLACK
+        value = fresh["totals"][metric]
+        print(f"{metric} {value:.4f} (bar {bar:.4f})")
+        if value <= 0:
+            failures.append(f"{metric} {value:.4f} is not a saving at all")
+        elif value < bar:
+            failures.append(
+                f"{metric} {value:.4f} below baseline "
+                f"{baseline['totals'][metric]:.4f} - {REDUCTION_SLACK}"
+            )
+
+    joins = fresh["sharing"]["inflight_joins"]
+    print(f"in-flight joins {joins} (bar 1)")
+    if joins < 1:
+        failures.append("no in-flight stage was ever shared")
+
+    invalidations = fresh["invalidation"]["invalidations"]
+    print(f"invalidations {invalidations} (bar 1)")
+    if invalidations < 1:
+        failures.append("writes invalidated nothing (listener unhooked?)")
+
+    fault = fresh["fault"]
+    print(
+        f"fault injection: fallbacks {fault['fallbacks']}, "
+        f"subscriber correct {fault['subscriber_correct']}"
+    )
+    if fault["fallbacks"] < 1:
+        failures.append("cancelled producer triggered no subscriber fallback")
+    if not (fault["subscriber_completed"] and fault["subscriber_correct"]):
+        failures.append("fallback subscriber did not complete correctly")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: stage-artifact reuse holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

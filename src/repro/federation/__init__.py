@@ -56,6 +56,7 @@ from repro.federation.availability import (
     PlacementStrategy,
     place_fragments,
 )
+from repro.federation.artifacts import Artifact, ArtifactStore
 from repro.federation.cache import SemanticCache
 from repro.federation.catalog import FederationCatalog, Fragment, TableEntry
 from repro.federation.central import CentralizedOptimizer
@@ -111,6 +112,8 @@ __all__ = [
     "FailureInjector",
     "PlacementStrategy",
     "place_fragments",
+    "Artifact",
+    "ArtifactStore",
     "SemanticCache",
     "FederationCatalog",
     "Fragment",

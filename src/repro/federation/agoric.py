@@ -56,6 +56,7 @@ class BudgetExceededError(ContentIntegrationError):
         super().__init__(
             f"cheapest plan costs {required:.4f}, over the budget {budget:.4f}"
         )
+from repro.federation.artifacts import artifact_scan_assignment, stage_specs
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
@@ -107,6 +108,7 @@ class AgoricOptimizer:
         per_bid_seconds: float = 0.0002,
         cache=None,
         health=None,
+        artifacts=None,
     ) -> None:
         self.catalog = catalog
         self.sample_size = sample_size
@@ -121,6 +123,10 @@ class AgoricOptimizer:
         # and open-circuit sites are skipped when an alternative replica
         # exists.
         self.health = health
+        # The engine attaches its ArtifactStore here so committed stage
+        # artifacts bid as a fourth access path (coordinator-local serve
+        # work, zero shipped bytes).
+        self.artifacts = artifacts
 
     # -- bidding -----------------------------------------------------------
 
@@ -228,16 +234,24 @@ class AgoricOptimizer:
         contacted = 0
         total_price = 0.0
         chosen_site_rows: dict[str, int] = {}
+        specs = stage_specs(plan) if self.artifacts is not None else {}
 
         for scan in scans_in(plan):
-            # All three access paths compete on price in the same market:
-            # the semantic cache's local bid, a fresh-enough materialized
-            # view, and the sites' fragment asks.
+            # All four access paths compete on price in the same market:
+            # a committed stage artifact, the semantic cache's local bid, a
+            # fresh-enough materialized view, and the sites' fragment asks.
+            artifact_offer = artifact_scan_assignment(
+                self.artifacts, self.catalog, specs.get(scan.binding),
+                max_staleness,
+            )
             cache_offer = cache_scan_assignment(self.cache, scan, max_staleness)
             view_assignment = self._try_view(scan, max_staleness)
             fragment_result = self._fragment_assignment(scan)
             if fragment_result is not None:
                 contacted += fragment_result[2]
+            artifact_price = (
+                artifact_offer[1] if artifact_offer is not None else float("inf")
+            )
             cache_price = (
                 cache_offer[1] if cache_offer is not None else float("inf")
             )
@@ -252,13 +266,22 @@ class AgoricOptimizer:
             if (
                 fragment_result is not None
                 and fragment_result[0].unreachable
-                and (cache_offer is not None or view_assignment is not None)
+                and (
+                    cache_offer is not None
+                    or view_assignment is not None
+                    or artifact_offer is not None
+                )
             ):
                 # Part of the table is behind dead sites: a covering cache
-                # region or view answers *completely*, which beats a partial
-                # fragment plan at any price.
+                # region, view or artifact answers *completely*, which beats
+                # a partial fragment plan at any price.
                 fragment_price = float("inf")
-            if cache_offer is not None and cache_price <= min(
+            if artifact_offer is not None and artifact_price <= min(
+                cache_price, view_price, fragment_price
+            ):
+                assignments[scan.binding] = artifact_offer[0]
+                total_price += artifact_price
+            elif cache_offer is not None and cache_price <= min(
                 view_price, fragment_price
             ):
                 assignments[scan.binding] = cache_offer[0]

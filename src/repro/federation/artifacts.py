@@ -1,0 +1,695 @@
+"""Content-hashed stage artifacts: workload-level common-subexpression reuse.
+
+The PR 5 workload manager overlaps many tenants' queries on one federation,
+and identical pushed-down sub-plans -- the column batches one ``Ship``
+stage delivers -- now run repeatedly across tenants and statement shapes.
+This module materializes those stage outputs once and serves them to every
+equivalent consumer:
+
+* **Content hashing.**  :func:`stage_hash` canonically digests the
+  pushed-down operator subtree of one stage: the base table and its
+  fragment set, the source-level pushdown predicates, the site-filter
+  conjuncts, the projected column set, and (for split aggregations) the
+  partial-aggregate spec.  Binding aliases are canonicalized away, so
+  ``select v from items i where i.v < 5`` and ``select v from items where
+  v < 5`` collide -- across tenants, sessions and SQL spellings.  The
+  artifact key is ``(stage hash, catalog version)``: the version half is
+  exactly the prepared-statement validity stamp from PR 7, so any
+  repartition or base-table write makes every older artifact unreachable
+  by construction.
+* **A fourth access path.**  :func:`artifact_scan_assignment` offers a
+  completed artifact to the optimizers alongside fragments, materialized
+  views and the semantic cache; the bid prices a coordinator-local pass
+  over the materialized rows -- near-zero scan work and zero shipped
+  bytes -- so a warm artifact usually wins the market.
+* **Runtime publication and reuse.**  A ``Ship`` whose stage misses
+  executes normally and publishes its output through the report; the
+  engine registers it *in flight* until the query's modeled completion,
+  then it commits under benefit-based admission (rows saved x stage
+  seconds, mirroring the semantic cache's economy).  A concurrent query
+  whose stage hash matches an in-flight stage *joins* it: it subscribes to
+  the producer's completion instead of recomputing, paying only the
+  remaining wait.  If the producer dies mid-flight, subscribers fall back
+  to independent execution (once -- the fallback itself never joins).
+* **Invalidation.**  The store listens on the catalog's base-table update
+  bus exactly like the semantic cache; a write drops the table's
+  artifacts and in-flight stages, and the catalog-version key half keeps
+  any survivor unreachable anyway.
+
+Payloads are stored in a binding-agnostic canonical form (bare column
+names, canonical aggregate-call keys) and rebuilt per consumer, so a hit
+is bit-identical to recomputation no matter which alias or ambiguity set
+the consuming query uses.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro.sim.clock import SimClock
+from repro.sql.ast import (
+    Between,
+    BinaryOp,
+    Column,
+    FuncCall,
+    InList,
+    Literal,
+    Star,
+    UnaryOp,
+)
+from repro.sql.planner import AggregateNode, PlanNode, ScanNode
+
+Env = dict
+
+
+# -- canonical stage digests ---------------------------------------------------
+
+
+def canonical_expr(expr, binding: str) -> str:
+    """Render ``expr`` with the scan's binding alias canonicalized to ``@``.
+
+    This is the hashing analog of ``describe_expr``: two site-filter trees
+    that differ only in the table alias (``i.v < 5`` vs ``items.v < 5`` vs
+    bare ``v < 5``) render identically, which is what lets equivalent
+    sub-plans collide across statement shapes.
+    """
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, Column):
+        if expr.qualifier is None or expr.qualifier == binding:
+            return f"@.{expr.name}"
+        return expr.qualified  # foreign binding: keep it distinguishing
+    if isinstance(expr, Star):
+        return "*"
+    if isinstance(expr, BinaryOp):
+        left = canonical_expr(expr.left, binding)
+        right = canonical_expr(expr.right, binding)
+        return f"({left} {expr.op} {right})"
+    if isinstance(expr, UnaryOp):
+        return f"({expr.op} {canonical_expr(expr.operand, binding)})"
+    if isinstance(expr, FuncCall):
+        args = (
+            "*"
+            if expr.star
+            else ", ".join(canonical_expr(a, binding) for a in expr.args)
+        )
+        return f"{expr.name}({args})"
+    if isinstance(expr, InList):
+        items = ", ".join(canonical_expr(i, binding) for i in expr.items)
+        negated = "not " if expr.negated else ""
+        return f"({canonical_expr(expr.operand, binding)} {negated}in ({items}))"
+    if isinstance(expr, Between):
+        negated = "not " if expr.negated else ""
+        return (
+            f"({canonical_expr(expr.operand, binding)} {negated}between "
+            f"{canonical_expr(expr.low, binding)} and "
+            f"{canonical_expr(expr.high, binding)})"
+        )
+    # Parameters and anything unrecognized render by repr: distinct from
+    # every literal, so an unbound template can never collide with bound
+    # data -- it simply never hits.
+    return repr(expr)
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One publishable/consumable stage: a scan, optionally agg-inclusive."""
+
+    scan: ScanNode
+    agg: AggregateNode | None = None
+
+
+def stage_specs(plan: PlanNode) -> "dict[str, StageSpec]":
+    """The reusable stages of a logical plan, keyed by scan binding.
+
+    Mirrors the physical planner's stage formation: a split aggregation
+    directly over a scan ships partial-aggregate records (one agg-inclusive
+    stage); any other scan ships its filtered/projected rows.
+    """
+    specs: dict[str, StageSpec] = {}
+
+    def walk(node: PlanNode) -> None:
+        if (
+            isinstance(node, AggregateNode)
+            and node.split is not None
+            and isinstance(node.child, ScanNode)
+        ):
+            specs[node.child.binding] = StageSpec(node.child, node)
+            return
+        if isinstance(node, ScanNode):
+            specs[node.binding] = StageSpec(node)
+            return
+        for child in node.children():
+            walk(child)
+
+    walk(plan)
+    return specs
+
+
+def stage_fields(schema, scan: ScanNode) -> tuple[str, ...]:
+    """The stage's output columns in schema order (the payload row layout)."""
+    names = tuple(schema.field_names)
+    if scan.needed_columns is None:
+        return names
+    keep = set(scan.needed_columns) & set(names)
+    if keep >= set(names):
+        return names
+    return tuple(n for n in names if n in keep)
+
+
+def stage_hash(catalog, spec: StageSpec) -> str | None:
+    """Canonical content hash of one stage's pushed-down subtree.
+
+    Returns ``None`` for stages that are not artifact-eligible: text-index
+    scans (their answers depend on the index, not the digested predicates)
+    and names that resolve to views rather than base tables.
+    """
+    scan = spec.scan
+    if scan.text_filter is not None:
+        return None
+    entry = catalog.tables.get(scan.table)
+    if entry is None:
+        return None
+    parts = [
+        f"table={scan.table}",
+        "fragments=" + ",".join(sorted(f.fragment_id for f in entry.fragments)),
+        "pushdown="
+        + ";".join(
+            sorted(f"{p.column} {p.op} {p.value!r}" for p in scan.pushdown)
+        ),
+        "filters="
+        + ";".join(
+            sorted(canonical_expr(c, scan.binding) for c in scan.site_filters)
+        ),
+        "columns=" + ",".join(stage_fields(entry.schema, scan)),
+    ]
+    if spec.agg is not None:
+        parts.append(
+            "group="
+            + ";".join(
+                canonical_expr(g, spec.scan.binding) for g in spec.agg.group_by
+            )
+        )
+        parts.append(
+            "aggs="
+            + ";".join(
+                sorted(
+                    canonical_expr(c, spec.scan.binding)
+                    for c in spec.agg.split.calls
+                )
+            )
+        )
+    digest = hashlib.sha256("|".join(parts).encode("utf-8")).hexdigest()
+    return digest[:16]
+
+
+# -- canonical payloads --------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CanonicalGroup:
+    """One partial-aggregate group in binding-agnostic form."""
+
+    key: tuple
+    count: int
+    states: "dict[str, object]"  # canonical call string -> partial state
+    representative: "dict[str, object]"  # bare field name -> value
+
+
+@dataclass
+class StagePayload:
+    """A stage's materialized output, stored binding-agnostically.
+
+    ``kind`` is ``"rows"`` (filtered/projected scan output: value tuples in
+    ``fields`` order) or ``"groups"`` (partial-aggregate records).  Serving
+    rebuilds the consumer-shaped form -- qualified env keys, ``repr(call)``
+    state keys -- from this canonical one, so the payload is reusable under
+    any alias or ambiguity set.
+    """
+
+    kind: str  # "rows" | "groups"
+    fields: tuple[str, ...] = ()
+    rows: list[tuple] = field(default_factory=list)
+    groups: list[CanonicalGroup] = field(default_factory=list)
+
+    @property
+    def row_count(self) -> int:
+        return len(self.rows) if self.kind == "rows" else len(self.groups)
+
+
+def rows_payload(
+    envs: "list[Env]", binding: str, fields: tuple[str, ...]
+) -> StagePayload:
+    """Canonicalize a rows stage's output envs into a payload."""
+    rows = [tuple(env[f"{binding}.{name}"] for name in fields) for env in envs]
+    return StagePayload(kind="rows", fields=fields, rows=rows)
+
+
+def groups_payload(records, binding: str, calls) -> StagePayload:
+    """Canonicalize a partial-aggregate stage's records into a payload."""
+    canonical_by_repr = {repr(call): canonical_expr(call, binding) for call in calls}
+    groups = []
+    for record in records:
+        states = {
+            canonical_by_repr[key]: state for key, state in record.states.items()
+        }
+        representative: dict[str, object] = {}
+        for key, value in record.representative.items():
+            if "." in key:
+                qualifier, bare = key.split(".", 1)
+                if qualifier == binding:
+                    representative[bare] = value
+            else:
+                representative.setdefault(key, value)
+        groups.append(
+            CanonicalGroup(
+                key=tuple(record.key),
+                count=record.count,
+                states=states,
+                representative=representative,
+            )
+        )
+    return StagePayload(kind="groups", groups=groups)
+
+
+# -- the stored artifact -------------------------------------------------------
+
+
+@dataclass
+class Artifact:
+    """One committed (or in-flight) stage output."""
+
+    key: "tuple[str, int]"  # (stage hash, catalog version)
+    table_name: str
+    payload: StagePayload
+    rows_saved: int  # site rows the producing stage executed
+    bytes_saved: int  # wire bytes the producing stage shipped
+    fetch_seconds: float  # stage pipeline seconds a hit avoids
+    fetched_at: float  # simulated time the producing stage ran
+    hits: int = 0
+
+    @property
+    def row_count(self) -> int:
+        return self.payload.row_count
+
+    def benefit(self) -> float:
+        """What evicting this artifact throws away (semantic-cache economy)."""
+        return self.rows_saved * self.fetch_seconds
+
+    # -- consumer-shaped serving (see StagePayload) ------------------------
+
+    def serve_rows(self, binding: str, ambiguous: "set[str]") -> "list[Env] | None":
+        """Rebuild the stage's envs for a rows consumer, or None on kind
+        mismatch (a hash collision guard, not an expected path)."""
+        if self.payload.kind != "rows":
+            return None
+        envs = []
+        for values in self.payload.rows:
+            env: Env = {}
+            for name, value in zip(self.payload.fields, values):
+                env[f"{binding}.{name}"] = value
+                if name not in ambiguous:
+                    env[name] = value
+            envs.append(env)
+        return envs
+
+    def serve_groups(self, binding: str, ambiguous: "set[str]", calls):
+        """Rebuild fresh PartialGroup records for an aggregate consumer.
+
+        Records are rebuilt per serve (the coordinator's final merge
+        mutates its copies) and states are re-keyed from canonical call
+        strings to the consumer's ``repr(call)`` keys.
+        """
+        from repro.federation.physical import PartialGroup
+
+        if self.payload.kind != "groups":
+            return None
+        records = []
+        for group in self.payload.groups:
+            states = {}
+            for call in calls:
+                canonical = canonical_expr(call, binding)
+                if canonical not in group.states:
+                    return None
+                states[repr(call)] = group.states[canonical]
+            representative: Env = {}
+            for name, value in group.representative.items():
+                representative[f"{binding}.{name}"] = value
+                if name not in ambiguous:
+                    representative[name] = value
+            records.append(
+                PartialGroup(
+                    key=group.key,
+                    count=group.count,
+                    states=states,
+                    representative=representative,
+                )
+            )
+        return records
+
+
+@dataclass
+class StageOutput:
+    """One stage's output as captured by Ship into the ExecutionReport.
+
+    The engine turns successful reports' stage outputs into in-flight
+    registrations; a failed execution simply drops them, so nothing
+    half-computed ever becomes visible.
+    """
+
+    key: "tuple[str, int]"
+    table_name: str
+    payload: StagePayload
+    rows_saved: int
+    bytes_saved: int
+    fetch_seconds: float
+    fetched_at: float
+
+
+@dataclass
+class _InFlightStage:
+    """A registered stage whose producing query has not yet completed."""
+
+    artifact: Artifact
+    completes_at: float
+    producer: object = None  # the producing QueryHandle, when dispatched via WLM
+    subscribers: list = field(default_factory=list)  # joined QueryHandles
+
+
+class ArtifactStore:
+    """Benefit-admitted, write-invalidated store of stage artifacts.
+
+    ``max_rows`` bounds the total materialized rows (admission refuses
+    oversized stages; overflow evicts lowest benefit first, exactly the
+    semantic cache's policy).  ``serve_seconds_per_row`` and
+    ``price_per_second`` shape the bid an artifact makes in the optimizer
+    market.  ``max_age_seconds`` is the store's own TTL (None = none);
+    per-call staleness bounds always override it for serveability, the
+    same contract the semantic cache honors.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        max_rows: int = 100_000,
+        max_age_seconds: float | None = None,
+        serve_seconds_per_row: float = 0.00002,
+        price_per_second: float = 1.0,
+        metrics=None,
+    ) -> None:
+        self.clock = clock
+        self.max_rows = max_rows
+        self.max_age_seconds = max_age_seconds
+        self.serve_seconds_per_row = serve_seconds_per_row
+        self.price_per_second = price_per_second
+        self.metrics = metrics  # optional MetricsRegistry, attached by the engine
+        self._artifacts: "dict[tuple[str, int], Artifact]" = {}
+        self._inflight: "dict[tuple[str, int], _InFlightStage]" = {}
+        self.hits = 0
+        self.joins = 0
+        self.misses = 0
+        self.published = 0
+        self.invalidations = 0
+        self.evictions = 0
+        self.rejected = 0
+        self.aborts = 0
+        self.fallbacks = 0
+
+    # -- metrics -----------------------------------------------------------
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc(amount)
+
+    def _gauge_rows(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("artifacts.stored_rows").set(self.stored_rows())
+
+    # -- freshness ---------------------------------------------------------
+
+    def _servable(self, artifact: Artifact, max_staleness: float | None) -> bool:
+        if max_staleness is not None and max_staleness < 0:
+            return False  # LIVE_ONLY: no materialized path at all
+        limit = (
+            max_staleness if max_staleness is not None else self.max_age_seconds
+        )
+        if limit is None:
+            return True
+        return (self.clock.now() - artifact.fetched_at) <= limit
+
+    def _sweep(self) -> None:
+        """Commit in-flight stages whose producer's modeled completion has
+        passed, and reclaim artifacts dead by the store's own TTL."""
+        now = self.clock.now()
+        for key, stage in list(self._inflight.items()):
+            if stage.completes_at <= now:
+                del self._inflight[key]
+                self._admit(stage.artifact)
+        if self.max_age_seconds is not None:
+            for key, artifact in list(self._artifacts.items()):
+                if (now - artifact.fetched_at) > self.max_age_seconds:
+                    del self._artifacts[key]
+                    self.evictions += 1
+                    self._count("artifacts.evictions")
+        self._gauge_rows()
+
+    # -- keying ------------------------------------------------------------
+
+    def stage_key(self, catalog, scan, agg=None) -> "tuple[str, int] | None":
+        """The current artifact key for one stage, or None if ineligible."""
+        digest = stage_hash(catalog, StageSpec(scan, agg))
+        if digest is None:
+            return None
+        return (digest, catalog.version)
+
+    # -- lookup paths ------------------------------------------------------
+
+    def bid(
+        self, key: "tuple[str, int]", max_staleness: float | None = None
+    ) -> "tuple[Artifact, float, float] | None":
+        """Plan-time offer: ``(artifact, price, age)`` for a *committed*
+        artifact, or None.  Books no hit/miss accounting -- the serve-time
+        paths do -- so planning does not double count."""
+        self._sweep()
+        artifact = self._artifacts.get(key)
+        if artifact is None or not self._servable(artifact, max_staleness):
+            return None
+        seconds = artifact.row_count * self.serve_seconds_per_row
+        age = self.clock.now() - artifact.fetched_at
+        return artifact, seconds * self.price_per_second, age
+
+    def acquire(
+        self, key: "tuple[str, int] | None", max_staleness: float | None = None
+    ) -> "tuple[Artifact, float, bool] | None":
+        """Runtime lookup: ``(artifact, wait_seconds, joined_in_flight)``.
+
+        A committed artifact serves immediately (wait 0).  An in-flight
+        stage serves its already-materialized payload but charges the
+        remaining wait until the producer's modeled completion -- that is
+        the stage *join*.  Books hit/join/miss accounting.
+        """
+        if key is None:
+            return None
+        self._sweep()
+        now = self.clock.now()
+        artifact = self._artifacts.get(key)
+        if artifact is not None and self._servable(artifact, max_staleness):
+            artifact.hits += 1
+            self.hits += 1
+            self._count("artifacts.hits")
+            if self.metrics is not None:
+                self.metrics.histogram("artifacts.hit_age_seconds").observe(
+                    now - artifact.fetched_at
+                )
+            return artifact, 0.0, False
+        stage = self._inflight.get(key)
+        if stage is not None and self._servable(stage.artifact, max_staleness):
+            self.joins += 1
+            self._count("artifacts.joins")
+            return stage.artifact, max(0.0, stage.completes_at - now), True
+        self.misses += 1
+        self._count("artifacts.misses")
+        return None
+
+    def note_plan_hit(self, artifact: Artifact) -> None:
+        """Serve-time accounting for a plan-embedded artifact path."""
+        artifact.hits += 1
+        self.hits += 1
+        self._count("artifacts.hits")
+        if self.metrics is not None:
+            self.metrics.histogram("artifacts.hit_age_seconds").observe(
+                self.clock.now() - artifact.fetched_at
+            )
+
+    # -- publication lifecycle ---------------------------------------------
+
+    def begin_stage(
+        self,
+        output: StageOutput,
+        completes_at: float,
+        producer=None,
+    ) -> bool:
+        """Register a completing stage's output as in flight.
+
+        Concurrent queries may join it immediately; it commits to the
+        artifact table (under admission) once ``completes_at`` passes.
+        Returns False when the key is already present (first producer
+        wins) or the payload exceeds the row budget outright.
+        """
+        self._sweep()
+        key = output.key
+        if key in self._artifacts or key in self._inflight:
+            return False
+        if output.payload.row_count > self.max_rows:
+            self.rejected += 1
+            self._count("artifacts.rejected")
+            return False
+        artifact = Artifact(
+            key=key,
+            table_name=output.table_name,
+            payload=output.payload,
+            rows_saved=output.rows_saved,
+            bytes_saved=output.bytes_saved,
+            fetch_seconds=output.fetch_seconds,
+            fetched_at=output.fetched_at,
+        )
+        self._inflight[key] = _InFlightStage(
+            artifact=artifact, completes_at=completes_at, producer=producer
+        )
+        return True
+
+    def subscribe(self, key: "tuple[str, int]", subscriber) -> bool:
+        """Record that ``subscriber`` joined the in-flight stage at ``key``."""
+        stage = self._inflight.get(key)
+        if stage is None:
+            return False
+        stage.subscribers.append(subscriber)
+        return True
+
+    def set_producer(self, key: "tuple[str, int]", producer) -> None:
+        stage = self._inflight.get(key)
+        if stage is not None:
+            stage.producer = producer
+
+    def abort_stages(self, keys) -> list:
+        """Drop in-flight stages (their producer died); return subscribers.
+
+        The caller (the workload manager) re-executes each returned
+        subscriber independently -- the first-failure fallback.
+        """
+        subscribers: list = []
+        for key in keys:
+            stage = self._inflight.pop(key, None)
+            if stage is None:
+                continue
+            self.aborts += 1
+            self._count("artifacts.inflight_aborts")
+            subscribers.extend(stage.subscribers)
+        return subscribers
+
+    def note_fallback(self) -> None:
+        self.fallbacks += 1
+        self._count("artifacts.fallbacks")
+
+    def _admit(self, artifact: Artifact) -> None:
+        """Commit one in-flight artifact under the benefit economy."""
+        if artifact.row_count > self.max_rows:
+            self.rejected += 1
+            self._count("artifacts.rejected")
+            return
+        self._artifacts[artifact.key] = artifact
+        self.published += 1
+        self._count("artifacts.published")
+        while self.stored_rows() > self.max_rows and self._artifacts:
+            victim = min(
+                self._artifacts,
+                key=lambda k: (
+                    self._artifacts[k].benefit(),
+                    self._artifacts[k].fetched_at,
+                ),
+            )
+            del self._artifacts[victim]
+            self.evictions += 1
+            self._count("artifacts.evictions")
+
+    # -- invalidation ------------------------------------------------------
+
+    def invalidate_table(self, table_name: str) -> int:
+        """Drop all artifacts and in-flight stages of one base table.
+
+        Subscribed queries keep the results they already joined (their
+        answers reflect the pre-write snapshot they were dispatched
+        against, the simulation's execute-at-dispatch semantics); the drop
+        only prevents *new* reuse of the stale content.  The catalog
+        version bump makes surviving keys unreachable regardless.
+        """
+        doomed = [
+            k for k, a in self._artifacts.items() if a.table_name == table_name
+        ]
+        for key in doomed:
+            del self._artifacts[key]
+        doomed_inflight = [
+            k
+            for k, s in self._inflight.items()
+            if s.artifact.table_name == table_name
+        ]
+        for key in doomed_inflight:
+            del self._inflight[key]
+        dropped = len(doomed) + len(doomed_inflight)
+        self.invalidations += dropped
+        self._count("artifacts.invalidations", dropped)
+        self._gauge_rows()
+        return dropped
+
+    # -- introspection -----------------------------------------------------
+
+    def stored_rows(self) -> int:
+        return sum(a.row_count for a in self._artifacts.values())
+
+    def inflight_keys(self) -> "list[tuple[str, int]]":
+        return list(self._inflight)
+
+    def __len__(self) -> int:
+        return len(self._artifacts)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.joins + self.misses
+        return (self.hits + self.joins) / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"ArtifactStore(artifacts={len(self._artifacts)}, "
+            f"inflight={len(self._inflight)}, hits={self.hits}, "
+            f"joins={self.joins}, misses={self.misses})"
+        )
+
+
+def artifact_scan_assignment(store, catalog, spec, max_staleness):
+    """Offer a committed artifact as a priced access path for one stage.
+
+    Returns ``(ScanAssignment, price)`` or None.  The assignment embeds
+    the artifact itself (plans are immutable; validity is re-checked at
+    execution against the catalog version, like every prepared plan).
+    """
+    from repro.federation.physical import ScanAssignment
+
+    if store is None or spec is None:
+        return None
+    key = store.stage_key(catalog, spec.scan, spec.agg)
+    if key is None:
+        return None
+    offer = store.bid(key, max_staleness)
+    if offer is None:
+        return None
+    artifact, price, age = offer
+    assignment = ScanAssignment(
+        spec.scan.binding,
+        spec.scan.table,
+        "artifact",
+        artifact=artifact,
+        artifact_age=age,
+        est_bytes=0,
+    )
+    return assignment, price

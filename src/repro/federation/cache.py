@@ -222,15 +222,17 @@ class SemanticCache:
         for key, entry in list(self._entries.items()):
             if entry.table_name != table_name:
                 continue
-            if self._expired(entry, self.max_staleness):
-                # Dead by the cache's own TTL: evict.
-                del self._entries[key]
-                self.evictions += 1
-                self._count("cache.evictions")
-                continue
             if self._expired(entry, max_staleness):
-                # Too stale for *this* request only; a laxer query may
-                # still use it, so it stays.
+                # Too stale for this request's *effective* bound (the
+                # per-call bound when given, else the store default).  A
+                # caller with a laxer bound than the store TTL must still
+                # be served, so the per-call bound decides serveability;
+                # the store's own TTL only decides whether the entry is
+                # dead for everyone and can be reclaimed now.
+                if self._expired(entry, self.max_staleness):
+                    del self._entries[key]
+                    self.evictions += 1
+                    self._count("cache.evictions")
                 continue
             kind = coverage_kind(entry.region, requested)
             if kind is None or (self.coverage == "verbatim" and kind != "verbatim"):

@@ -29,6 +29,7 @@ import itertools
 import time
 
 from repro.core.errors import QueryError
+from repro.federation.artifacts import artifact_scan_assignment, stage_specs
 from repro.federation.cache import cache_scan_assignment
 from repro.federation.catalog import FederationCatalog, Fragment
 from repro.federation.physical import FragmentChoice, PhysicalPlan, ScanAssignment
@@ -55,6 +56,7 @@ class CentralizedOptimizer:
         max_combinations: int = 4096,
         cache=None,
         health=None,
+        artifacts=None,
     ) -> None:
         self.catalog = catalog
         self.stats_refresh_interval = stats_refresh_interval
@@ -66,6 +68,10 @@ class CentralizedOptimizer:
         # Attached by the engine; a covering cached region is a local
         # materialized answer and beats any remote plan under the snapshot.
         self.cache = cache
+        # Attached by the engine; a committed stage artifact is an even
+        # tighter local answer (the stage's exact output, post-filter and
+        # post-projection) and is taken before the cache.
+        self.artifacts = artifacts
         # Attached by the engine; flaky sites' estimated costs are inflated
         # by their risk penalty and tripped circuits are avoided when an
         # alternative replica exists.
@@ -124,7 +130,18 @@ class CentralizedOptimizer:
 
         fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]] = []
         assignments: dict[str, ScanAssignment] = {}
+        specs = stage_specs(plan) if self.artifacts is not None else {}
         for scan in scans_in(plan):
+            # A committed stage artifact is this stage's exact output,
+            # already at the coordinator: cheapest feasible under any
+            # snapshot, so it is taken before every other path.
+            artifact_offer = artifact_scan_assignment(
+                self.artifacts, self.catalog, specs.get(scan.binding),
+                max_staleness,
+            )
+            if artifact_offer is not None:
+                assignments[scan.binding] = artifact_offer[0]
+                continue
             # A covering cached region costs a local pass with no network
             # and no remote queue -- under any snapshot that is the cheapest
             # feasible plan, so it is taken before placement is enumerated.

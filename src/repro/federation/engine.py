@@ -143,6 +143,7 @@ class FederatedEngine:
         health: "SiteHealthTracker | None" = None,
         retry: RetryPolicy | None = None,
         columnar: bool = True,
+        artifacts=None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer or AgoricOptimizer(catalog)
@@ -150,10 +151,13 @@ class FederatedEngine:
         self.retry = retry or RetryPolicy()
         self.executor = Executor(
             catalog, health=self.health, retry=self.retry, cache=cache,
-            columnar=columnar,
+            columnar=columnar, artifacts=artifacts,
         )
         self.metrics = metrics or MetricsRegistry()
         self.cache = cache
+        # The content-hashed stage artifact store (an ArtifactStore from
+        # repro.federation.artifacts, or None to disable stage reuse).
+        self.artifacts = artifacts
         # Availability is an access-path concern too: the optimizers consult
         # the health tracker so flaky sites' bids carry a risk penalty.
         if getattr(self.optimizer, "health", None) is None:
@@ -169,6 +173,14 @@ class FederatedEngine:
             # Base-table updates invalidate cached regions of that table;
             # TTL alone is a fallback, not the correctness story.
             self.catalog.on_table_updated(cache.invalidate_table)
+        if artifacts is not None:
+            # Artifacts are an access path too: offer them to the optimizer
+            # and invalidate on base-table writes, exactly like the cache.
+            if getattr(self.optimizer, "artifacts", None) is None:
+                self.optimizer.artifacts = artifacts
+            if artifacts.metrics is None:
+                artifacts.metrics = self.metrics
+            self.catalog.on_table_updated(artifacts.invalidate_table)
         self.synonyms: SynonymExpander | None = None
         self.taxonomy_expander: TaxonomyExpander | None = None
 
@@ -182,6 +194,7 @@ class FederatedEngine:
         advance_clock: bool = True,
         budget: float | None = None,
         degraded_ok: bool = False,
+        reuse_artifacts: bool = True,
     ) -> QueryResult:
         """Answer one SQL query.
 
@@ -202,7 +215,7 @@ class FederatedEngine:
         statement = parse_sql(sql)
         return self._execute_statement(
             statement, max_staleness, coordinator, advance_clock, budget,
-            degraded_ok,
+            degraded_ok, reuse_artifacts,
         )
 
     def _execute_statement(
@@ -213,6 +226,7 @@ class FederatedEngine:
         advance_clock: bool = True,
         budget: float | None = None,
         degraded_ok: bool = False,
+        reuse_artifacts: bool = True,
     ) -> QueryResult:
         # Uncorrelated IN-subqueries run first (semijoin by materialization:
         # the inner membership set is fetched, then shipped into the outer
@@ -238,7 +252,8 @@ class FederatedEngine:
             physical = self.optimizer.optimize(plan, coordinator, max_staleness)
         self._annotate_text_filters(plan, physical)
         return self._run_physical(
-            plan, physical, max_staleness, advance_clock, degraded_ok
+            plan, physical, max_staleness, advance_clock, degraded_ok,
+            reuse_artifacts,
         )
 
     def _run_physical(
@@ -248,6 +263,7 @@ class FederatedEngine:
         max_staleness: float | None,
         advance_clock: bool,
         degraded_ok: bool,
+        reuse_artifacts: bool = True,
     ) -> QueryResult:
         """Execute an already-optimized plan and do all the accounting.
 
@@ -266,7 +282,8 @@ class FederatedEngine:
 
         try:
             table, report = self.executor.execute(
-                physical, degraded_ok=degraded_ok, max_staleness=max_staleness
+                physical, degraded_ok=degraded_ok, max_staleness=max_staleness,
+                reuse_artifacts=reuse_artifacts,
             )
         except (PartialFailureError, SourceUnavailableError):
             self.metrics.counter("queries.partial_failures").inc()
@@ -287,6 +304,16 @@ class FederatedEngine:
             target = start + report.response_seconds
             if target > self.catalog.clock.now():
                 self.catalog.clock.advance_to(target)
+        # Register captured stage outputs as *in-flight* artifacts.  The
+        # stage becomes joinable immediately, but only commits to the store
+        # once the producing query's modeled completion passes -- under the
+        # workload manager's frozen-clock dispatch that is the window a
+        # concurrent identical stage subscribes in.
+        if self.artifacts is not None and reuse_artifacts:
+            completes_at = start + report.response_seconds
+            for output in report.stage_outputs:
+                if self.artifacts.begin_stage(output, completes_at):
+                    report.artifact_published_keys.append(output.key)
         # Store *after* the response clock has advanced: entries are stamped
         # with the fetch timestamp captured at scan time, so staleness is
         # measured from when the rows were read, never from "now".
@@ -370,6 +397,8 @@ class FederatedEngine:
             elif assignment.kind == "cache":
                 as_of = now - assignment.cached_staleness
                 bounds.append(as_of + max_staleness)
+            elif assignment.kind == "artifact" and assignment.artifact is not None:
+                bounds.append(assignment.artifact.fetched_at + max_staleness)
         return min(bounds) if bounds else None
 
     def execute(
@@ -378,6 +407,7 @@ class FederatedEngine:
         params: "tuple | list" = (),
         advance_clock: bool = True,
         degraded_ok: bool = False,
+        reuse_artifacts: bool = True,
     ) -> QueryResult:
         """Run a prepared statement with ``params`` bound to its ``?`` slots.
 
@@ -402,6 +432,7 @@ class FederatedEngine:
                 advance_clock,
                 None,
                 degraded_ok,
+                reuse_artifacts,
             )
 
         if prepared.catalog_version != self.catalog.version or (
@@ -426,7 +457,8 @@ class FederatedEngine:
             total_price=template.total_price,
         )
         return self._run_physical(
-            bound, physical, prepared.max_staleness, advance_clock, degraded_ok
+            bound, physical, prepared.max_staleness, advance_clock, degraded_ok,
+            reuse_artifacts,
         )
 
     def record_report_metrics(self, report: ExecutionReport) -> None:
@@ -451,6 +483,14 @@ class FederatedEngine:
             self.metrics.counter("failover.retry_seconds").inc(report.retry_seconds)
         if report.degraded:
             self.metrics.counter("queries.degraded").inc()
+        if report.artifact_rows_saved:
+            self.metrics.counter("artifacts.rows_saved").inc(
+                report.artifact_rows_saved
+            )
+        if report.artifact_bytes_saved:
+            self.metrics.counter("artifacts.bytes_saved").inc(
+                report.artifact_bytes_saved
+            )
         self.metrics.histogram("query.completeness").observe(report.completeness)
         if report.fragments_total:
             self.metrics.counter("pruning.fragments_pruned").inc(
@@ -592,6 +632,13 @@ class FederatedEngine:
                 f"tenant: {report.tenant}  scheduler: {report.scheduler}  "
                 f"queue wait: {report.queue_wait_seconds:.6f}s"
             )
+        if report.artifact_hits or report.artifact_joins:
+            lines.append(
+                f"artifact reuse: hits {report.artifact_hits}  "
+                f"joins {report.artifact_joins}  "
+                f"rows saved {report.artifact_rows_saved}  "
+                f"bytes saved {report.artifact_bytes_saved}"
+            )
         if report.fragments_total:
             lines.append(
                 f"pruned fragments {report.fragments_pruned}/"
@@ -621,6 +668,10 @@ class FederatedEngine:
                 from repro.federation.physical import describe_cache_path
 
                 detail = describe_cache_path(assignment)
+            elif assignment.kind == "artifact":
+                from repro.federation.physical import describe_artifact_path
+
+                detail = describe_artifact_path(assignment)
             else:
                 from repro.federation.physical import describe_pruning
 

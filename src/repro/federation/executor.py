@@ -67,12 +67,16 @@ class Executor:
         retry: RetryPolicy | None = None,
         cache=None,
         columnar: bool = True,
+        artifacts=None,
     ) -> None:
         self.catalog = catalog
         self.planner = PhysicalPlanner(catalog)
         self.health = health
         self.retry = retry or RetryPolicy()
         self.cache = cache
+        # The stage-artifact store (repro.federation.artifacts), consulted
+        # and fed at the Ship boundary of every hashable stage.
+        self.artifacts = artifacts
         # Batch-at-a-time columnar site-side execution; False selects the
         # legacy row-at-a-time path (results are identical -- see
         # tests/test_columnar_execution.py).
@@ -83,6 +87,7 @@ class Executor:
         plan: PhysicalPlan,
         degraded_ok: bool = False,
         max_staleness: float | None = None,
+        reuse_artifacts: bool = True,
     ) -> tuple[Table, ExecutionReport]:
         report = ExecutionReport(price=plan.total_price)
         # Recompile every time: assignments may have changed since the
@@ -99,6 +104,8 @@ class Executor:
             cache=self.cache,
             max_staleness=max_staleness,
             columnar=self.columnar,
+            artifacts=self.artifacts,
+            reuse_artifacts=reuse_artifacts,
         )
 
         root.open(ctx)

@@ -53,11 +53,19 @@ from repro.sql.sqltext import (
 class PlanCache:
     """LRU cache of prepared-statement templates, keyed by normalized SQL.
 
-    The key is ``(normalize_sql(sql), max_staleness)``: two spellings of
-    the same statement -- different comments, whitespace, keyword case --
-    share one template, while different staleness bounds plan separately
-    (the bound shapes access-path choice).  Entries are never served
-    stale: revalidation against the catalog version lives in
+    The key is ``(normalize_sql(sql), max_staleness, coordinator)``: two
+    spellings of the same statement -- different comments, whitespace,
+    keyword case -- share one template, while options that change *what
+    plan is built* key separately: the staleness bound shapes access-path
+    choice, and a pinned coordinator is baked into the template's site
+    assignments (two sessions pinning different coordinators must never
+    share one plan).  Options that are bound per-*execution* rather than
+    per-plan stay out of the key on purpose: ``degraded_ok`` and the
+    tenant are threaded through :meth:`WorkloadManager.submit` at dispatch
+    and never touch the template, and ``columnar`` is an engine-level
+    execution mode, so splitting the key on any of them would only
+    depress the hit rate without changing semantics.  Entries are never
+    served stale: revalidation against the catalog version lives in
     :meth:`FederatedEngine.execute`, so the cache only manages identity
     and eviction.
     """
@@ -73,7 +81,7 @@ class PlanCache:
         self.engine = engine
         self.capacity = capacity
         self.metrics = metrics or engine.metrics
-        self._entries: "OrderedDict[tuple[str, float | None], PreparedStatement]" = (
+        self._entries: "OrderedDict[tuple[str, float | None, str | None], PreparedStatement]" = (
             OrderedDict()
         )
         self.hits = 0
@@ -84,17 +92,22 @@ class PlanCache:
         return len(self._entries)
 
     def get_or_prepare(
-        self, sql: str, max_staleness: float | None = None
+        self,
+        sql: str,
+        max_staleness: float | None = None,
+        coordinator: str | None = None,
     ) -> PreparedStatement:
         """The cached template for ``sql``, preparing (and caching) on miss."""
-        key = (normalize_sql(sql), max_staleness)
+        key = (normalize_sql(sql), max_staleness, coordinator)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
             self.hits += 1
             self.metrics.counter("gateway.plan_cache.hits").inc()
             return entry
-        entry = self.engine.prepare(sql, max_staleness=max_staleness)
+        entry = self.engine.prepare(
+            sql, max_staleness=max_staleness, coordinator=coordinator
+        )
         # Count the miss only once the statement proves preparable, so
         # unpreparable statements (textual-binding fallback) don't depress
         # the hit rate on every execution.
@@ -154,12 +167,22 @@ class GatewaySession:
     manager's event loop).
     """
 
-    def __init__(self, gateway: "Gateway", tenant: str, degraded_ok: bool) -> None:
+    def __init__(
+        self,
+        gateway: "Gateway",
+        tenant: str,
+        degraded_ok: bool,
+        coordinator: str | None = None,
+    ) -> None:
         self.gateway = gateway
         self.tenant = tenant
         self.degraded_ok = degraded_ok
+        self.coordinator = coordinator  # pinned coordinator site, or None
         self.closed = False
         self.statements = 0  # lifetime statements across checkouts
+        # Cursor tokens opened by this checkout; closed on release so a
+        # reused session never leaks another tenant's result set.
+        self._cursors: set[str] = set()
 
     # -- statement execution ----------------------------------------------
 
@@ -183,7 +206,7 @@ class GatewaySession:
         workload = self.gateway.workload
         try:
             prepared = self.gateway.plan_cache.get_or_prepare(
-                sql, max_staleness=max_staleness
+                sql, max_staleness=max_staleness, coordinator=self.coordinator
             )
         except SqlParseError:
             if not count_placeholders(sql):
@@ -247,7 +270,7 @@ class GatewaySession:
             sql, params, priority=priority, max_staleness=max_staleness
         )
         return self.gateway._open_cursor(
-            outcome.columns, outcome.rows, limit
+            outcome.columns, outcome.rows, limit, session=self
         )
 
     # -- lifecycle ---------------------------------------------------------
@@ -299,6 +322,9 @@ class _Cursor:
     columns: tuple[str, ...]
     rows: list[tuple]
     position: int = 0
+    # The session checkout that opened the cursor; releasing the session
+    # expires the cursor, so tokens never outlive their tenant's checkout.
+    session: "GatewaySession | None" = None
 
 
 class Gateway:
@@ -334,9 +360,17 @@ class Gateway:
 
     # -- session pool ------------------------------------------------------
 
-    def connect(self, tenant: str = "default", degraded_ok: bool = False) -> GatewaySession:
+    def connect(
+        self,
+        tenant: str = "default",
+        degraded_ok: bool = False,
+        coordinator: str | None = None,
+    ) -> GatewaySession:
         """Check a session out of the pool (creating one on a cold pool).
 
+        ``coordinator`` pins every plan built for this session to one
+        coordinator site (a client co-located with a site, or a routing
+        tier's affinity choice); it participates in the plan-cache key.
         Raises :class:`QueryError` when ``max_sessions`` sessions are
         already checked out -- the gateway sheds connections rather than
         oversubscribing, mirroring the workload manager's bounded queues.
@@ -351,10 +385,11 @@ class Gateway:
             session = free.pop()
             session.closed = False
             session.degraded_ok = degraded_ok
+            session.coordinator = coordinator
             self.sessions_reused += 1
             self.metrics.counter("gateway.sessions.reused").inc()
         else:
-            session = GatewaySession(self, tenant, degraded_ok)
+            session = GatewaySession(self, tenant, degraded_ok, coordinator)
             self.sessions_opened += 1
             self.metrics.counter("gateway.sessions.opened").inc()
         self.active_sessions += 1
@@ -363,6 +398,12 @@ class Gateway:
         return session
 
     def _release(self, session: GatewaySession) -> None:
+        # Expire the checkout's open cursors first: a pooled session may be
+        # re-acquired by a different tenant, and a surviving token would let
+        # that tenant page through the previous tenant's result set.
+        for token in list(session._cursors):
+            self.close_cursor(token)
+        session._cursors.clear()
         self.active_sessions -= 1
         self.metrics.gauge("gateway.sessions.active").set(self.active_sessions)
         free = self._idle.setdefault(session.tenant, [])
@@ -378,7 +419,11 @@ class Gateway:
     # -- pagination --------------------------------------------------------
 
     def _open_cursor(
-        self, columns: tuple[str, ...], rows: list[tuple], limit: int
+        self,
+        columns: tuple[str, ...],
+        rows: list[tuple],
+        limit: int,
+        session: GatewaySession | None = None,
     ) -> Page:
         if limit < 1:
             raise QueryError(f"page limit must be >= 1, got {limit}")
@@ -387,7 +432,11 @@ class Gateway:
             return Page(columns=columns, rows=first, cursor=None)
         self._cursor_seq += 1
         token = f"c{self._cursor_seq}"
-        self._cursors[token] = _Cursor(columns=columns, rows=rows, position=limit)
+        self._cursors[token] = _Cursor(
+            columns=columns, rows=rows, position=limit, session=session
+        )
+        if session is not None:
+            session._cursors.add(token)
         self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
         return Page(columns=columns, rows=first, cursor=token)
 
@@ -407,14 +456,16 @@ class Gateway:
         rows = cursor.rows[cursor.position : cursor.position + limit]
         cursor.position += len(rows)
         if cursor.position >= len(cursor.rows):
-            del self._cursors[cursor_token]
-            self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
+            self.close_cursor(cursor_token)
             return Page(columns=cursor.columns, rows=rows, cursor=None)
         return Page(columns=cursor.columns, rows=rows, cursor=cursor_token)
 
     def close_cursor(self, cursor_token: str) -> None:
         """Drop a cursor early (a client abandoning a paged result)."""
-        if self._cursors.pop(cursor_token, None) is not None:
+        cursor = self._cursors.pop(cursor_token, None)
+        if cursor is not None:
+            if cursor.session is not None:
+                cursor.session._cursors.discard(cursor_token)
             self.metrics.gauge("gateway.cursors.open").set(len(self._cursors))
 
     def __repr__(self) -> str:

@@ -80,18 +80,26 @@ class PolicyOptimizer:
     """
 
     def __init__(self, catalog: FederationCatalog, policy: ReplicaPolicy,
-                 name: str | None = None, cache=None, health=None) -> None:
+                 name: str | None = None, cache=None, health=None,
+                 artifacts=None) -> None:
         self.catalog = catalog
         self.policy = policy
         self.name = name or f"policy:{type(policy).__name__}"
         # Attached by the engine; covering cached regions pre-empt the
         # replica choice entirely (no replica beats a local answer).
         self.cache = cache
+        # Attached by the engine; a committed stage artifact pre-empts even
+        # the cache (it is the stage's exact output, already local).
+        self.artifacts = artifacts
         # Attached by the engine; a policy pick whose circuit is open is
         # overridden with the least-risky allowed replica.
         self.health = health
 
     def optimize(self, plan, coordinator=None, max_staleness=None):
+        from repro.federation.artifacts import (
+            artifact_scan_assignment,
+            stage_specs,
+        )
         from repro.federation.cache import cache_scan_assignment
         from repro.federation.physical import (
             FragmentChoice,
@@ -107,7 +115,15 @@ class PolicyOptimizer:
 
         assignments = {}
         rows_by_site: dict[str, int] = {}
+        specs = stage_specs(plan) if self.artifacts is not None else {}
         for scan in scans_in(plan):
+            artifact_offer = artifact_scan_assignment(
+                self.artifacts, self.catalog, specs.get(scan.binding),
+                max_staleness,
+            )
+            if artifact_offer is not None:
+                assignments[scan.binding] = artifact_offer[0]
+                continue
             cache_offer = cache_scan_assignment(self.cache, scan, max_staleness)
             if cache_offer is not None:
                 assignments[scan.binding] = cache_offer[0]

@@ -89,13 +89,17 @@ class ScanAssignment:
 
     binding: str
     table_name: str
-    kind: str  # "fragments" | "view" | "cache"
+    kind: str  # "fragments" | "view" | "cache" | "artifact"
     choices: list[FragmentChoice] = field(default_factory=list)
     view: MaterializedView | None = None
     text_filter: tuple[str, str] | None = None  # (column, query) -> use text index
     cached_table: "Table | None" = None  # for kind "cache"
     cached_staleness: float = 0.0
     cached_region: "frozenset | None" = None  # the predicate region served
+    # For kind "artifact": the committed stage artifact the plan embeds
+    # (validity re-checked against the catalog version at execution time).
+    artifact: "Any | None" = None
+    artifact_age: float = 0.0  # age in seconds at plan time (EXPLAIN)
     # Zone-map partition elimination accounting for kind "fragments":
     # of ``total_fragments`` in the catalog, ``pruned_fragments`` were
     # proven empty under the scan's predicates and get no choice at all.
@@ -236,6 +240,19 @@ class ExecutionReport:
     scheduler: str | None = None
     # Live fragment-scan outputs, for the engine's semantic cache to store.
     scan_tables: dict[str, ScanCapture] = field(default_factory=dict)
+    # Stage-artifact reuse accounting (see repro.federation.artifacts):
+    # hits served from committed artifacts, joins onto in-flight stages,
+    # the site rows / wire bytes those reuses avoided, the joined stage
+    # keys (for the workload manager's subscription protocol), captured
+    # stage outputs awaiting publication, and the keys the engine actually
+    # registered in flight.
+    artifact_hits: int = 0
+    artifact_joins: int = 0
+    artifact_rows_saved: int = 0
+    artifact_bytes_saved: int = 0
+    artifact_join_keys: list = field(default_factory=list)
+    stage_outputs: list = field(default_factory=list)
+    artifact_published_keys: list = field(default_factory=list)
     operators: OperatorStats | None = None  # per-operator stats tree
 
 
@@ -286,6 +303,8 @@ class ExecContext:
         cache=None,
         max_staleness: float | None = None,
         columnar: bool = True,
+        artifacts=None,
+        reuse_artifacts: bool = True,
     ) -> None:
         self.catalog = catalog
         self.plan = plan
@@ -304,6 +323,12 @@ class ExecContext:
         self.retry = retry or RetryPolicy()
         self.degraded_ok = degraded_ok
         self.cache = cache  # last-resort covering regions for dead fragments
+        # The stage-artifact store (repro.federation.artifacts), and whether
+        # this execution may *consume* it.  The workload manager's fallback
+        # re-execution sets reuse_artifacts=False so a query whose joined
+        # producer died recomputes independently (and publishes nothing).
+        self.artifacts = artifacts
+        self.reuse_artifacts = reuse_artifacts
         # The query's staleness bound, honored by the covering fallback too:
         # a LIVE_ONLY query must fail rather than silently serve stale data.
         self.max_staleness = max_staleness
@@ -850,6 +875,70 @@ class SiteScan(SiteOperator):
         return f"{self.scan.table} as {self.scan.binding}: {detail}"
 
 
+class ArtifactSource(SiteOperator):
+    """Serve one stage from a plan-embedded committed artifact.
+
+    This is the compiled form of an optimizer-chosen ``"artifact"`` scan
+    assignment: a coordinator-local pass over the materialized stage
+    output -- no site work, no wire bytes.  Like every other decision
+    embedded in a prepared plan, validity is re-checked against the live
+    catalog at execution time; a version mismatch raises so the engine
+    replans instead of serving pre-write rows.
+    """
+
+    name = "ArtifactSource"
+
+    def __init__(self, scan: ScanNode, agg=None) -> None:
+        super().__init__()
+        self.scan = scan
+        self.agg = agg
+
+    def _compute(self, ctx: ExecContext) -> list[SiteBatch]:
+        assignment = ctx.plan.assignments.get(self.scan.binding)
+        artifact = assignment.artifact if assignment is not None else None
+        if artifact is None:
+            raise QueryError(
+                f"artifact scan for {self.scan.binding!r} has no artifact"
+            )
+        if artifact.key[1] != ctx.catalog.version:
+            raise QueryError(
+                f"stale artifact plan for {self.scan.table!r} "
+                f"(v{artifact.key[1]}, catalog v{ctx.catalog.version})"
+            )
+        age = ctx.catalog.clock.now() - artifact.fetched_at
+        if ctx.max_staleness is not None and (
+            ctx.max_staleness < 0 or age > ctx.max_staleness
+        ):
+            raise QueryError(
+                f"artifact for {self.scan.table!r} too stale "
+                f"({age:.1f}s > {ctx.max_staleness:.1f}s)"
+            )
+        if self.agg is not None:
+            rows = artifact.serve_groups(
+                self.scan.binding, ctx.ambiguous, self.agg.split.calls
+            )
+        else:
+            rows = artifact.serve_rows(self.scan.binding, ctx.ambiguous)
+        if rows is None:
+            raise QueryError(
+                f"artifact payload mismatch for {self.scan.binding!r}"
+            )
+        ctx.scan_total_rows += len(rows)
+        work = ctx.charge_site(ctx.coordinator, len(rows))
+        self.stats.seconds = work
+        ctx.report.staleness_seconds = max(ctx.report.staleness_seconds, age)
+        if ctx.artifacts is not None:
+            ctx.artifacts.note_plan_hit(artifact)
+        ctx.report.artifact_hits += 1
+        ctx.report.artifact_rows_saved += artifact.rows_saved
+        ctx.report.artifact_bytes_saved += artifact.bytes_saved
+        self.stats.detail = (
+            f"{self.scan.table} as {self.scan.binding}: "
+            f"{describe_artifact_path(assignment)}"
+        )
+        return [SiteBatch(ctx.coordinator, rows, work)]
+
+
 class SiteFilter(SiteOperator):
     """Evaluate residual single-binding conjuncts where the rows live."""
 
@@ -1231,6 +1320,130 @@ class Ship(PhysicalOperator):
 
     name = "Ship"
 
+    def __init__(self, child: "PhysicalOperator", stage=None) -> None:
+        super().__init__(child)
+        # ``(ScanNode, AggregateNode | None)`` when this Ship bounds a
+        # content-hashable stage (the unit of artifact reuse); None for
+        # plan-embedded artifact scans and non-stage shapes.
+        self.stage = stage
+        self._stage_key = None
+        self._stage_rows_fetched = 0
+
+    def open(self, ctx: ExecContext) -> None:
+        self.stats = OperatorStats(self.name, site=ctx.coordinator)
+        self._ctx = ctx
+        self._closed = False
+        served = self._artifact_rows(ctx)
+        if served is not None:
+            # The whole site-side pipeline is skipped: children are never
+            # opened (their close() guards make that safe) and no site does
+            # any scan work for this stage.
+            self._rows = iter(served)
+            return
+        before = ctx.report.rows_fetched
+        for child in self.children:
+            child.open(ctx)
+        self._stage_rows_fetched = ctx.report.rows_fetched - before
+        self._rows = self._produce(ctx)
+
+    def _artifact_rows(self, ctx: ExecContext) -> "list[Any] | None":
+        """Serve this stage from the artifact store: a committed-artifact
+        hit (wait 0) or a join onto an identical in-flight stage (charged
+        the remaining wait until the producer's modeled completion)."""
+        self._stage_key = None
+        store = ctx.artifacts
+        if store is None or self.stage is None or not ctx.reuse_artifacts:
+            return None
+        scan, agg = self.stage
+        assignment = ctx.plan.assignments.get(scan.binding)
+        if assignment is None or assignment.kind != "fragments":
+            # View/cache paths carry their own staleness semantics; the
+            # stage hash only describes the base-table fragment scan.
+            return None
+        key = store.stage_key(ctx.catalog, scan, agg)
+        if key is None:
+            return None
+        self._stage_key = key  # the capture target if we miss
+        hit = store.acquire(key, ctx.max_staleness)
+        if hit is None:
+            return None
+        artifact, wait, joined = hit
+        if agg is not None:
+            rows = artifact.serve_groups(scan.binding, ctx.ambiguous, agg.split.calls)
+        else:
+            rows = artifact.serve_rows(scan.binding, ctx.ambiguous)
+        if rows is None:
+            # Payload-kind or call mismatch under an identical digest (a
+            # hash-collision guard): recompute instead of serving garbage.
+            self._stage_key = None
+            return None
+        serve = ctx.charge_coordinator(len(rows))
+        ctx.scan_elapsed = max(ctx.scan_elapsed, wait)
+        ctx.scan_total_rows += len(rows)
+        age = ctx.catalog.clock.now() - artifact.fetched_at
+        ctx.report.staleness_seconds = max(ctx.report.staleness_seconds, age)
+        if joined:
+            ctx.report.artifact_joins += 1
+            ctx.report.artifact_join_keys.append(key)
+        else:
+            ctx.report.artifact_hits += 1
+        ctx.report.artifact_rows_saved += artifact.rows_saved
+        ctx.report.artifact_bytes_saved += artifact.bytes_saved
+        self.stats.rows_in = len(rows)
+        self.stats.seconds = serve
+        label = "joined in-flight stage" if joined else "artifact hit"
+        self.stats.detail = (
+            f"{label} {key[0][:8]} v{key[1]} "
+            f"(age {age:.1f}s, wait {wait:.2f}s)"
+        )
+        return rows
+
+    def _maybe_capture(
+        self, ctx: ExecContext, rows: list, shipped_bytes: int, arrival: float
+    ) -> None:
+        """On an artifact miss, publish this stage's output through the
+        report.  The engine registers successful reports' outputs in
+        flight; failed executions drop them unseen."""
+        key = self._stage_key
+        if ctx.artifacts is None or key is None or not ctx.reuse_artifacts:
+            return
+        # Degraded, failed-over, or covering-fallback output is stale or
+        # incomplete for the stage's content hash; never publish it.
+        if ctx.unreachable_rows or ctx.unreachable_fragments:
+            return
+        site_scan = self.children[0]
+        while site_scan.children:
+            site_scan = site_scan.children[0]
+        if not isinstance(site_scan, SiteScan) or not site_scan._capture_ok:
+            return
+        from repro.federation import artifacts as artifacts_mod
+
+        scan, agg = self.stage
+        try:
+            if agg is not None:
+                payload = artifacts_mod.groups_payload(
+                    rows, scan.binding, agg.split.calls
+                )
+            else:
+                entry = ctx.catalog.tables.get(scan.table)
+                if entry is None:
+                    return
+                fields = artifacts_mod.stage_fields(entry.schema, scan)
+                payload = artifacts_mod.rows_payload(rows, scan.binding, fields)
+        except KeyError:
+            return  # rows missing expected columns: not canonically capturable
+        ctx.report.stage_outputs.append(
+            artifacts_mod.StageOutput(
+                key=key,
+                table_name=scan.table,
+                payload=payload,
+                rows_saved=self._stage_rows_fetched,
+                bytes_saved=shipped_bytes,
+                fetch_seconds=arrival,
+                fetched_at=ctx.catalog.clock.now(),
+            )
+        )
+
     def _produce(self, ctx: ExecContext) -> Iterator[Any]:
         rows: list[Any] = []
         arrival = 0.0
@@ -1317,6 +1530,7 @@ class Ship(PhysicalOperator):
         self.stats.detail = (
             f"from {', '.join(sorted(sources))}" if sources else "coordinator-local"
         )
+        self._maybe_capture(ctx, rows, shipped_bytes, arrival)
         yield from rows
 
 
@@ -1860,6 +2074,15 @@ def describe_cache_path(assignment: ScanAssignment) -> str:
     )
 
 
+def describe_artifact_path(assignment: ScanAssignment) -> str:
+    """The artifact access path as EXPLAIN shows it: stage key plus age."""
+    artifact = assignment.artifact
+    return (
+        f"artifact(stage {artifact.key[0][:8]}, v{artifact.key[1]}, "
+        f"rows {artifact.row_count}, age {assignment.artifact_age:.1f}s)"
+    )
+
+
 def describe_expr(expr: Expr) -> str:
     """Compact SQL-ish rendering for EXPLAIN output."""
     if isinstance(expr, Literal):
@@ -1907,7 +2130,10 @@ class PhysicalPlanner:
 
     def _node(self, node: PlanNode, plan: PhysicalPlan) -> PhysicalOperator:
         if isinstance(node, ScanNode):
-            return Ship(self._site_pipeline(node, plan))
+            assignment = plan.assignments.get(node.binding)
+            if assignment is not None and assignment.kind == "artifact":
+                return Ship(ArtifactSource(node))
+            return Ship(self._site_pipeline(node, plan), stage=(node, None))
         if isinstance(node, FilterNode):
             return Filter(self._node(node.child, plan), node.condition)
         if isinstance(node, JoinNode):
@@ -1929,10 +2155,17 @@ class PhysicalPlanner:
             return Project(self._node(node.child, plan), node.items, node.distinct)
         if isinstance(node, AggregateNode):
             if node.split is not None and isinstance(node.child, ScanNode):
+                assignment = plan.assignments.get(node.child.binding)
+                if assignment is not None and assignment.kind == "artifact":
+                    return FinalAggregate(
+                        Ship(ArtifactSource(node.child, node)), node
+                    )
                 pipeline = PartialAggregate(
                     self._site_pipeline(node.child, plan), node
                 )
-                return FinalAggregate(Ship(pipeline), node)
+                return FinalAggregate(
+                    Ship(pipeline, stage=(node.child, node)), node
+                )
             return Aggregate(self._node(node.child, plan), node)
         if isinstance(node, SortNode):
             return Sort(self._node(node.child, plan), node.order_by)

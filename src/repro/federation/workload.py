@@ -141,7 +141,12 @@ class QueryHandle:
         self.error: Exception | None = None
         self._result: QueryResult | None = None
         self._deadline_event: ScheduledEvent | None = None
+        self._completion_event: ScheduledEvent | None = None
         self._busy_sites: tuple[str, ...] = ()
+        # Stage keys this query registered in flight with the artifact
+        # store (it is their *producer*); cancelling the query aborts them
+        # and falls back any subscribers.
+        self._stage_keys: tuple = ()
 
     # The scheduler-facing surface (see repro.federation.scheduler).
 
@@ -385,6 +390,13 @@ class WorkloadManager:
         report.queue_wait_seconds = wait
         report.tenant = owner.name
         report.scheduler = self.scheduler.name
+        self._occupy(handle, result)
+
+    def _occupy(self, handle: QueryHandle, result: QueryResult) -> None:
+        """Hold the query's modeled footprint until its completion event:
+        site congestion gauges, plus its artifact-store roles (producer of
+        the stages it registered, subscriber of the stages it joined)."""
+        report = result.report
         handle._busy_sites = tuple(sorted(report.site_work))
         catalog = self.engine.catalog
         for site_name in handle._busy_sites:
@@ -393,13 +405,21 @@ class WorkloadManager:
             self.metrics.gauge(f"site.{site_name}.active_scans").set(
                 site.active_scans
             )
-        self.loop.schedule_after(
+        store = getattr(self.engine, "artifacts", None)
+        if store is not None:
+            if report.artifact_published_keys:
+                handle._stage_keys = tuple(report.artifact_published_keys)
+                for key in handle._stage_keys:
+                    store.set_producer(key, handle)
+            for key in report.artifact_join_keys:
+                store.subscribe(key, handle)
+        handle._completion_event = self.loop.schedule_after(
             report.response_seconds,
             lambda: self._complete(handle, result),
             name=f"wlm-complete:{handle.seq}",
         )
 
-    def _complete(self, handle: QueryHandle, result: QueryResult) -> None:
+    def _release_sites(self, handle: QueryHandle) -> None:
         catalog = self.engine.catalog
         for site_name in handle._busy_sites:
             site = catalog.site(site_name)
@@ -407,6 +427,10 @@ class WorkloadManager:
             self.metrics.gauge(f"site.{site_name}.active_scans").set(
                 site.active_scans
             )
+        handle._busy_sites = ()
+
+    def _complete(self, handle: QueryHandle, result: QueryResult) -> None:
+        self._release_sites(handle)
         self._finish(handle, result=result)
 
     def _finish(
@@ -458,6 +482,100 @@ class WorkloadManager:
         self._gauge(owner.name, "queue_depth").set(
             self.scheduler.queued_for(owner.name)
         )
+
+    # -- cancellation and stage fallback -----------------------------------
+
+    def cancel(self, handle: QueryHandle) -> bool:
+        """Cancel a queued or running query; returns False if already done.
+
+        Cancelling a *running* producer aborts any stages it had registered
+        in flight with the artifact store: every query that joined one of
+        those stages is transparently re-executed without artifact reuse
+        (the first-failure fallback), so a dying producer never strands its
+        subscribers with unresolved results.
+        """
+        if handle.done:
+            return False
+        if handle.state is QueryState.QUEUED:
+            self.scheduler.remove(handle)
+            if handle._deadline_event is not None:
+                handle._deadline_event.cancel()
+            owner = handle.tenant
+            handle.state = QueryState.FAILED
+            handle.finished_at = self.loop.clock.now()
+            handle.error = QueryError(f"query #{handle.seq} cancelled")
+            owner.failed += 1
+            self._unfinished -= 1
+            self._counter(owner.name, "failed").inc()
+            self._gauge(owner.name, "queue_depth").set(
+                self.scheduler.queued_for(owner.name)
+            )
+            return True
+        # RUNNING: drop the pending completion, release the site footprint,
+        # abort produced stages (falling back their subscribers), then
+        # settle the handle as failed.
+        if handle._completion_event is not None:
+            handle._completion_event.cancel()
+        self._release_sites(handle)
+        self._abort_stages(handle)
+        self._finish(
+            handle, error=QueryError(f"query #{handle.seq} cancelled")
+        )
+        return True
+
+    def _abort_stages(self, handle: QueryHandle) -> None:
+        store = getattr(self.engine, "artifacts", None)
+        if store is None or not handle._stage_keys:
+            return
+        subscribers = store.abort_stages(handle._stage_keys)
+        handle._stage_keys = ()
+        for subscriber in subscribers:
+            self._fallback(subscriber)
+
+    def _fallback(self, subscriber: QueryHandle) -> None:
+        """Re-execute a subscriber whose in-flight producer died.
+
+        The re-execution disables artifact reuse entirely -- the fallback
+        must not join another doomed stage, and it publishes nothing -- and
+        replaces the subscriber's pending completion with one scheduled off
+        the fresh, independent execution.
+        """
+        if subscriber.state is not QueryState.RUNNING:
+            return
+        store = getattr(self.engine, "artifacts", None)
+        if store is not None:
+            store.note_fallback()
+        if subscriber._completion_event is not None:
+            subscriber._completion_event.cancel()
+        self._release_sites(subscriber)
+        try:
+            if subscriber.prepared is not None:
+                result = self.engine.execute(
+                    subscriber.prepared,
+                    subscriber.params,
+                    advance_clock=False,
+                    degraded_ok=subscriber.degraded_ok,
+                    reuse_artifacts=False,
+                )
+            else:
+                result = self.engine.query(
+                    subscriber.sql,
+                    max_staleness=subscriber.max_staleness,
+                    advance_clock=False,
+                    degraded_ok=subscriber.degraded_ok,
+                    reuse_artifacts=False,
+                )
+        except ContentIntegrationError as error:
+            self._finish(subscriber, error=error)
+            return
+        report = result.report
+        if subscriber.started_at is not None:
+            report.queue_wait_seconds = (
+                subscriber.started_at - subscriber.submitted_at
+            )
+        report.tenant = subscriber.tenant.name
+        report.scheduler = self.scheduler.name
+        self._occupy(subscriber, result)
 
     # -- driving -----------------------------------------------------------
 

@@ -1,0 +1,399 @@
+"""Tests for content-hashed stage artifacts and in-flight stage sharing.
+
+Covers the canonical stage hash (alias-insensitivity, catalog-version
+keying), the ArtifactStore's economy (admission, benefit eviction, TTL,
+staleness bounds), the load-bearing correctness property -- an artifact
+hit, an in-flight join and a cold recompute all return bit-identical
+rows -- write-driven invalidation (a base-table update or a repartition
+makes stale artifacts unreachable), the workload manager's in-flight
+subscription protocol, and the fault-injection path: a producer cancelled
+mid-flight falls its subscribers back to independent execution.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataType, Field, Schema, Table
+from repro.federation import (
+    ArtifactStore,
+    FederatedEngine,
+    FederationCatalog,
+    WorkloadManager,
+)
+from repro.federation.artifacts import StageOutput, StagePayload, stage_specs
+from repro.federation.engine import LIVE_ONLY
+from repro.federation.workload import QueryState
+from repro.sim import EventLoop, SimClock
+from repro.sql.parser import parse_sql
+from repro.sql.planner import build_plan
+from repro.sql.rewrite import (
+    AggregateSplitting,
+    ProjectionPruning,
+    RewritePipeline,
+    SiteFilterPushdown,
+)
+
+
+def build_federation(sites=3, fragments=6, rows_per_fragment=20, **site_kwargs):
+    """A small replicated federation: ``items(k, v)`` with RF=2 placement."""
+    catalog = FederationCatalog(SimClock())
+    site_names = [f"s{i}" for i in range(sites)]
+    for name in site_names:
+        catalog.make_site(name, **site_kwargs)
+    schema = Schema(
+        "items", (Field("k", DataType.STRING), Field("v", DataType.INTEGER))
+    )
+    total = fragments * rows_per_fragment
+    table = Table(schema, [(f"k{i:04d}", i) for i in range(total)])
+    placement = [
+        [site_names[i % sites], site_names[(i + 1) % sites]]
+        for i in range(fragments)
+    ]
+    catalog.load_fragmented(table, fragments, placement)
+    return catalog
+
+
+def make_engine(artifacts=True, **store_kwargs):
+    catalog = build_federation()
+    store = (
+        ArtifactStore(catalog.clock, **store_kwargs) if artifacts else None
+    )
+    engine = FederatedEngine(catalog, artifacts=store)
+    return catalog, engine, store
+
+
+def logical_plan(catalog, sql):
+    """Parse + rewrite one statement the way the engine does."""
+    statement = parse_sql(sql)
+    bindings = {statement.table.binding: statement.table.name}
+    for join in statement.joins:
+        bindings[join.table.binding] = join.table.name
+    binding_fields = catalog.binding_fields(bindings)
+    plan = build_plan(statement, binding_fields)
+    pipeline = RewritePipeline(
+        [
+            SiteFilterPushdown(binding_fields),
+            ProjectionPruning(binding_fields),
+            AggregateSplitting(),
+        ]
+    )
+    return pipeline.run(plan)
+
+
+def stage_key_of(catalog, store, sql):
+    plan = logical_plan(catalog, sql)
+    specs = stage_specs(plan)
+    assert len(specs) == 1
+    spec = next(iter(specs.values()))
+    return store.stage_key(catalog, spec.scan, spec.agg)
+
+
+class TestStageHash:
+    def test_alias_spellings_collide(self):
+        catalog = build_federation()
+        store = ArtifactStore(catalog.clock)
+        bare = stage_key_of(catalog, store, "select v from items where v < 5")
+        aliased = stage_key_of(
+            catalog, store, "select i.v from items i where i.v < 5"
+        )
+        assert bare == aliased
+
+    def test_different_predicates_do_not_collide(self):
+        catalog = build_federation()
+        store = ArtifactStore(catalog.clock)
+        a = stage_key_of(catalog, store, "select v from items where v < 5")
+        b = stage_key_of(catalog, store, "select v from items where v < 6")
+        assert a != b
+
+    def test_aggregate_spec_is_part_of_the_hash(self):
+        catalog = build_federation()
+        store = ArtifactStore(catalog.clock)
+        rows = stage_key_of(catalog, store, "select v from items where v < 5")
+        agg = stage_key_of(
+            catalog, store, "select count(*) from items where v < 5"
+        )
+        assert rows != agg
+
+    def test_catalog_version_is_the_second_key_half(self):
+        catalog = build_federation()
+        store = ArtifactStore(catalog.clock)
+        sql = "select count(*) from items"
+        before = stage_key_of(catalog, store, sql)
+        catalog.notify_table_updated("items")
+        after = stage_key_of(catalog, store, sql)
+        assert before[0] == after[0]  # same content digest
+        assert before[1] != after[1]  # different version half
+
+
+def make_output(key, rows=5, table_name="items", fetch_seconds=1.0, at=0.0):
+    payload = StagePayload(
+        kind="rows", fields=("v",), rows=[(i,) for i in range(rows)]
+    )
+    return StageOutput(
+        key=key,
+        table_name=table_name,
+        payload=payload,
+        rows_saved=rows,
+        bytes_saved=rows * 8,
+        fetch_seconds=fetch_seconds,
+        fetched_at=at,
+    )
+
+
+class TestStoreLifecycle:
+    def test_inflight_commits_after_completion_time(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        key = ("abc", 1)
+        assert store.begin_stage(make_output(key), completes_at=10.0)
+        # Before the producer completes: a join, not a hit.
+        artifact, wait, joined = store.acquire(key)
+        assert joined and wait == pytest.approx(10.0)
+        assert len(store) == 0
+        clock.advance(10.0)
+        artifact, wait, joined = store.acquire(key)
+        assert not joined and wait == 0.0
+        assert len(store) == 1 and store.published == 1
+
+    def test_first_producer_wins(self):
+        store = ArtifactStore(SimClock())
+        key = ("abc", 1)
+        assert store.begin_stage(make_output(key), completes_at=5.0)
+        assert not store.begin_stage(make_output(key), completes_at=6.0)
+
+    def test_oversized_stage_rejected(self):
+        store = ArtifactStore(SimClock(), max_rows=3)
+        assert not store.begin_stage(make_output(("k", 1), rows=5), 0.0)
+        assert store.rejected == 1 and not store.inflight_keys()
+
+    def test_lowest_benefit_evicted_first(self):
+        clock = SimClock()
+        store = ArtifactStore(clock, max_rows=8)
+        cheap = make_output(("cheap", 1), rows=5, fetch_seconds=0.01)
+        dear = make_output(("dear", 1), rows=5, fetch_seconds=5.0)
+        store.begin_stage(cheap, completes_at=0.0)
+        store.begin_stage(dear, completes_at=0.0)
+        clock.advance(1.0)
+        store._sweep()
+        assert store.evictions == 1
+        assert store.acquire(("dear", 1))[2] is False
+        assert store.acquire(("cheap", 1)) is None
+
+    def test_store_ttl_reclaims(self):
+        clock = SimClock()
+        store = ArtifactStore(clock, max_age_seconds=5.0)
+        store.begin_stage(make_output(("k", 1), at=0.0), completes_at=0.0)
+        clock.advance(1.0)
+        assert store.acquire(("k", 1)) is not None
+        clock.advance(10.0)
+        assert store.acquire(("k", 1)) is None
+        assert store.evictions == 1
+
+    def test_per_call_staleness_bound(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.begin_stage(make_output(("k", 1), at=0.0), completes_at=0.0)
+        clock.advance(10.0)
+        assert store.acquire(("k", 1), max_staleness=5.0) is None
+        assert store.acquire(("k", 1), max_staleness=50.0) is not None
+
+    def test_live_only_never_served(self):
+        store = ArtifactStore(SimClock())
+        store.begin_stage(make_output(("k", 1)), completes_at=0.0)
+        assert store.acquire(("k", 1), max_staleness=LIVE_ONLY) is None
+
+    def test_invalidate_table_drops_committed_and_inflight(self):
+        clock = SimClock()
+        store = ArtifactStore(clock)
+        store.begin_stage(make_output(("done", 1)), completes_at=0.0)
+        clock.advance(1.0)
+        store._sweep()
+        store.begin_stage(make_output(("flying", 1)), completes_at=99.0)
+        dropped = store.invalidate_table("items")
+        assert dropped == 2
+        assert len(store) == 0 and not store.inflight_keys()
+        assert store.invalidations == 2
+
+
+AGG_SQL = "select count(*), sum(v) from items where v < 77"
+ROWS_SQL = "select k, v from items where v < 33"
+
+
+class TestEngineReuse:
+    @pytest.mark.parametrize("sql", [AGG_SQL, ROWS_SQL])
+    def test_hit_is_bit_identical_and_cheaper(self, sql):
+        _, control_engine, _ = make_engine(artifacts=False)
+        cold = control_engine.query(sql)
+
+        _, engine, store = make_engine()
+        first = engine.query(sql)
+        second = engine.query(sql)
+        assert second.table.rows == first.table.rows == cold.table.rows
+        assert store.hits == 1
+        assert second.report.artifact_hits == 1
+        assert second.report.rows_fetched == 0
+        assert second.report.bytes_shipped == 0
+        assert second.report.artifact_rows_saved == first.report.rows_fetched
+
+    def test_alias_spelling_still_hits(self):
+        _, engine, store = make_engine()
+        first = engine.query("select count(*) from items where v < 50")
+        second = engine.query(
+            "select count(*) from items i where i.v < 50"
+        )
+        assert second.table.rows == first.table.rows
+        assert store.hits == 1
+
+    def test_live_only_bypasses_artifacts(self):
+        _, engine, store = make_engine()
+        engine.query(AGG_SQL)
+        live = engine.query(AGG_SQL, max_staleness=LIVE_ONLY)
+        assert live.report.artifact_hits == 0
+        assert live.report.rows_fetched > 0
+        assert store.hits == 0
+
+    def test_prepared_statements_reuse_across_executions(self):
+        _, engine, store = make_engine()
+        prepared = engine.prepare("select count(*) from items where v < ?")
+        first = engine.execute(prepared, (40,))
+        again = engine.execute(prepared, (40,))
+        other = engine.execute(prepared, (90,))
+        assert again.table.rows == first.table.rows
+        assert again.report.artifact_hits == 1
+        # A different binding is a different stage: no false sharing.
+        assert other.report.artifact_hits == 0
+        assert other.table.rows == [(90,)]
+
+    def test_explain_analyze_shows_artifact_reuse(self):
+        _, engine, _ = make_engine()
+        engine.query(AGG_SQL)
+        rendered = engine.render_analyze(engine.query(AGG_SQL))
+        assert "artifact reuse: hits 1" in rendered
+
+    @settings(max_examples=12, deadline=None)
+    @given(bound=st.integers(min_value=0, max_value=120))
+    def test_property_hit_matches_cold_recompute(self, bound):
+        sql = f"select k, v from items where v < {bound}"
+        _, control_engine, _ = make_engine(artifacts=False)
+        cold = control_engine.query(sql)
+        _, engine, store = make_engine()
+        warmup = engine.query(sql)
+        hit = engine.query(sql)
+        assert warmup.table.rows == cold.table.rows
+        assert hit.table.rows == cold.table.rows
+        assert store.hits == 1
+
+
+class TestInvalidation:
+    def test_write_makes_artifacts_unreachable(self):
+        catalog, engine, store = make_engine()
+        engine.query(AGG_SQL)
+        engine.query(AGG_SQL)
+        assert store.hits == 1
+        catalog.notify_table_updated("items")
+        assert len(store) == 0  # dropped by the update listener
+        after = engine.query(AGG_SQL)
+        assert after.report.artifact_hits == 0
+        assert after.report.rows_fetched > 0
+
+    def test_repartition_makes_artifacts_unreachable(self):
+        catalog, engine, store = make_engine()
+        engine.query(AGG_SQL)
+        # A replica placement change bumps the catalog version without
+        # firing the update listeners: the stored artifact survives but
+        # its key's version half can never be constructed again.
+        fragment = catalog.entry("items").fragments[0]
+        victim = sorted(fragment.replicas)[0]
+        catalog.drop_replica(fragment, victim)
+        store._sweep()
+        assert len(store) >= 1
+        after = engine.query(AGG_SQL)
+        assert after.report.artifact_hits == 0
+        assert after.report.rows_fetched > 0
+
+
+def make_manager(max_in_flight=4, artifacts=True, **store_kwargs):
+    catalog = build_federation()
+    store = (
+        ArtifactStore(catalog.clock, **store_kwargs) if artifacts else None
+    )
+    engine = FederatedEngine(catalog, artifacts=store)
+    loop = EventLoop(catalog.clock)
+    manager = WorkloadManager(engine, loop, max_in_flight=max_in_flight)
+    return catalog, engine, loop, manager, store
+
+
+class TestInFlightSharing:
+    def test_concurrent_identical_stage_joins(self):
+        _, _, _, manager, store = make_manager()
+        producer = manager.submit(AGG_SQL, tenant="a")
+        joiner = manager.submit(AGG_SQL, tenant="b")
+        assert store.joins == 1
+        assert joiner in store._inflight[producer._stage_keys[0]].subscribers
+        manager.drain()
+        assert producer.result().table.rows == joiner.result().table.rows
+        report = joiner.result().report
+        assert report.artifact_joins == 1
+        assert report.rows_fetched == 0 and report.bytes_shipped == 0
+        # The joiner waited for the producer's stage: it cannot finish first.
+        assert joiner.finished_at >= producer.finished_at
+
+    def test_join_charges_the_remaining_wait(self):
+        _, _, _, manager, _ = make_manager()
+        producer = manager.submit(AGG_SQL)
+        joiner = manager.submit(AGG_SQL)
+        manager.drain()
+        assert (
+            joiner.result().report.response_seconds
+            >= producer.result().report.response_seconds
+        )
+
+    def test_cancelled_producer_falls_subscribers_back(self):
+        _, _, _, manager, store = make_manager()
+        producer = manager.submit(AGG_SQL, tenant="a")
+        joiner = manager.submit(AGG_SQL, tenant="b")
+        assert store.joins == 1
+        assert manager.cancel(producer)
+        assert producer.state is QueryState.FAILED
+        assert store.aborts == 1 and store.fallbacks == 1
+        manager.drain()
+        assert joiner.state is QueryState.COMPLETED
+        report = joiner.result().report
+        # The fallback recomputed independently: real site rows, no reuse.
+        assert report.artifact_joins == 0
+        assert report.rows_fetched > 0
+        _, control_engine, _ = make_engine(artifacts=False)
+        assert (
+            joiner.result().table.rows
+            == control_engine.query(AGG_SQL).table.rows
+        )
+
+    def test_fallback_publishes_nothing(self):
+        _, _, _, manager, store = make_manager()
+        producer = manager.submit(AGG_SQL)
+        joiner = manager.submit(AGG_SQL)
+        manager.cancel(producer)
+        manager.drain(joiner)
+        assert not store.inflight_keys()
+        assert len(store) == 0  # the fallback never re-registers the stage
+
+    def test_cancel_queued_query(self):
+        _, _, _, manager, _ = make_manager(max_in_flight=1)
+        running = manager.submit(AGG_SQL)
+        queued = manager.submit(AGG_SQL)
+        assert queued.state is QueryState.QUEUED
+        assert manager.cancel(queued)
+        assert queued.state is QueryState.FAILED
+        manager.drain(running)
+        assert running.state is QueryState.COMPLETED
+
+    def test_completed_producer_commits_for_later_queries(self):
+        _, engine, loop, manager, store = make_manager()
+        first = manager.submit(AGG_SQL)
+        manager.drain()
+        later = manager.submit(AGG_SQL)
+        manager.drain()
+        assert later.result().report.artifact_hits == 1
+        assert later.result().table.rows == first.result().table.rows
+        assert store.published == 1

@@ -103,6 +103,58 @@ class TestPlanCache:
             session.execute(QUERY, (10,), max_staleness=60.0)
         assert gateway.plan_cache.misses == 2
 
+    def test_pinned_coordinator_keys_separately(self):
+        """Regression: sessions pinning different coordinators must not
+        share one cached template.
+
+        Pre-fix the key was ``(normalized_sql, max_staleness)`` only, so
+        the second session was served the first session's template -- a
+        plan whose site assignments route everything through the *other*
+        session's pinned coordinator.
+        """
+        _, _, gateway = make_gateway()
+        a = gateway.connect(tenant="acme", coordinator="s0")
+        b = gateway.connect(tenant="bolt", coordinator="s1")
+        try:
+            ra = a.execute(QUERY, (30,))
+            rb = b.execute(QUERY, (30,))
+        finally:
+            a.close()
+            b.close()
+        assert ra.prepared is not None and rb.prepared is not None
+        assert ra.prepared is not rb.prepared  # distinct templates
+        assert ra.result.plan.coordinator == "s0"
+        assert rb.result.plan.coordinator == "s1"
+        assert gateway.plan_cache.misses == 2
+        # Re-pinning the same coordinator hits its own template.
+        c = gateway.connect(tenant="acme", coordinator="s0")
+        try:
+            c.execute(QUERY, (60,))
+        finally:
+            c.close()
+        assert gateway.plan_cache.hits == 1
+
+    def test_degraded_ok_is_execution_time_and_shares_the_template(self):
+        """``degraded_ok`` deliberately stays out of the plan-cache key: it
+        is threaded per-submission through the workload manager, never
+        baked into the template, so splitting the key on it would only
+        depress the hit rate."""
+        _, _, gateway = make_gateway()
+        strict = gateway.connect(tenant="acme", degraded_ok=False)
+        lenient = gateway.connect(tenant="bolt", degraded_ok=True)
+        try:
+            r1 = strict.execute(QUERY, (30,))
+            r2 = lenient.execute(QUERY, (30,))
+        finally:
+            strict.close()
+            lenient.close()
+        assert r1.prepared is r2.prepared  # one shared template
+        assert gateway.plan_cache.misses == 1
+        assert gateway.plan_cache.hits == 1
+        # On a healthy federation both answers are complete either way.
+        assert r1.result.report.degraded is False
+        assert r2.result.report.degraded is False
+
     def test_lru_evicts_oldest_template(self):
         _, _, gateway = make_gateway(plan_cache_size=2)
         statements = [
@@ -207,12 +259,12 @@ class TestPagination:
         direct = engine.query(sql, advance_clock=False).table.rows
         with gateway.connect() as session:
             page = session.execute_paged(sql, limit=50)
-        walked = list(page.rows)
-        token = page.cursor
-        while token is not None:
-            page = gateway.fetch_page(token, limit=50)
-            walked.extend(page.rows)
+            walked = list(page.rows)
             token = page.cursor
+            while token is not None:
+                page = gateway.fetch_page(token, limit=50)
+                walked.extend(page.rows)
+                token = page.cursor
         assert walked == direct
         # The cursor was dropped on exhaustion.
         assert gateway.metrics.gauge("gateway.cursors.open").value == 0
@@ -233,11 +285,46 @@ class TestPagination:
         _, _, gateway = make_gateway()
         with gateway.connect() as session:
             page = session.execute_paged("select k from items", limit=100)
+            token = page.cursor
+            last = gateway.fetch_page(token, limit=100)
+            assert last.cursor is None
+            with pytest.raises(QueryError):
+                gateway.fetch_page(token)
+
+    def test_session_release_expires_open_cursors(self):
+        """Regression: a cursor token must not survive its session's release.
+
+        Pre-fix, a released (pooled) session's cursors stayed fetchable, so
+        the next tenant to re-acquire the pooled session -- or anyone
+        holding the token -- could keep paging through the previous
+        tenant's result set.
+        """
+        _, _, gateway = make_gateway()
+        session = gateway.connect(tenant="acme")
+        page = session.execute_paged("select k from items", limit=10)
         token = page.cursor
-        last = gateway.fetch_page(token, limit=100)
-        assert last.cursor is None
+        assert token is not None
+        session.close()
+        # The release expired the cursor: the token is dead...
         with pytest.raises(QueryError):
             gateway.fetch_page(token)
+        # ...and no server-side state leaked.
+        assert gateway.metrics.gauge("gateway.cursors.open").value == 0
+        # The pooled session re-acquired by another tenant starts clean.
+        other = gateway.connect(tenant="bolt")
+        assert other._cursors == set()
+        other.close()
+
+    def test_abandoned_cursors_do_not_leak_across_checkouts(self):
+        """Open/release many paged sessions: the cursor table stays empty."""
+        _, _, gateway = make_gateway()
+        for _ in range(8):
+            session = gateway.connect(tenant="acme")
+            page = session.execute_paged("select k from items", limit=10)
+            assert page.cursor is not None  # multi-page: state was held
+            session.close()  # never walked: release must reclaim it
+        assert gateway.metrics.gauge("gateway.cursors.open").value == 0
+        assert gateway._cursors == {}
 
     def test_close_cursor_abandons_the_walk(self):
         _, _, gateway = make_gateway()

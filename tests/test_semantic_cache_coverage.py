@@ -195,6 +195,45 @@ class TestAdmissionAndEviction:
         assert age == pytest.approx(6.0)
         assert cache.entry_ages() == [pytest.approx(6.0)]
 
+    def test_per_call_staleness_bound_overrides_store_default(self):
+        """Regression: a caller with a *looser* per-query staleness bound
+        than the store default must still be served.
+
+        Pre-fix, ``_find`` first applied the store default and evicted the
+        entry before the per-call bound was ever consulted, so a query
+        happy with 100s-old rows missed (and destroyed) an entry that was
+        only 10s old under a 5s store default.
+        """
+        clock = SimClock()
+        cache = SemanticCache(clock, max_staleness=5.0)
+        cache.store("t", [], make_table(), as_of=0.0)
+        clock.advance(10.0)
+        found = cache.lookup_entry("t", [], max_staleness=100.0)
+        assert found is not None
+        _, age = found
+        assert age == pytest.approx(10.0)
+        assert cache.hits == 1 and cache.evictions == 0
+
+    def test_store_default_still_applies_when_call_passes_none(self):
+        clock = SimClock()
+        cache = SemanticCache(clock, max_staleness=5.0)
+        cache.store("t", [], make_table(), as_of=0.0)
+        clock.advance(10.0)
+        assert cache.lookup_entry("t", []) is None
+        # Dead by the store's own TTL *and* unserveable here: reclaimed.
+        assert cache.evictions == 1 and len(cache) == 0
+
+    def test_tighter_per_call_bound_skips_but_keeps_fresh_entry(self):
+        clock = SimClock()
+        cache = SemanticCache(clock, max_staleness=100.0)
+        cache.store("t", [], make_table(), as_of=0.0)
+        clock.advance(10.0)
+        # Too stale for this strict caller, but alive by the store TTL:
+        # the entry stays for laxer queries.
+        assert cache.lookup_entry("t", [], max_staleness=1.0) is None
+        assert cache.evictions == 0 and len(cache) == 1
+        assert cache.lookup_entry("t", [], max_staleness=50.0) is not None
+
     def test_metrics_registry_sees_cache_traffic(self):
         clock = SimClock()
         metrics = MetricsRegistry()
