@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""CI gate: adaptive re-optimization must not regress against the committed run.
+
+Usage::
+
+    check_adaptive_reopt.py BASELINE.json FRESH.json
+
+Each file is a ``BENCH_E16.json`` produced by ``bench_e16_adaptive_reopt.py``.
+The bench models every latency on the simulation clock, so a fresh run at the
+committed scale reproduces the baseline numbers exactly on any hardware; the
+gate still compares *shapes* with slack so a scaled-down smoke run
+(``E16_QUERIES``) also passes when the mechanism is healthy:
+
+* **Correctness is scale-free.**  ``identical_results`` must be true and
+  every configuration's error count exactly zero at any scale -- a migrated
+  stage that changes an answer is wrong, full stop.
+* **Inertness is scale-free.**  The undisturbed adaptive run must record
+  zero replans and zero re-optimization events: the machinery may only wake
+  when the cluster actually degrades.
+* **The mechanism must fire** under the disturbance schedule: at least one
+  mid-flight replan, one re-solicitation, and one migrated stage.
+* **The win must hold**: adaptive mean latency below both static baselines
+  (speedup > 1), and not more than ``SPEEDUP_SLACK`` (relative) below the
+  committed baseline's speedups.
+
+Exits 1 on the first violated bound.
+"""
+
+import json
+import sys
+
+SPEEDUP_SLACK = 0.15  # relative headroom below the baseline speedups
+
+CONFIGS = ("adaptive", "static_agoric", "static_centralized", "undisturbed")
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        payload = json.load(f)
+    for key in CONFIGS + ("identical_results", "speedup_vs_static_agoric"):
+        if key not in payload:
+            raise SystemExit(f"{path}: no '{key}' key (full E16 bench not run?)")
+    return payload
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    fresh = load(argv[2])
+    failures = []
+
+    if not fresh.get("identical_results"):
+        failures.append("configurations did not return bit-identical answers")
+    for config in CONFIGS:
+        errors = fresh[config].get("errors", 1)
+        if errors != 0:
+            failures.append(f"{config}: nonzero error count {errors}")
+
+    undisturbed = fresh["undisturbed"]
+    print(
+        f"undisturbed replans {undisturbed['replans']}, "
+        f"re-opts {undisturbed['reoptimizations']} (bar 0)"
+    )
+    if undisturbed["replans"] != 0 or undisturbed["reoptimizations"] != 0:
+        failures.append("re-opt machinery fired on an undisturbed cluster")
+
+    adaptive = fresh["adaptive"]
+    print(
+        f"adaptive replans {adaptive['replans']}, "
+        f"re-opts {adaptive['reoptimizations']}, "
+        f"migrated {adaptive['migrated_stages']} (bar 1 each)"
+    )
+    if adaptive["replans"] < 1:
+        failures.append("no mid-flight replan ever happened")
+    if adaptive["reoptimizations"] < 1:
+        failures.append("no stage was ever re-solicited")
+    if adaptive["migrated_stages"] < 1:
+        failures.append("no stage ever migrated")
+
+    for metric in ("speedup_vs_static_agoric", "speedup_vs_static_centralized"):
+        bar = baseline[metric] * (1.0 - SPEEDUP_SLACK)
+        value = fresh[metric]
+        print(f"{metric} {value:.4f} (bar {max(bar, 1.0):.4f})")
+        if value <= 1.0:
+            failures.append(
+                f"{metric} {value:.4f}: adaptive did not beat the baseline"
+            )
+        elif value < bar:
+            failures.append(
+                f"{metric} {value:.4f} below committed "
+                f"{baseline[metric]:.4f} with {SPEEDUP_SLACK:.0%} slack"
+            )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: adaptive re-optimization holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

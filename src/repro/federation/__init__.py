@@ -36,6 +36,9 @@ The pieces:
 * :mod:`repro.federation.health` -- per-site failure memory, the half-open
   circuit breaker, availability-aware risk pricing, and the retry/backoff
   policy that bounds scan-level failover.
+* :mod:`repro.federation.reopt` -- adaptive mid-query re-optimization:
+  migrate *unstarted* stages of a running plan when the cluster degrades
+  (circuit opens, congestion spikes, deadline projects an overrun).
 * :mod:`repro.federation.engine` -- :class:`FederatedEngine`: SQL and XPath
   in, rows or XML out.
 * :mod:`repro.federation.workload` / :mod:`repro.federation.scheduler` --
@@ -70,6 +73,7 @@ from repro.federation.health import (
     SiteHealthTracker,
 )
 from repro.federation.physical import OperatorStats, PhysicalPlanner
+from repro.federation.reopt import ReoptController, ReoptEvent, ReoptPolicy
 from repro.federation.loadbalance import (
     LeastLoadedPolicy,
     PolicyOptimizer,
@@ -135,6 +139,9 @@ __all__ = [
     "SiteHealthTracker",
     "OperatorStats",
     "PhysicalPlanner",
+    "ReoptController",
+    "ReoptEvent",
+    "ReoptPolicy",
     "LeastLoadedPolicy",
     "PolicyOptimizer",
     "RandomPolicy",

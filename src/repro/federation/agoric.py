@@ -359,6 +359,25 @@ class AgoricOptimizer:
             assignment.choices.append(FragmentChoice(fragment, winner.site_name))
         return assignment, price, contacted, rows
 
+    def requote_scan(
+        self, scan: ScanNode, max_staleness: float | None = None
+    ) -> tuple[ScanAssignment, float, float] | None:
+        """Re-solicit live bids for one scan mid-query (DESIGN §5i).
+
+        The agoric answer to a degrading cluster: hold the auction again.
+        Bids are collected exactly as at plan time -- live congestion,
+        queue backlogs and health risk all priced in -- and cost another
+        round trip plus per-bid work, charged to the querying execution.
+        Returns ``(assignment, price, modeled_seconds)`` or ``None`` when
+        no live site can cover the scan.
+        """
+        result = self._fragment_assignment(scan)
+        if result is None:
+            return None
+        assignment, price, contacted, _rows = result
+        modeled = self.bid_round_trip_seconds + contacted * self.per_bid_seconds
+        return assignment, price, modeled
+
     def _try_view(
         self, scan: ScanNode, max_staleness: float | None
     ) -> ScanAssignment | None:

@@ -479,6 +479,22 @@ class ArtifactStore:
         age = self.clock.now() - artifact.fetched_at
         return artifact, seconds * self.price_per_second, age
 
+    def has_twin(
+        self, key: "tuple[str, int] | None", max_staleness: float | None = None
+    ) -> bool:
+        """Migration probe (DESIGN §5i): does a servable committed *or*
+        in-flight twin of this stage exist?  Books no accounting -- the
+        re-opt controller asks before soliciting sites, and a stage that
+        can be served locally needs no market at all."""
+        if key is None:
+            return False
+        self._sweep()
+        artifact = self._artifacts.get(key)
+        if artifact is not None and self._servable(artifact, max_staleness):
+            return True
+        stage = self._inflight.get(key)
+        return stage is not None and self._servable(stage.artifact, max_staleness)
+
     def acquire(
         self, key: "tuple[str, int] | None", max_staleness: float | None = None
     ) -> "tuple[Artifact, float, bool] | None":

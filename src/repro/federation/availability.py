@@ -90,6 +90,18 @@ class FailureInjector:
     Every up/down transition is appended to :attr:`history` as
     ``(time, site_name, "fail" | "repair")``, so tests can assert that the
     same seed produces the identical failure schedule.
+
+    Beyond hard crashes the injector also models **transient slowdowns**
+    (load spikes, noisy neighbors): :meth:`slow_at` schedules a window in
+    which a site's :attr:`~repro.federation.site.Site.slowdown_factor`
+    multiplies all its service times, recorded in :attr:`history` as
+    ``"slow"`` / ``"recover"``, and :meth:`start_slowdowns` runs a seeded
+    recurring slowdown process alongside the crash process.  Deterministic
+    one-shot scheduling (:meth:`fail_at` / :meth:`repair_at` /
+    :meth:`slow_at`) lets benchmarks place disturbances at exact modeled
+    times.  Observers registered with :meth:`on_transition` (the workload
+    manager's mid-flight re-planner, for one) are called after every
+    transition with ``(time, site_name, kind)``.
     """
 
     def __init__(
@@ -118,11 +130,28 @@ class FailureInjector:
         self.failures = 0
         self.repairs = 0
         self.skipped_failures = 0  # draws suppressed by the concurrency cap
+        self.slowdowns = 0
         self.history: list[tuple[float, str, str]] = []
+        self._listeners: list = []
 
     def start(self) -> None:
         for name in self.site_names:
             self._schedule_failure(name)
+
+    def on_transition(self, callback) -> None:
+        """Register ``callback(time, site_name, kind)`` for every transition.
+
+        ``kind`` is one of ``"fail"``, ``"repair"``, ``"slow"``,
+        ``"recover"``.  Listeners run synchronously inside the loop event,
+        in registration order, so reactions are deterministic.
+        """
+        self._listeners.append(callback)
+
+    def _transition(self, name: str, kind: str) -> None:
+        now = self.loop.clock.now()
+        self.history.append((now, name, kind))
+        for callback in self._listeners:
+            callback(now, name, kind)
 
     def _down_count(self) -> int:
         return sum(1 for name in self.site_names if not self.catalog.site(name).up)
@@ -143,7 +172,7 @@ class FailureInjector:
         ):
             site.up = False
             self.failures += 1
-            self.history.append((self.loop.clock.now(), name, "fail"))
+            self._transition(name, "fail")
             self._schedule_repair(name)
             return
         # Already down, or the concurrency cap is reached: stay up and draw
@@ -157,8 +186,117 @@ class FailureInjector:
         if not site.up:
             site.up = True
             self.repairs += 1
-            self.history.append((self.loop.clock.now(), name, "repair"))
+            self._transition(name, "repair")
         self._schedule_failure(name)
+
+    # -- deterministic one-shot disturbances -------------------------------
+
+    def fail_at(self, name: str, at: float) -> None:
+        """Kill ``name`` at an exact modeled time (no repair scheduled)."""
+        self.loop.schedule_at(at, lambda: self._fail_once(name), f"fail:{name}")
+
+    def repair_at(self, name: str, at: float) -> None:
+        """Bring ``name`` back up at an exact modeled time."""
+        self.loop.schedule_at(at, lambda: self._repair_once(name), f"repair:{name}")
+
+    def _fail_once(self, name: str) -> None:
+        site = self.catalog.site(name)
+        if site.up:
+            site.up = False
+            self.failures += 1
+            self._transition(name, "fail")
+
+    def _repair_once(self, name: str) -> None:
+        site = self.catalog.site(name)
+        if not site.up:
+            site.up = True
+            self.repairs += 1
+            self._transition(name, "repair")
+
+    # -- transient slowdowns -----------------------------------------------
+
+    def slow_at(
+        self, name: str, at: float, duration: float, factor: float
+    ) -> None:
+        """Schedule one slowdown window: ``name`` runs ``factor`` times
+        slower from ``at`` until ``at + duration``."""
+        if duration <= 0:
+            raise QueryError(f"slowdown duration must be positive, got {duration}")
+        if factor < 1.0:
+            raise QueryError(f"slowdown factor must be >= 1.0, got {factor}")
+        self.loop.schedule_at(
+            at, lambda: self._slow(name, duration, factor), f"slow:{name}"
+        )
+
+    def start_slowdowns(
+        self,
+        mean_interval: float,
+        duration: float,
+        factor: float,
+        site_names: list[str] | None = None,
+    ) -> None:
+        """Seeded recurring slowdown process, like :meth:`start` for spikes.
+
+        Each site independently enters a ``duration``-second slowdown of
+        ``factor`` after ~Exp(mean_interval), repeatedly, drawn from the
+        injector's rng — so a given seed produces the identical spike
+        schedule every run.
+        """
+        if mean_interval <= 0:
+            raise QueryError(
+                f"mean_interval must be positive, got {mean_interval}"
+            )
+        if duration <= 0:
+            raise QueryError(f"slowdown duration must be positive, got {duration}")
+        if factor < 1.0:
+            raise QueryError(f"slowdown factor must be >= 1.0, got {factor}")
+        for name in site_names or self.site_names:
+            self._schedule_slowdown(name, mean_interval, duration, factor)
+
+    def _schedule_slowdown(
+        self, name: str, mean_interval: float, duration: float, factor: float
+    ) -> None:
+        delay = self.rng.expovariate(1.0 / mean_interval)
+        self.loop.schedule_after(
+            delay,
+            lambda: self._slow(
+                name, duration, factor,
+                reschedule=(mean_interval, duration, factor),
+            ),
+            f"slow:{name}",
+        )
+
+    def _slow(
+        self,
+        name: str,
+        duration: float,
+        factor: float,
+        reschedule: tuple[float, float, float] | None = None,
+    ) -> None:
+        site = self.catalog.site(name)
+        if site.slowdown_factor == 1.0:
+            site.set_slowdown(factor)
+            self.slowdowns += 1
+            self._transition(name, "slow")
+            self.loop.schedule_after(
+                duration,
+                lambda: self._recover(name, reschedule),
+                f"recover:{name}",
+            )
+            return
+        # Already slowed: skip this window, keep the process alive.
+        if reschedule is not None:
+            self._schedule_slowdown(name, *reschedule)
+
+    def _recover(
+        self, name: str, reschedule: tuple[float, float, float] | None
+    ) -> None:
+        site = self.catalog.site(name)
+        if site.slowdown_factor != 1.0:
+            site.clear_slowdown()
+            self._transition(name, "recover")
+        if reschedule is not None:
+            self._schedule_slowdown(name, *reschedule)
 
 
 class AvailabilityProbe:

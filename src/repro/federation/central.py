@@ -241,6 +241,66 @@ class CentralizedOptimizer:
             total_price=0.0,
         )
 
+    def requote_scan(
+        self, scan: ScanNode, max_staleness: float | None = None
+    ) -> tuple[ScanAssignment, float, float] | None:
+        """Re-price one scan's placement mid-query (DESIGN §5i).
+
+        A centralized re-plan cannot trust the snapshot it planned with --
+        the trigger that fired is exactly that snapshot going stale under
+        the running plan -- so it pays for a fresh statistics collection
+        round before re-placing.  This is the paper's scalability tax (E3)
+        landing on the adaptivity path: the agoric re-quote prices one
+        scan's replicas; the centralized one polls every site again.
+        """
+        modeled = self._refresh_stats()
+        self._transfer_cache = {}
+        entry = self.catalog.entry(scan.table)
+        if not entry.fragments:
+            return None
+        pruned = 0
+        unreachable: list[Fragment] = []
+        fragment_slots: list[tuple[ScanNode, Fragment, list[str], float]] = []
+        for fragment in entry.fragments:
+            if not fragment_can_match(fragment.zone_map, scan.pushdown):
+                pruned += 1
+                continue
+            live = [
+                name
+                for name in fragment.replica_sites()
+                if self.catalog.site(name).up
+            ]
+            if not live:
+                unreachable.append(fragment)
+                continue
+            if self.health is not None:
+                allowed = [name for name in live if self.health.allow(name)]
+                live = allowed or live
+            fragment_slots.append(
+                (scan, fragment, live, fragment_selectivity(fragment, scan.pushdown))
+            )
+        if not fragment_slots:
+            return None
+        choices = self._greedy(fragment_slots)
+        modeled += sum(len(live) for _, _, live, _ in fragment_slots) * 1e-5
+        assignment = ScanAssignment(
+            scan.binding,
+            scan.table,
+            "fragments",
+            pruned_fragments=pruned,
+            total_fragments=len(entry.fragments),
+            unreachable=unreachable,
+        )
+        for (slot_scan, fragment, _, selectivity), site_name in zip(
+            fragment_slots, choices
+        ):
+            assignment.est_bytes += self._slot_transfer(
+                slot_scan, fragment, selectivity
+            )[0]
+            assignment.choices.append(FragmentChoice(fragment, site_name))
+        price = self._estimate_makespan(fragment_slots, tuple(choices))
+        return assignment, price, modeled
+
     def _slot_transfer(
         self, scan: ScanNode, fragment: Fragment, selectivity: float
     ) -> tuple[int, float]:

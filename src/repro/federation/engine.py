@@ -44,6 +44,7 @@ from repro.federation.cache import SemanticCache
 from repro.federation.catalog import FederationCatalog
 from repro.federation.executor import ExecutionReport, Executor, PhysicalPlan
 from repro.federation.health import RetryPolicy, SiteHealthTracker
+from repro.federation.reopt import ReoptController, ReoptPolicy
 from repro.ir.search import CatalogSearch, SearchMode, SynonymExpander, TaxonomyExpander
 from repro.federation.views import MaterializedView
 from repro.sim.events import EventLoop
@@ -144,9 +145,13 @@ class FederatedEngine:
         retry: RetryPolicy | None = None,
         columnar: bool = True,
         artifacts=None,
+        reopt: ReoptPolicy | None = None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer or AgoricOptimizer(catalog)
+        # Adaptive mid-query re-optimization policy (DESIGN §5i), or None
+        # to keep every plan frozen at dispatch.
+        self.reopt = reopt
         self.health = health or SiteHealthTracker(catalog.clock)
         self.retry = retry or RetryPolicy()
         self.executor = Executor(
@@ -195,6 +200,7 @@ class FederatedEngine:
         budget: float | None = None,
         degraded_ok: bool = False,
         reuse_artifacts: bool = True,
+        deadline_at: float | None = None,
     ) -> QueryResult:
         """Answer one SQL query.
 
@@ -215,7 +221,7 @@ class FederatedEngine:
         statement = parse_sql(sql)
         return self._execute_statement(
             statement, max_staleness, coordinator, advance_clock, budget,
-            degraded_ok, reuse_artifacts,
+            degraded_ok, reuse_artifacts, deadline_at=deadline_at,
         )
 
     def _execute_statement(
@@ -227,6 +233,7 @@ class FederatedEngine:
         budget: float | None = None,
         degraded_ok: bool = False,
         reuse_artifacts: bool = True,
+        deadline_at: float | None = None,
     ) -> QueryResult:
         # Uncorrelated IN-subqueries run first (semijoin by materialization:
         # the inner membership set is fetched, then shipped into the outer
@@ -253,7 +260,7 @@ class FederatedEngine:
         self._annotate_text_filters(plan, physical)
         return self._run_physical(
             plan, physical, max_staleness, advance_clock, degraded_ok,
-            reuse_artifacts,
+            reuse_artifacts, deadline_at=deadline_at,
         )
 
     def _run_physical(
@@ -264,6 +271,7 @@ class FederatedEngine:
         advance_clock: bool,
         degraded_ok: bool,
         reuse_artifacts: bool = True,
+        deadline_at: float | None = None,
     ) -> QueryResult:
         """Execute an already-optimized plan and do all the accounting.
 
@@ -280,10 +288,21 @@ class FederatedEngine:
         if cache_scans:
             self.metrics.counter("cache.scan_hits").inc(cache_scans)
 
+        controller = None
+        if self.reopt is not None:
+            controller = ReoptController(
+                self.reopt,
+                self.optimizer,
+                self.catalog,
+                health=self.health,
+                artifacts=self.artifacts,
+                max_staleness=max_staleness,
+                deadline_at=deadline_at,
+            )
         try:
             table, report = self.executor.execute(
                 physical, degraded_ok=degraded_ok, max_staleness=max_staleness,
-                reuse_artifacts=reuse_artifacts,
+                reuse_artifacts=reuse_artifacts, reopt=controller,
             )
         except (PartialFailureError, SourceUnavailableError):
             self.metrics.counter("queries.partial_failures").inc()
@@ -408,6 +427,7 @@ class FederatedEngine:
         advance_clock: bool = True,
         degraded_ok: bool = False,
         reuse_artifacts: bool = True,
+        deadline_at: float | None = None,
     ) -> QueryResult:
         """Run a prepared statement with ``params`` bound to its ``?`` slots.
 
@@ -433,6 +453,7 @@ class FederatedEngine:
                 None,
                 degraded_ok,
                 reuse_artifacts,
+                deadline_at=deadline_at,
             )
 
         if prepared.catalog_version != self.catalog.version or (
@@ -447,7 +468,14 @@ class FederatedEngine:
         template = prepared.physical
         physical = PhysicalPlan(
             logical=bound,
-            assignments=template.assignments,
+            # With adaptive re-opt on, a controller may swap a stage's
+            # assignment mid-execution; copy the dict so migrations never
+            # leak into the cached template.
+            assignments=(
+                dict(template.assignments)
+                if self.reopt is not None
+                else template.assignments
+            ),
             coordinator=template.coordinator,
             optimizer=template.optimizer,
             # Planning was paid at prepare time; re-execution charges none.
@@ -458,7 +486,44 @@ class FederatedEngine:
         )
         return self._run_physical(
             bound, physical, prepared.max_staleness, advance_clock, degraded_ok,
-            reuse_artifacts,
+            reuse_artifacts, deadline_at=deadline_at,
+        )
+
+    def rerun_physical(
+        self,
+        result: QueryResult,
+        max_staleness: float | None = None,
+        degraded_ok: bool = False,
+        deadline_at: float | None = None,
+    ) -> QueryResult:
+        """Re-execute an already-planned query against the *current* cluster.
+
+        The workload manager calls this when a disturbance (site kill, load
+        spike) lands on a running query's pending stages: the original
+        physical plan re-runs with zero additional planning charged, against
+        a frozen clock, so the handle's completion can be rescheduled from
+        whatever the federation looks like now.  Without a re-opt policy the
+        frozen assignments stand and the execution pays failover backoff or
+        congestion inflation; with one, the controller may migrate unstarted
+        stages to healthier replicas.  Either way the answer is bit-identical
+        to the original plan's (replicas hold the same fragment rows).
+        """
+        template = result.plan
+        physical = PhysicalPlan(
+            logical=template.logical,
+            # Copy so a controller migration never mutates the caller's plan
+            # (which may be a prepared-statement template).
+            assignments=dict(template.assignments),
+            coordinator=template.coordinator,
+            optimizer=template.optimizer,
+            optimization_seconds=0.0,
+            planner_wall_seconds=0.0,
+            sites_contacted=template.sites_contacted,
+            total_price=template.total_price,
+        )
+        return self._run_physical(
+            template.logical, physical, max_staleness, False, degraded_ok,
+            reuse_artifacts=True, deadline_at=deadline_at,
         )
 
     def record_report_metrics(self, report: ExecutionReport) -> None:
@@ -490,6 +555,14 @@ class FederatedEngine:
         if report.artifact_bytes_saved:
             self.metrics.counter("artifacts.bytes_saved").inc(
                 report.artifact_bytes_saved
+            )
+        if report.reoptimizations:
+            self.metrics.counter("reopt.attempts").inc(report.reoptimizations)
+        if report.migrated_stages:
+            self.metrics.counter("reopt.migrations").inc(report.migrated_stages)
+        if report.reopt_wasted_seconds:
+            self.metrics.counter("reopt.wasted_seconds").inc(
+                report.reopt_wasted_seconds
             )
         self.metrics.histogram("query.completeness").observe(report.completeness)
         if report.fragments_total:
@@ -638,6 +711,12 @@ class FederatedEngine:
                 f"joins {report.artifact_joins}  "
                 f"rows saved {report.artifact_rows_saved}  "
                 f"bytes saved {report.artifact_bytes_saved}"
+            )
+        if report.reoptimizations:
+            lines.append(
+                f"re-optimizations: {report.reoptimizations}  "
+                f"migrated stages: {report.migrated_stages}  "
+                f"wasted: {report.reopt_wasted_seconds:.6f}s"
             )
         if report.fragments_total:
             lines.append(

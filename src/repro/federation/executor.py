@@ -88,6 +88,7 @@ class Executor:
         degraded_ok: bool = False,
         max_staleness: float | None = None,
         reuse_artifacts: bool = True,
+        reopt=None,
     ) -> tuple[Table, ExecutionReport]:
         report = ExecutionReport(price=plan.total_price)
         # Recompile every time: assignments may have changed since the
@@ -106,6 +107,7 @@ class Executor:
             columnar=self.columnar,
             artifacts=self.artifacts,
             reuse_artifacts=reuse_artifacts,
+            reopt=reopt,
         )
 
         root.open(ctx)
@@ -115,6 +117,14 @@ class Executor:
         root.close()
 
         report.response_seconds = ctx.scan_elapsed + ctx.coordinator_seconds
+        if reopt is not None:
+            # Every re-quote costs modeled time whether or not it migrated
+            # -- the economy pays for its own adaptivity.
+            report.response_seconds += reopt.modeled_seconds
+            report.reoptimizations = reopt.attempts
+            report.migrated_stages = reopt.migrations
+            report.reopt_wasted_seconds = reopt.wasted_seconds
+            report.reopt_events = list(reopt.events)
         report.rows_returned = len(envs)
         report.operators = root.stats_tree()
         report.unreachable_fragments = list(ctx.unreachable_fragments)

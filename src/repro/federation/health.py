@@ -12,8 +12,10 @@ that memory:
 * A simple **half-open circuit breaker**: after ``failure_threshold``
   consecutive failures a site's circuit opens; while open, planners avoid
   it when an alternative replica exists.  After ``cooldown_seconds`` the
-  circuit goes half-open and one probe is allowed through; a success closes
-  it, a failure re-opens it.
+  circuit goes half-open and probes are allowed through; a streak of
+  ``half_open_successes`` consecutive probe successes closes it, any
+  failure re-opens it (one lucky probe against a still-sick site must
+  not fully restore trust).
 * **Availability-aware pricing**: :meth:`SiteHealthTracker.price_multiplier`
   inflates a flaky site's bid by up to ``1 + max_price_penalty``; the
   penalty decays linearly over ``risk_decay_seconds`` since the last
@@ -55,6 +57,7 @@ class SiteHealth:
     last_failure_at: float | None = None
     last_success_at: float | None = None
     opened_at: float | None = None  # when the circuit tripped (None = closed)
+    probe_successes: int = 0  # consecutive half-open probe successes
 
 
 @dataclass
@@ -97,14 +100,31 @@ class SiteHealthTracker:
         cooldown_seconds: float = 60.0,
         risk_decay_seconds: float = 600.0,
         max_price_penalty: float = 4.0,
+        half_open_successes: int = 2,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError(f"failure_threshold must be >= 1, got {failure_threshold}")
+        if cooldown_seconds <= 0:
+            # A non-positive cooldown half-opens a tripped circuit on the
+            # very next state() call, defeating the breaker entirely.
+            raise ValueError(
+                f"cooldown_seconds must be > 0, got {cooldown_seconds}"
+            )
+        if risk_decay_seconds <= 0:
+            # risk_penalty divides by this decay horizon.
+            raise ValueError(
+                f"risk_decay_seconds must be > 0, got {risk_decay_seconds}"
+            )
+        if half_open_successes < 1:
+            raise ValueError(
+                f"half_open_successes must be >= 1, got {half_open_successes}"
+            )
         self.clock = clock
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self.risk_decay_seconds = risk_decay_seconds
         self.max_price_penalty = max_price_penalty
+        self.half_open_successes = half_open_successes
         self.trips = 0  # lifetime circuit-open transitions
         self._sites: dict[str, SiteHealth] = {}
 
@@ -120,6 +140,7 @@ class SiteHealthTracker:
         record.consecutive_failures += 1
         record.total_failures += 1
         record.last_failure_at = self.clock.now()
+        record.probe_successes = 0  # any failure breaks the closing streak
         if (
             record.consecutive_failures >= self.failure_threshold
             and record.opened_at is None
@@ -134,10 +155,22 @@ class SiteHealthTracker:
 
     def record_success(self, site_name: str) -> None:
         record = self.health(site_name)
-        record.consecutive_failures = 0
         record.total_successes += 1
         record.last_success_at = self.clock.now()
-        record.opened_at = None  # a success closes the circuit
+        if record.opened_at is None:
+            record.consecutive_failures = 0
+            return
+        if self.state(site_name) is not CircuitState.HALF_OPEN:
+            # Forced traffic against a fully open circuit is not a
+            # sanctioned probe; it earns nothing toward closing.
+            return
+        # Half-open probe: one lucky success against a still-sick site
+        # must not fully restore trust.  Only a streak closes the circuit.
+        record.probe_successes += 1
+        if record.probe_successes >= self.half_open_successes:
+            record.opened_at = None
+            record.consecutive_failures = 0
+            record.probe_successes = 0
 
     # -- breaker -----------------------------------------------------------
 

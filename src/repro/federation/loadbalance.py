@@ -216,6 +216,65 @@ class PolicyOptimizer:
             optimizer=self.name,
         )
 
+    def requote_scan(self, scan, max_staleness=None):
+        """Re-run the replica policy for one scan mid-query (DESIGN §5i).
+
+        Policies are cheap — one ``choose`` per fragment, no market round
+        trip — so the modeled re-quote cost is zero; the controller prices
+        both placements itself on the shared live basis.  Returns
+        ``(assignment, price=0.0, modeled_seconds=0.0)`` or ``None``.
+        """
+        from repro.federation.physical import FragmentChoice, ScanAssignment
+        from repro.federation.stats import (
+            estimated_shipped_bytes,
+            fragment_can_match,
+            fragment_selectivity,
+        )
+
+        entry = self.catalog.entry(scan.table)
+        if not entry.fragments:
+            return None
+        assignment = ScanAssignment(
+            scan.binding,
+            scan.table,
+            "fragments",
+            total_fragments=len(entry.fragments),
+        )
+        for fragment in entry.fragments:
+            if not fragment_can_match(fragment.zone_map, scan.pushdown):
+                assignment.pruned_fragments += 1
+                continue
+            try:
+                site_name = self.policy.choose(fragment, self.catalog)
+            except QueryError:
+                assignment.unreachable.append(fragment)
+                continue
+            if self.health is not None and not self.health.allow(site_name):
+                alternatives = [
+                    name
+                    for name in fragment.replica_sites()
+                    if self.catalog.site(name).up and self.health.allow(name)
+                ]
+                if alternatives:
+                    site_name = min(
+                        alternatives,
+                        key=lambda name: (self.health.risk_penalty(name), name),
+                    )
+            assignment.choices.append(FragmentChoice(fragment, site_name))
+            est_rows = max(
+                1,
+                int(
+                    fragment.estimated_rows
+                    * fragment_selectivity(fragment, scan.pushdown)
+                ),
+            )
+            assignment.est_bytes += estimated_shipped_bytes(
+                fragment, entry.schema, est_rows
+            )
+        if not assignment.choices:
+            return None
+        return assignment, 0.0, 0.0
+
 
 class SnapshotLoadPolicy(ReplicaPolicy):
     """Least-loaded by a *periodically refreshed* statistics snapshot.

@@ -253,6 +253,20 @@ class ExecutionReport:
     artifact_join_keys: list = field(default_factory=list)
     stage_outputs: list = field(default_factory=list)
     artifact_published_keys: list = field(default_factory=list)
+    # Adaptive mid-query re-optimization (repro.federation.reopt): stages
+    # re-quoted, stages actually migrated, the modeled seconds spent on
+    # re-quotes that did *not* migrate (plus any superseded partial
+    # execution the workload manager discarded), and the event trail.
+    reoptimizations: int = 0
+    migrated_stages: int = 0
+    reopt_wasted_seconds: float = 0.0
+    reopt_events: list = field(default_factory=list)
+    # Per-stage runtime: binding -> (modeled arrival seconds, sites the
+    # stage touched).  The workload manager projects which stages are
+    # still pending at a disturbance from these.
+    stage_runtimes: dict[str, tuple[float, tuple[str, ...]]] = field(
+        default_factory=dict
+    )
     operators: OperatorStats | None = None  # per-operator stats tree
 
 
@@ -305,6 +319,7 @@ class ExecContext:
         columnar: bool = True,
         artifacts=None,
         reuse_artifacts: bool = True,
+        reopt=None,
     ) -> None:
         self.catalog = catalog
         self.plan = plan
@@ -329,6 +344,9 @@ class ExecContext:
         # producer died recomputes independently (and publishes nothing).
         self.artifacts = artifacts
         self.reuse_artifacts = reuse_artifacts
+        # Adaptive re-optimization controller (repro.federation.reopt), or
+        # None for frozen-plan execution.  Ship consults it per stage.
+        self.reopt = reopt
         # The query's staleness bound, honored by the covering fallback too:
         # a LIVE_ONLY query must fail rather than silently serve stale data.
         self.max_staleness = max_staleness
@@ -1340,6 +1358,12 @@ class Ship(PhysicalOperator):
             # any scan work for this stage.
             self._rows = iter(served)
             return
+        if ctx.reopt is not None and self.stage is not None:
+            # The stage is unstarted (artifact miss, site pipeline not yet
+            # open): the one point where migrating it is free of partial
+            # work.  The controller swaps the assignment in place on
+            # migrate; SiteScan re-reads it at compute time.
+            ctx.reopt.consider(ctx, self.stage[0], self.stage[1])
         before = ctx.report.rows_fetched
         for child in self.children:
             child.open(ctx)
@@ -1456,8 +1480,10 @@ class Ship(PhysicalOperator):
         batch_count = 0
         transfer_total = 0.0
         sources = set()
+        stage_sites = set()
         network = ctx.catalog.network
         for batch in self.children[0].batches():
+            stage_sites.add(batch.site)
             local = batch.site == ctx.coordinator
             if batch.chunks is not None:
                 batch_count += len(batch.chunks)
@@ -1530,6 +1556,15 @@ class Ship(PhysicalOperator):
         self.stats.detail = (
             f"from {', '.join(sorted(sources))}" if sources else "coordinator-local"
         )
+        if self.stage is not None:
+            binding = self.stage[0].binding
+            ctx.report.stage_runtimes[binding] = (
+                arrival, tuple(sorted(stage_sites))
+            )
+            if ctx.reopt is not None:
+                note = ctx.reopt.describe(binding)
+                if note:
+                    self.stats.detail += f"  [{note}]"
         self._maybe_capture(ctx, rows, shipped_bytes, arrival)
         yield from rows
 

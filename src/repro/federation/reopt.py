@@ -1,0 +1,382 @@
+"""Adaptive mid-query re-optimization (DESIGN.md §5i).
+
+A plan chosen at dispatch is otherwise frozen while the federation changes
+under it.  This module lets an in-flight query re-solicit bids (agoric) or
+re-price placements (centralized/policy) for its *unstarted* stages when a
+triggering signal fires:
+
+* a :class:`SiteHealthTracker` circuit is open on a site holding pending
+  work, or the site is down outright;
+* a site's live ``congestion_factor()`` crosses a configurable high
+  watermark (with a low watermark providing hysteresis so a site that
+  fired must cool off before it can fire again);
+* the workload-manager deadline projects an overrun from the remaining
+  stage's live cost estimate.
+
+The unit of migration is the Ship-bounded stage (the same boundary the
+artifact store hashes): :class:`ReoptController.consider` runs inside
+``Ship.open`` *after* the artifact probe and *before* any site does scan
+work, so a migrated stage has not started anywhere.  A re-solicitation
+first probes the :class:`ArtifactStore` for a committed or in-flight twin
+(if one exists the stage needs no sites at all), then asks the session
+optimizer to re-quote the residual placement at live prices.  The
+migration only happens when the fresh placement covers every fragment the
+original covered and beats the original's *live re-priced* cost by at
+least ``min_improvement`` — otherwise the original assignment stands, the
+modeled re-solicitation seconds are booked as waste, and the answer stays
+bit-identical to static execution by construction (replicas hold the same
+fragment rows, so *which* replica scans them never changes the result).
+
+Attempts are bounded by a per-query budget, each stage is considered at
+most once per execution, and the modeled seconds every re-solicitation
+costs (bid round trips for agoric, a forced statistics refresh for the
+centralized baseline) are charged into the query's response time — the
+economy pays for its own adaptivity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.errors import QueryError, SourceUnavailableError
+from repro.federation.health import CircuitState
+from repro.federation.stats import fragment_selectivity
+
+__all__ = ["ReoptEvent", "ReoptPolicy", "ReoptController"]
+
+
+@dataclass(frozen=True)
+class ReoptEvent:
+    """One re-solicitation attempt for one stage, migrated or not."""
+
+    binding: str
+    reason: str  # "site-down:s1" | "circuit-open:s1" | "congestion:s1" | "deadline"
+    migrated: bool
+    from_sites: tuple[str, ...]
+    to_sites: tuple[str, ...]
+    modeled_seconds: float  # what the re-quote itself cost
+    old_price: float  # live re-priced cost of the original placement
+    new_price: float  # live cost of the fresh placement (inf if infeasible)
+
+    def describe(self) -> str:
+        if self.migrated:
+            return (
+                f"reopt {self.reason}: migrated "
+                f"{','.join(self.from_sites)}→{','.join(self.to_sites)}"
+            )
+        return f"reopt {self.reason}: kept original assignment"
+
+
+@dataclass
+class ReoptPolicy:
+    """Configuration for adaptive mid-query re-optimization.
+
+    Attached to a :class:`FederatedEngine` via ``reopt=ReoptPolicy(...)``;
+    ``None`` (the default) keeps plans frozen at dispatch.
+    """
+
+    # Per-query re-solicitation budget: how many stages one execution may
+    # re-quote.  Exhausted budget means remaining triggers are ignored.
+    max_attempts: int = 3
+    # Congestion trigger watermarks on Site.congestion_factor().  A site
+    # fires when its factor reaches ``congestion_high`` and cannot fire
+    # again (within one execution) until it drops below ``congestion_low``.
+    congestion_high: float = 3.0
+    congestion_low: float = 1.5
+    # Thrash damping: a fresh placement must beat the original's live
+    # re-priced cost by this fraction, or the original stands.
+    min_improvement: float = 0.1
+    # How many times the workload manager may re-plan one in-flight query
+    # after cluster disturbances (site kill / load spike wakeups).
+    max_replans: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.congestion_low < 1.0:
+            raise ValueError(
+                "congestion_low must be >= 1.0 (an idle site's factor), "
+                f"got {self.congestion_low}"
+            )
+        if self.congestion_high <= self.congestion_low:
+            raise ValueError(
+                "hysteresis needs congestion_high > congestion_low, got "
+                f"high={self.congestion_high} low={self.congestion_low}"
+            )
+        if not 0.0 <= self.min_improvement < 1.0:
+            raise ValueError(
+                f"min_improvement must be in [0, 1), got {self.min_improvement}"
+            )
+        if self.max_replans < 0:
+            raise ValueError(
+                f"max_replans must be >= 0, got {self.max_replans}"
+            )
+
+
+class ReoptController:
+    """Per-execution re-optimization state: triggers, budget, hysteresis.
+
+    Created by the engine for each execution when a :class:`ReoptPolicy`
+    is configured, threaded through :class:`ExecContext`, and consulted by
+    every stage-bounding ``Ship`` just before its site pipeline opens.
+    """
+
+    def __init__(
+        self,
+        policy: ReoptPolicy,
+        optimizer,
+        catalog,
+        health=None,
+        artifacts=None,
+        max_staleness: float | None = None,
+        deadline_at: float | None = None,
+    ) -> None:
+        self.policy = policy
+        self.optimizer = optimizer
+        self.catalog = catalog
+        self.health = health
+        self.artifacts = artifacts
+        self.max_staleness = max_staleness
+        self.deadline_at = deadline_at
+        self.attempts = 0
+        self.migrations = 0
+        self.wasted_seconds = 0.0  # re-quotes that did not migrate
+        self.modeled_seconds = 0.0  # all re-quote time, charged to response
+        self.events: list[ReoptEvent] = []
+        self._hot_sites: set[str] = set()  # congestion hysteresis state
+        self._considered: set[str] = set()  # one attempt per stage
+
+    # -- the Ship.open hook ------------------------------------------------
+
+    def consider(self, ctx, scan, agg=None) -> bool:
+        """Re-evaluate one unstarted stage; swap its assignment on migrate.
+
+        Returns True when the stage was migrated.  Every path that does
+        not migrate leaves ``ctx.plan.assignments`` untouched, so static
+        execution semantics (and bit-identical answers) are the fallback.
+        """
+        assignment = ctx.plan.assignments.get(scan.binding)
+        if assignment is None or assignment.kind != "fragments":
+            return False  # cache/view/artifact paths have no sites to migrate
+        if not assignment.choices or scan.binding in self._considered:
+            return False
+        reason, bad_site = self._trigger(ctx, scan, assignment)
+        if reason is None:
+            return False
+        if bad_site is not None and not self._can_move_off(
+            assignment, bad_site
+        ):
+            # Every fragment on the degraded site is pinned there (no other
+            # live, allowed replica): a re-solicitation provably cannot
+            # migrate anything, so don't pay the market round trip for it.
+            return False
+        if self.attempts >= self.policy.max_attempts:
+            return False  # budget exhausted: the trigger is ignored
+        self._considered.add(scan.binding)
+        self.attempts += 1
+        from_sites = tuple(sorted({c.site_name for c in assignment.choices}))
+        # Migration probe: a committed or in-flight twin makes the whole
+        # solicitation moot — the stage needs no sites.  (On the normal
+        # path Ship's artifact probe already ran and missed, so this only
+        # fires for executions that disabled artifact *reuse*.)
+        if self._artifact_twin(ctx, scan, agg):
+            self._record(
+                scan.binding, f"{reason}+artifact-twin", False,
+                from_sites, from_sites, 0.0, 0.0, 0.0,
+            )
+            return False
+        quote = self._requote(scan)
+        if quote is None:
+            self._record(
+                scan.binding, reason, False, from_sites, from_sites,
+                0.0, float("inf"), float("inf"),
+            )
+            return False
+        fresh, modeled = quote
+        self.modeled_seconds += modeled
+        old_price = self._placement_cost(scan, assignment)
+        new_price = self._placement_cost(scan, fresh)
+        to_sites = tuple(sorted({c.site_name for c in fresh.choices}))
+        if not self._migratable(assignment, fresh, old_price, new_price):
+            self.wasted_seconds += modeled
+            self._record(
+                scan.binding, reason, False, from_sites, to_sites,
+                modeled, old_price, new_price,
+            )
+            return False
+        ctx.plan.assignments[scan.binding] = fresh
+        self.migrations += 1
+        self._record(
+            scan.binding, reason, True, from_sites, to_sites,
+            modeled, old_price, new_price,
+        )
+        return True
+
+    def describe(self, binding: str) -> str | None:
+        """EXPLAIN ANALYZE detail for a stage's last re-opt event."""
+        for event in reversed(self.events):
+            if event.binding == binding:
+                return event.describe()
+        return None
+
+    # -- triggers ----------------------------------------------------------
+
+    def _trigger(self, ctx, scan, assignment) -> tuple[str | None, str | None]:
+        """Returns ``(reason, degraded_site)``; the site is None for the
+        deadline trigger (no single site is to blame for an overrun)."""
+        for choice in assignment.choices:
+            name = choice.site_name
+            site = self.catalog.site(name)
+            if not site.up:
+                return f"site-down:{name}", name
+            if (
+                self.health is not None
+                and self.health.state(name) is CircuitState.OPEN
+            ):
+                return f"circuit-open:{name}", name
+            factor = site.congestion_factor()
+            if name in self._hot_sites:
+                if factor < self.policy.congestion_low:
+                    self._hot_sites.discard(name)  # cooled off: re-arm
+                continue  # hysteresis: holds until below the low watermark
+            if factor >= self.policy.congestion_high:
+                self._hot_sites.add(name)
+                return f"congestion:{name}", name
+        if self.deadline_at is not None:
+            remaining = self._estimate_stage_seconds(scan, assignment)
+            projected = self.catalog.clock.now() + ctx.scan_elapsed + remaining
+            if projected > self.deadline_at:
+                return "deadline", None
+        return None, None
+
+    def _can_move_off(self, assignment, bad_site: str) -> bool:
+        """Does any fragment placed on ``bad_site`` have somewhere to go?"""
+        for choice in assignment.choices:
+            if choice.site_name != bad_site:
+                continue
+            for name in choice.fragment.replica_sites():
+                if name == bad_site or not self.catalog.site(name).up:
+                    continue
+                if self.health is None or self.health.allow(name):
+                    return True
+        return False
+
+    def _estimate_stage_seconds(self, scan, assignment) -> float:
+        """Live makespan estimate for the stage under its assignment."""
+        per_site: dict[str, float] = {}
+        for choice in assignment.choices:
+            site = self.catalog.site(choice.site_name)
+            if not site.up:
+                return float("inf")
+            selectivity = fragment_selectivity(choice.fragment, scan.pushdown)
+            try:
+                quote = site.quote_scan(
+                    choice.fragment.replicas[choice.site_name],
+                    row_fraction=selectivity,
+                )
+            except (KeyError, SourceUnavailableError):
+                return float("inf")
+            per_site[choice.site_name] = (
+                per_site.get(choice.site_name, quote.queue_delay)
+                + quote.seconds * quote.congestion
+            )
+        return max(per_site.values(), default=0.0)
+
+    # -- re-solicitation ---------------------------------------------------
+
+    def _artifact_twin(self, ctx, scan, agg) -> bool:
+        if self.artifacts is None or ctx.reuse_artifacts:
+            return False  # reuse on: Ship's own artifact probe governs
+        key = self.artifacts.stage_key(self.catalog, scan, agg)
+        return key is not None and self.artifacts.has_twin(
+            key, self.max_staleness
+        )
+
+    def _requote(self, scan):
+        requote = getattr(self.optimizer, "requote_scan", None)
+        if requote is None:
+            return None
+        try:
+            result = requote(scan, self.max_staleness)
+        except QueryError:
+            return None
+        if result is None:
+            return None
+        fresh, _price, modeled = result
+        if not fresh.choices:
+            return None
+        return fresh, modeled
+
+    def _placement_cost(self, scan, assignment) -> float:
+        """Live makespan cost of a fragment placement, on one shared basis.
+
+        Both the incumbent and the candidate are costed here — the longest
+        per-site chain of queue delay plus congestion-inflated work, scaled
+        by health risk — so the improvement test compares like with like
+        regardless of which optimizer produced the placement.  Makespan
+        (not a price *sum*) is the right objective: the stage holds its
+        execution slot until its slowest site finishes, so a placement
+        that looks cheaper in total spend but stretches the critical path
+        would occupy the federation longer and delay every queued query
+        behind it.  Shipping cost is replica-independent (same fragment
+        bytes either way) and cancels, so it is left out of both sides.
+        """
+        per_site: dict[str, float] = {}
+        for choice in assignment.choices:
+            site = self.catalog.site(choice.site_name)
+            if not site.up:
+                return float("inf")
+            selectivity = fragment_selectivity(choice.fragment, scan.pushdown)
+            try:
+                quote = site.quote_scan(
+                    choice.fragment.replicas[choice.site_name],
+                    row_fraction=selectivity,
+                )
+            except (KeyError, SourceUnavailableError):
+                return float("inf")
+            work = quote.seconds * quote.congestion
+            if self.health is not None:
+                work *= self.health.price_multiplier(choice.site_name)
+            per_site[choice.site_name] = (
+                per_site.get(choice.site_name, quote.queue_delay) + work
+            )
+        return max(per_site.values(), default=0.0)
+
+    def _migratable(self, old, fresh, old_price: float, new_price: float) -> bool:
+        old_map = {c.fragment.fragment_id: c.site_name for c in old.choices}
+        new_map = {c.fragment.fragment_id: c.site_name for c in fresh.choices}
+        if not set(new_map) >= set(old_map):
+            return False  # the fresh placement lost coverage: never migrate
+        if new_map == old_map:
+            return False  # same placement: nothing to do
+        if new_price >= old_price:
+            return False
+        if old_price == float("inf"):
+            return True  # incumbent infeasible (dead site): any cover wins
+        return new_price < old_price * (1.0 - self.policy.min_improvement)
+
+    def _record(
+        self,
+        binding: str,
+        reason: str,
+        migrated: bool,
+        from_sites: tuple[str, ...],
+        to_sites: tuple[str, ...],
+        modeled: float,
+        old_price: float,
+        new_price: float,
+    ) -> None:
+        self.events.append(
+            ReoptEvent(
+                binding=binding,
+                reason=reason,
+                migrated=migrated,
+                from_sites=from_sites,
+                to_sites=to_sites,
+                modeled_seconds=modeled,
+                old_price=old_price,
+                new_price=new_price,
+            )
+        )

@@ -61,6 +61,11 @@ class Site:
         self.rows_processed = 0  # lifetime rows this site scanned or processed
         self.active_scans = 0  # queries currently in flight on this site
         self.peak_active_scans = 0  # high-water mark of the gauge
+        # Transient slowdown: a multiplicative service-time inflation on
+        # top of the concurrency curve (1.0 = healthy).  Set by the
+        # failure injector to model load spikes, noisy neighbors, or
+        # degraded hardware without taking the site down.
+        self.slowdown_factor = 1.0
         self._sources: dict[str, ContentSource] = {}
         self._backlog = 0.0
         self._backlog_as_of = clock.now()
@@ -122,16 +127,32 @@ class Site:
             )
         self.active_scans -= 1
 
+    def set_slowdown(self, factor: float) -> None:
+        """Enter a transient slowdown: services run ``factor`` times slower.
+
+        The factor multiplies :meth:`congestion_factor`, so it inflates
+        executed work, live quotes, *and* the re-optimization congestion
+        trigger in one move — exactly like real contention would.
+        """
+        if factor < 1.0:
+            raise ValueError(f"slowdown factor must be >= 1.0, got {factor}")
+        self.slowdown_factor = factor
+
+    def clear_slowdown(self) -> None:
+        self.slowdown_factor = 1.0
+
     def congestion_factor(self, active: int | None = None) -> float:
         """Service-time inflation under ``active`` concurrent queries.
 
         A linear curve: every query concurrently scanning this site
         stretches service times by ``congestion_alpha``.  Zero in-flight
         queries means exactly 1.0, so the model is inert outside the
-        workload manager.
+        workload manager.  A transient slowdown multiplies the whole
+        curve (an injected load spike looks like contention everywhere
+        work or prices are computed).
         """
         count = self.active_scans if active is None else active
-        return 1.0 + self.congestion_alpha * max(0, count)
+        return (1.0 + self.congestion_alpha * max(0, count)) * self.slowdown_factor
 
     # -- scan estimation & execution -----------------------------------------------
 

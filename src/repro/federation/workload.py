@@ -27,6 +27,15 @@ overlaps many in-flight queries on the shared simulation clock:
   agoric market prices contention and later queries route around busy
   replicas -- adaptive load balancing emerges from the economics, exactly
   the C8 story, now under real concurrency.
+* **Mid-flight re-planning.**  :meth:`WorkloadManager.watch` subscribes to
+  a :class:`~repro.federation.availability.FailureInjector`; when a site
+  fails or slows under a running query that still has *unstarted* stage
+  work there, the manager tears up the remaining work and re-executes the
+  plan at today's prices (``FederatedEngine.rerun_physical``).  With a
+  :class:`~repro.federation.reopt.ReoptPolicy` on the engine the
+  re-execution migrates pending stages to healthier replicas; without one
+  it re-prices the original assignments under the degraded cluster -- the
+  adaptive-vs-static contrast experiment E16 measures.
 
 Execution model: the simulator executes a query's operator tree at dispatch
 time (clock frozen) to learn its modeled duration and site footprint, then
@@ -147,6 +156,13 @@ class QueryHandle:
         # store (it is their *producer*); cancelling the query aborts them
         # and falls back any subscribers.
         self._stage_keys: tuple = ()
+        # Mid-flight re-planning state: the in-flight execution whose
+        # completion event is pending, when it was (re)executed on the sim
+        # clock, and how many times a cluster disturbance has already torn
+        # it up (bounded by the replan cap -- thrash damping).
+        self._inflight_result: QueryResult | None = None
+        self._executed_at: float | None = None
+        self._replans = 0
 
     # The scheduler-facing surface (see repro.federation.scheduler).
 
@@ -213,9 +229,12 @@ class WorkloadManager:
         scheduler: "str | Scheduler" = "weighted-fair",
         max_in_flight: int = 4,
         metrics: MetricsRegistry | None = None,
+        max_replans: int = 2,
     ) -> None:
         if max_in_flight < 1:
             raise QueryError(f"max_in_flight must be >= 1, got {max_in_flight}")
+        if max_replans < 0:
+            raise QueryError(f"max_replans must be >= 0, got {max_replans}")
         if loop.clock is not engine.catalog.clock:
             raise QueryError(
                 "workload manager's event loop must share the engine's clock"
@@ -228,8 +247,12 @@ class WorkloadManager:
         self.tenants: dict[str, Tenant] = {}
         self.in_flight = 0
         self.dispatched = 0  # lifetime dispatches
+        self.max_replans = max_replans  # per-query cap when the engine has
+        # no re-optimization policy of its own (engine.reopt wins otherwise)
+        self.replans = 0  # lifetime mid-flight re-executions
         self._seq = itertools.count()
         self._unfinished = 0  # queued + running
+        self._running: dict[int, QueryHandle] = {}  # seq -> RUNNING handle
 
     # -- tenancy -----------------------------------------------------------
 
@@ -367,7 +390,9 @@ class WorkloadManager:
 
         # Execute now (clock frozen) to learn the modeled duration and the
         # site footprint; occupancy is modeled by holding the slot and the
-        # site congestion gauges until the completion event.
+        # site congestion gauges until the completion event.  The absolute
+        # deadline rides along so the engine's re-optimization controller
+        # (when configured) can migrate stages that project an overrun.
         try:
             if handle.prepared is not None:
                 result = self.engine.execute(
@@ -375,6 +400,7 @@ class WorkloadManager:
                     handle.params,
                     advance_clock=False,
                     degraded_ok=handle.degraded_ok,
+                    deadline_at=self._deadline_at(handle),
                 )
             else:
                 result = self.engine.query(
@@ -382,6 +408,7 @@ class WorkloadManager:
                     max_staleness=handle.max_staleness,
                     advance_clock=False,
                     degraded_ok=handle.degraded_ok,
+                    deadline_at=self._deadline_at(handle),
                 )
         except ContentIntegrationError as error:
             self._finish(handle, error=error)
@@ -397,6 +424,9 @@ class WorkloadManager:
         site congestion gauges, plus its artifact-store roles (producer of
         the stages it registered, subscriber of the stages it joined)."""
         report = result.report
+        handle._inflight_result = result
+        handle._executed_at = self.loop.clock.now()
+        self._running[handle.seq] = handle
         handle._busy_sites = tuple(sorted(report.site_work))
         catalog = self.engine.catalog
         for site_name in handle._busy_sites:
@@ -441,6 +471,8 @@ class WorkloadManager:
     ) -> None:
         now = self.loop.clock.now()
         owner = handle.tenant
+        self._running.pop(handle.seq, None)
+        handle._inflight_result = None
         handle.finished_at = now
         owner.running -= 1
         self.in_flight -= 1
@@ -556,6 +588,7 @@ class WorkloadManager:
                     advance_clock=False,
                     degraded_ok=subscriber.degraded_ok,
                     reuse_artifacts=False,
+                    deadline_at=self._deadline_at(subscriber),
                 )
             else:
                 result = self.engine.query(
@@ -564,6 +597,7 @@ class WorkloadManager:
                     advance_clock=False,
                     degraded_ok=subscriber.degraded_ok,
                     reuse_artifacts=False,
+                    deadline_at=self._deadline_at(subscriber),
                 )
         except ContentIntegrationError as error:
             self._finish(subscriber, error=error)
@@ -576,6 +610,121 @@ class WorkloadManager:
         report.tenant = subscriber.tenant.name
         report.scheduler = self.scheduler.name
         self._occupy(subscriber, result)
+
+    # -- mid-flight re-planning (DESIGN §5i) --------------------------------
+
+    def _deadline_at(self, handle: QueryHandle) -> float | None:
+        """The handle's absolute deadline on the sim clock, if it has one."""
+        if handle.deadline is None:
+            return None
+        return handle.submitted_at + handle.deadline
+
+    def _replan_cap(self) -> int:
+        """Per-query replan budget: the engine's re-optimization policy wins
+        when configured, else the manager's own ``max_replans`` default."""
+        policy = getattr(self.engine, "reopt", None)
+        if policy is not None:
+            return policy.max_replans
+        return self.max_replans
+
+    def watch(self, injector) -> None:
+        """Wire a :class:`~repro.federation.availability.FailureInjector`'s
+        site transitions into mid-flight re-planning: every failure or
+        slowdown it injects wakes :meth:`site_event`."""
+        injector.on_transition(
+            lambda time, site_name, kind: self.site_event(site_name, kind)
+        )
+
+    def site_event(self, site_name: str, kind: str = "fail") -> None:
+        """A site just degraded (``"fail"`` or ``"slow"``): tear up and
+        re-execute every running query with *unstarted* stage work there.
+
+        Repairs and recoveries are ignored -- a query modeled against a
+        degraded cluster already paid for it, and chasing every recovery
+        is exactly the thrash the replan cap and the re-optimizer's
+        hysteresis exist to prevent.  Handles are visited in submission
+        order so seeded runs stay deterministic.
+        """
+        if kind in ("repair", "recover"):
+            return
+        now = self.loop.clock.now()
+        affected = [
+            self._running[seq]
+            for seq in sorted(self._running)
+            if self._pending_on_site(self._running[seq], site_name, now)
+        ]
+        for handle in affected:
+            self._reexecute(handle)
+
+    def _pending_on_site(
+        self, handle: QueryHandle, site_name: str, now: float
+    ) -> bool:
+        """Does ``handle`` still have an unstarted stage touching the site?
+
+        A stage whose modeled arrival offset exceeds the time the query has
+        already been in flight has not started yet; only those are worth
+        (and safe to model as) re-planning -- completed stage work stands.
+        """
+        if handle.state is not QueryState.RUNNING:
+            return False
+        if handle._replans >= self._replan_cap():
+            return False
+        result = handle._inflight_result
+        if result is None or handle._executed_at is None:
+            return False
+        elapsed = now - handle._executed_at
+        return any(
+            arrival > elapsed and site_name in sites
+            for arrival, sites in result.report.stage_runtimes.values()
+        )
+
+    def _reexecute(self, handle: QueryHandle) -> None:
+        """Re-run a disturbed query's plan at today's prices (clock frozen),
+        replacing its pending completion with one off the fresh execution.
+
+        The original plan template is preserved: with a re-optimization
+        policy on the engine, its controller migrates unstarted stages to
+        healthier replicas; without one the same assignments are simply
+        re-priced under the degraded cluster (failover backoff, congestion
+        inflation) -- so static and adaptive configurations face identical
+        disturbances and differ only in how they respond.
+        """
+        if handle.state is not QueryState.RUNNING:
+            return
+        result = handle._inflight_result
+        if result is None:
+            return
+        now = self.loop.clock.now()
+        elapsed = max(0.0, now - (handle._executed_at or now))
+        if handle._completion_event is not None:
+            handle._completion_event.cancel()
+        self._release_sites(handle)
+        # The rerun must not join its own about-to-die in-flight stages.
+        self._abort_stages(handle)
+        try:
+            fresh = self.engine.rerun_physical(
+                result,
+                max_staleness=handle.max_staleness,
+                degraded_ok=handle.degraded_ok,
+                deadline_at=self._deadline_at(handle),
+            )
+        except ContentIntegrationError as error:
+            self._finish(handle, error=error)
+            return
+        report = fresh.report
+        if handle.started_at is not None:
+            report.queue_wait_seconds = handle.started_at - handle.submitted_at
+        report.tenant = handle.tenant.name
+        report.scheduler = self.scheduler.name
+        if getattr(self.engine, "reopt", None) is not None:
+            # In-flight work the disturbance threw away is charged against
+            # adaptivity, not hidden: it lands in the wasted-seconds ledger.
+            report.reopt_wasted_seconds += elapsed
+        handle._replans += 1
+        self.replans += 1
+        self.metrics.counter("workload.replans").inc()
+        self._counter(handle.tenant.name, "replans").inc()
+        self._occupy(handle, fresh)
 
     # -- driving -----------------------------------------------------------
 

@@ -194,16 +194,68 @@ class TestSiteHealthTracker:
         assert not tracker.allow("s0")
         assert tracker.trips == 1
 
-    def test_half_open_after_cooldown_and_close_on_success(self):
-        clock, tracker = self.make()
+    def test_half_open_after_cooldown_and_close_on_success_streak(self):
+        clock, tracker = self.make()  # default half_open_successes=2
         for _ in range(3):
             tracker.record_failure("s0")
         clock.advance(60.0)
         assert tracker.state("s0") is CircuitState.HALF_OPEN
-        assert tracker.allow("s0")  # one probe allowed through
+        assert tracker.allow("s0")  # probes allowed through
+        tracker.record_success("s0")
+        # One lucky probe must not fully restore trust.
+        assert tracker.state("s0") is CircuitState.HALF_OPEN
         tracker.record_success("s0")
         assert tracker.state("s0") is CircuitState.CLOSED
         assert tracker.health("s0").consecutive_failures == 0
+
+    def test_single_probe_streak_closes_immediately(self):
+        clock, tracker = self.make(half_open_successes=1)
+        for _ in range(3):
+            tracker.record_failure("s0")
+        clock.advance(60.0)
+        tracker.record_success("s0")
+        assert tracker.state("s0") is CircuitState.CLOSED
+
+    def test_flapping_site_never_closes_on_alternating_probes(self):
+        # Regression for the flap that motivated the streak: a site that
+        # alternates probe success / probe failure must stay broken.
+        clock, tracker = self.make(half_open_successes=2)
+        for _ in range(3):
+            tracker.record_failure("s0")
+        for _ in range(5):
+            clock.advance(60.0)
+            assert tracker.state("s0") is CircuitState.HALF_OPEN
+            tracker.record_success("s0")  # one good probe...
+            assert tracker.state("s0") is CircuitState.HALF_OPEN
+            tracker.record_failure("s0")  # ...then the flap
+            assert tracker.state("s0") is CircuitState.OPEN
+        # A clean streak finally closes it.
+        clock.advance(60.0)
+        tracker.record_success("s0")
+        tracker.record_success("s0")
+        assert tracker.state("s0") is CircuitState.CLOSED
+
+    def test_success_while_fully_open_earns_nothing(self):
+        clock, tracker = self.make(half_open_successes=1)
+        for _ in range(3):
+            tracker.record_failure("s0")
+        assert tracker.state("s0") is CircuitState.OPEN
+        tracker.record_success("s0")  # forced traffic, not a probe
+        assert tracker.state("s0") is CircuitState.OPEN
+        assert tracker.health("s0").probe_successes == 0
+
+    def test_tracker_rejects_degenerate_parameters(self):
+        clock = SimClock()
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            SiteHealthTracker(clock, cooldown_seconds=0.0)
+        with pytest.raises(ValueError, match="cooldown_seconds"):
+            SiteHealthTracker(clock, cooldown_seconds=-5.0)
+        with pytest.raises(ValueError, match="risk_decay_seconds"):
+            SiteHealthTracker(clock, risk_decay_seconds=0.0)
+        with pytest.raises(ValueError, match="half_open_successes"):
+            SiteHealthTracker(clock, half_open_successes=0)
+        with pytest.raises(ValueError, match="failure_threshold"):
+            SiteHealthTracker(clock, failure_threshold=0)
 
     def test_failed_half_open_probe_reopens(self):
         clock, tracker = self.make()
