@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""CI gate: compiled governance must not regress against the committed run.
+
+Usage::
+
+    check_governance.py BASELINE.json FRESH.json
+
+Each file is a ``BENCH_E17.json`` produced by ``bench_e17_governance.py``.
+The fresh file typically comes from a smoke run (``E17_QUERIES`` scaled
+far down), so the gate compares *shapes*, not exact numbers:
+
+* **Enforcement overhead** (governed / ungoverned modeled mean latency)
+  may exceed the baseline's ratio by at most ``OVERHEAD_SLACK``
+  (absolute).  RLS rides the pushdown the sites evaluate anyway, so the
+  committed ratio is ~1.0; a post-filtering regression ships every row
+  and blows past the bar.
+* **Policing coverage**: the governed run must have policed at least one
+  statement, with an error rate of exactly zero at any scale.
+* **Plan-cache hit rate** may drop at most ``HIT_RATE_SLACK`` below the
+  baseline -- policy signatures multiply cache entries per shape, but a
+  keying bug (e.g. keying on tenant *name*) sends the rate toward zero.
+* **Optimizer pricing**: for every optimizer family the governed probe
+  must cost less modeled time than the unrestricted one, and the agoric
+  market's winning-bid total must drop too -- the policy is in the plan,
+  not the cursor.
+* **Budget/rate admission**: the funded tenant is never rejected, the
+  ``reject`` tenant is, the ``degrade`` tenant never is, and the token
+  bucket clipped the chatty burst.
+
+Exits 1 on the first violated bound.
+"""
+
+import json
+import sys
+
+OVERHEAD_SLACK = 0.25  # absolute headroom over the baseline overhead ratio
+HIT_RATE_SLACK = 0.02
+
+
+def load(path: str) -> dict:
+    with open(path) as f:
+        payload = json.load(f)
+    for key in ("enforcement", "pricing", "budgets"):
+        if key not in payload:
+            raise SystemExit(
+                f"{path}: no '{key}' key (full E17 bench not run?)"
+            )
+    return payload
+
+
+def main(argv: "list[str]") -> int:
+    if len(argv) != 3:
+        print(__doc__)
+        return 2
+    baseline = load(argv[1])
+    fresh = load(argv[2])
+    failures = []
+
+    base_enf = baseline["enforcement"]
+    enf = fresh["enforcement"]
+    bar = base_enf["overhead_ratio"] + OVERHEAD_SLACK
+    print(f"enforcement overhead {enf['overhead_ratio']:.4f}x (bar {bar:.4f}x)")
+    if enf["overhead_ratio"] > bar:
+        failures.append(
+            f"enforcement overhead {enf['overhead_ratio']:.4f} exceeds "
+            f"baseline {base_enf['overhead_ratio']:.4f} + {OVERHEAD_SLACK}"
+        )
+    if enf["error_rate"] != 0:
+        failures.append(f"nonzero governed error rate {enf['error_rate']}")
+    if enf["queries_policed"] <= 0:
+        failures.append("no statements were policed")
+    hit_bar = base_enf["plan_cache_hit_rate"] - HIT_RATE_SLACK
+    print(
+        f"plan-cache hit rate {enf['plan_cache_hit_rate']:.4f} "
+        f"(bar {hit_bar:.4f})"
+    )
+    if enf["plan_cache_hit_rate"] < hit_bar:
+        failures.append(
+            f"plan-cache hit rate {enf['plan_cache_hit_rate']:.4f} below "
+            f"baseline {base_enf['plan_cache_hit_rate']:.4f} - {HIT_RATE_SLACK}"
+        )
+
+    for name, stats in sorted(fresh["pricing"].items()):
+        print(
+            f"{name}: governed {stats['governed_seconds']:.6f}s vs "
+            f"plain {stats['plain_seconds']:.6f}s"
+        )
+        if stats["governed_seconds"] >= stats["plain_seconds"]:
+            failures.append(
+                f"{name}: governed probe not cheaper than unrestricted "
+                f"({stats['governed_seconds']} >= {stats['plain_seconds']})"
+            )
+    agoric = fresh["pricing"].get("agoric")
+    if agoric and agoric["governed_price"] >= agoric["plain_price"]:
+        failures.append(
+            f"agoric winning-bid total did not drop under RLS "
+            f"({agoric['governed_price']} >= {agoric['plain_price']})"
+        )
+
+    budgets = fresh["budgets"]
+    print(
+        f"budgets: {budgets['budget_rejections']} rejections, "
+        f"{budgets['budget_degraded']} degraded, "
+        f"{budgets['rate_limited']} rate-limited"
+    )
+    if budgets["rejected"]["rich"] != 0:
+        failures.append("funded tenant was rejected")
+    if budgets["budget_rejections"] <= 0:
+        failures.append("exhausted reject-mode tenant was never rejected")
+    if budgets["rejected"]["poor-degrade"] != 0:
+        failures.append("degrade-mode tenant was rejected instead of degraded")
+    if budgets["budget_degraded"] <= 0:
+        failures.append("exhausted degrade-mode tenant never degraded")
+    if budgets["rate_limited"] <= 0:
+        failures.append("token bucket never clipped the chatty burst")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print("OK: governance behaviour holds")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

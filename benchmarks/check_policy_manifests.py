@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""CI gate: every committed governance manifest must be schema-valid.
+
+Usage::
+
+    check_policy_manifests.py [PATH ...]
+
+With no arguments, validates every ``*.yaml`` / ``*.yml`` / ``*.json``
+file under the repository's ``policies/`` directory.  Each file is run
+through :func:`repro.federation.governance.validate_manifest` -- the same
+checker :class:`GovernanceRegistry` applies at load time -- so a manifest
+that passes here is guaranteed to load, and one that would fail a
+deployment fails the build instead, with every problem listed.
+
+Exits 1 if any file is malformed, 2 if a YAML file is found but no YAML
+parser is available (CI must install one rather than silently skip).
+"""
+
+import os
+import sys
+
+sys.path.insert(
+    0,
+    os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"),
+)
+
+from repro.federation.governance import (  # noqa: E402
+    load_manifest_data,
+    validate_manifest,
+)
+
+POLICY_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "policies"
+)
+EXTENSIONS = (".yaml", ".yml", ".json")
+
+
+def discover() -> "list[str]":
+    if not os.path.isdir(POLICY_DIR):
+        return []
+    return sorted(
+        os.path.join(POLICY_DIR, name)
+        for name in os.listdir(POLICY_DIR)
+        if name.endswith(EXTENSIONS)
+    )
+
+
+def main(argv: "list[str]") -> int:
+    paths = argv[1:] or discover()
+    if not paths:
+        print("no policy manifests found; nothing to validate")
+        return 0
+    failures = 0
+    for path in paths:
+        if path.endswith((".yaml", ".yml")):
+            try:
+                import yaml  # noqa: F401
+            except ImportError:
+                print(f"{path}: cannot validate, no YAML parser installed")
+                return 2
+        try:
+            data = load_manifest_data(path)
+        except Exception as exc:
+            print(f"{path}: FAIL: unreadable ({exc})")
+            failures += 1
+            continue
+        errors = validate_manifest(data)
+        if errors:
+            print(f"{path}: FAIL:")
+            for error in errors:
+                print(f"  - {error}")
+            failures += 1
+        else:
+            tenants = sorted(data.get("tenants", {}))
+            print(f"{path}: ok ({len(tenants)} tenants: {', '.join(tenants)})")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

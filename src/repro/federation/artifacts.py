@@ -184,6 +184,32 @@ def stage_hash(catalog, spec: StageSpec) -> str | None:
         ),
         "columns=" + ",".join(stage_fields(entry.schema, scan)),
     ]
+    governance = getattr(scan, "governance", None)
+    if governance is not None and (governance.rls_residual or governance.masks):
+        # Governed stages capture post-RLS, post-mask rows, so the policy
+        # work that shaped the payload is part of the stage identity.
+        # Pushed RLS conjuncts already flow through ``pushdown=`` above;
+        # the residual expressions and masks are added here.  The tenant
+        # *name* is deliberately excluded: two tenants with byte-identical
+        # policies produce byte-identical payloads and may share, while any
+        # difference in predicates or masks changes the digest -- tenants
+        # with different RLS can never collide on one artifact.
+        parts.append(
+            "rls="
+            + ";".join(
+                sorted(
+                    canonical_expr(c, scan.binding)
+                    for c in governance.rls_residual
+                )
+            )
+        )
+        parts.append(
+            "masks="
+            + ";".join(
+                f"{column}:{style}"
+                for column, style in sorted(governance.masks.items())
+            )
+        )
     if spec.agg is not None:
         parts.append(
             "group="

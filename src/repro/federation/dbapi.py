@@ -156,7 +156,8 @@ class Cursor:
         values = _check_bindable(parameters)
         try:
             prepared = connection._plan_cache.get_or_prepare(
-                sql, max_staleness=connection.max_staleness
+                sql, max_staleness=connection.max_staleness,
+                tenant=connection.tenant,
             )
         except SqlParseError:
             if not count_placeholders(sql):
@@ -208,6 +209,7 @@ class Cursor:
                 bound,
                 max_staleness=connection.max_staleness,
                 degraded_ok=connection.degraded_ok,
+                tenant=connection.tenant,
             )
         self._install_result(result)
         return self

@@ -116,10 +116,18 @@ class PreparedStatement:
     coordinator: str | None
     statement: SelectStatement
     has_subqueries: bool
+    # Tenant the template was compiled for: governance policies (RLS, masks)
+    # are baked into the plan, so the template is only valid for this tenant
+    # under this policy content (see ``policy_signature``).
+    tenant: str | None = None
     # Fast-path template (None on the subquery slow path):
     logical: PlanNode | None = None
     physical: PhysicalPlan | None = None
     catalog_version: int = -1
+    # Content hash of the tenant's governance policy at plan time (None for
+    # ungoverned tenants); a manifest edit changes the signature and the
+    # next execution replans -- stale unmasked plans can never serve.
+    policy_signature: str | None = None
     # Modeled time after which a cached/materialized access path in the
     # template would exceed ``max_staleness`` (None = no expiry).
     valid_until: float | None = None
@@ -146,9 +154,15 @@ class FederatedEngine:
         columnar: bool = True,
         artifacts=None,
         reopt: ReoptPolicy | None = None,
+        governance=None,
     ) -> None:
         self.catalog = catalog
         self.optimizer = optimizer or AgoricOptimizer(catalog)
+        # Per-tenant governance (a GovernanceRegistry from
+        # repro.federation.governance, or None): RLS predicates and column
+        # masks compile into every plan built for a governed tenant, and
+        # budgets cap agoric bids.
+        self.governance = governance
         # Adaptive mid-query re-optimization policy (DESIGN §5i), or None
         # to keep every plan frozen at dispatch.
         self.reopt = reopt
@@ -186,6 +200,8 @@ class FederatedEngine:
             if artifacts.metrics is None:
                 artifacts.metrics = self.metrics
             self.catalog.on_table_updated(artifacts.invalidate_table)
+        if governance is not None and governance.metrics is None:
+            governance.metrics = self.metrics
         self.synonyms: SynonymExpander | None = None
         self.taxonomy_expander: TaxonomyExpander | None = None
 
@@ -201,6 +217,7 @@ class FederatedEngine:
         degraded_ok: bool = False,
         reuse_artifacts: bool = True,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ) -> QueryResult:
         """Answer one SQL query.
 
@@ -217,11 +234,18 @@ class FederatedEngine:
         flag an unreachable fragment raises a structured
         :class:`~repro.core.errors.PartialFailureError` naming the dead
         sites and fragments.
+
+        ``tenant`` names who is asking.  With a governance registry
+        attached, the tenant's RLS predicates and column masks compile into
+        the plan during rewrite and its remaining cost budget caps the
+        agoric bid; without one (or for an ungoverned tenant) the plan is
+        unchanged.
         """
         statement = parse_sql(sql)
         return self._execute_statement(
             statement, max_staleness, coordinator, advance_clock, budget,
             degraded_ok, reuse_artifacts, deadline_at=deadline_at,
+            tenant=tenant,
         )
 
     def _execute_statement(
@@ -234,24 +258,38 @@ class FederatedEngine:
         degraded_ok: bool = False,
         reuse_artifacts: bool = True,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ) -> QueryResult:
         # Uncorrelated IN-subqueries run first (semijoin by materialization:
         # the inner membership set is fetched, then shipped into the outer
-        # query's filter).
+        # query's filter).  The same tenant governs the inner selects --
+        # membership lists must not leak rows the policy hides.
         statement.where = self._rewrite_subqueries(
-            statement.where, max_staleness, advance_clock
+            statement.where, max_staleness, advance_clock, tenant
         )
         statement.having = self._rewrite_subqueries(
-            statement.having, max_staleness, advance_clock
+            statement.having, max_staleness, advance_clock, tenant
         )
         bindings = {statement.table.binding: statement.table.name}
         for join in statement.joins:
             bindings[join.table.binding] = join.table.name
         binding_fields = self.catalog.binding_fields(bindings)
         plan = build_plan(statement, binding_fields)
-        plan = self._apply_rewrites(plan, bindings, binding_fields)
+        plan = self._apply_rewrites(plan, bindings, binding_fields, tenant)
 
-        if budget is not None:
+        # The tenant's remaining budget caps the agoric bid (on top of any
+        # caller-supplied cap); non-agoric optimizers keep their signature
+        # and rely on admission-time budget gates instead.
+        effective_budget = budget
+        if self.governance is not None:
+            effective_budget = self.governance.effective_budget(tenant, budget)
+        if effective_budget is not None and isinstance(
+            self.optimizer, AgoricOptimizer
+        ):
+            physical = self.optimizer.optimize(
+                plan, coordinator, max_staleness, budget=effective_budget
+            )
+        elif budget is not None:
             physical = self.optimizer.optimize(
                 plan, coordinator, max_staleness, budget=budget
             )
@@ -260,7 +298,7 @@ class FederatedEngine:
         self._annotate_text_filters(plan, physical)
         return self._run_physical(
             plan, physical, max_staleness, advance_clock, degraded_ok,
-            reuse_artifacts, deadline_at=deadline_at,
+            reuse_artifacts, deadline_at=deadline_at, tenant=tenant,
         )
 
     def _run_physical(
@@ -272,6 +310,7 @@ class FederatedEngine:
         degraded_ok: bool,
         reuse_artifacts: bool = True,
         deadline_at: float | None = None,
+        tenant: str | None = None,
     ) -> QueryResult:
         """Execute an already-optimized plan and do all the accounting.
 
@@ -318,6 +357,12 @@ class FederatedEngine:
         report.fragments_total = sum(
             a.total_fragments for a in physical.assignments.values()
         )
+        if self.governance is not None and tenant is not None:
+            if any(scan.governance is not None for scan in scans_in(plan)):
+                report.governed_tenant = tenant
+            # Budgets are priced in the plan's own currency: the execution
+            # debits exactly what the optimizer agreed to pay.
+            self.governance.charge(tenant, physical.total_price)
 
         if advance_clock:
             target = start + report.response_seconds
@@ -349,6 +394,7 @@ class FederatedEngine:
         sql: str,
         max_staleness: float | None = None,
         coordinator: str | None = None,
+        tenant: str | None = None,
     ) -> PreparedStatement:
         """Parse, rewrite and optimize ``sql`` once for repeated execution.
 
@@ -356,7 +402,11 @@ class FederatedEngine:
         that survive planning; :meth:`execute` binds values into a copy of
         the template.  ``max_staleness`` is fixed at prepare time because it
         shapes access-path choice (a plan reading a materialized view is
-        only valid for queries that tolerate its staleness).
+        only valid for queries that tolerate its staleness).  ``tenant`` is
+        fixed at prepare time for the same reason: governance compiles the
+        tenant's RLS/mask policy into the template, so the template belongs
+        to that tenant (and to that policy content -- a manifest edit
+        replans on the next execution).
         """
         wall_start = time.perf_counter()
         statement = parse_sql(sql)
@@ -367,6 +417,7 @@ class FederatedEngine:
             coordinator=coordinator,
             statement=statement,
             has_subqueries=statement_has_subqueries(statement),
+            tenant=tenant,
         )
         if not prepared.has_subqueries:
             self._plan_prepared(prepared)
@@ -382,7 +433,9 @@ class FederatedEngine:
             bindings[join.table.binding] = join.table.name
         binding_fields = self.catalog.binding_fields(bindings)
         plan = build_plan(statement, binding_fields)
-        plan = self._apply_rewrites(plan, bindings, binding_fields)
+        plan = self._apply_rewrites(
+            plan, bindings, binding_fields, prepared.tenant
+        )
         physical = self.optimizer.optimize(
             plan, prepared.coordinator, prepared.max_staleness
         )
@@ -390,6 +443,11 @@ class FederatedEngine:
         prepared.logical = plan
         prepared.physical = physical
         prepared.catalog_version = self.catalog.version
+        prepared.policy_signature = (
+            self.governance.signature_for(prepared.tenant)
+            if self.governance is not None
+            else None
+        )
         prepared.optimization_seconds = physical.optimization_seconds
         prepared.valid_until = self._prepared_validity(
             physical, prepared.max_staleness
@@ -454,11 +512,20 @@ class FederatedEngine:
                 degraded_ok,
                 reuse_artifacts,
                 deadline_at=deadline_at,
+                tenant=prepared.tenant,
             )
 
-        if prepared.catalog_version != self.catalog.version or (
-            prepared.valid_until is not None
-            and self.catalog.clock.now() > prepared.valid_until
+        if (
+            prepared.catalog_version != self.catalog.version
+            or (
+                prepared.valid_until is not None
+                and self.catalog.clock.now() > prepared.valid_until
+            )
+            or (
+                self.governance is not None
+                and prepared.policy_signature
+                != self.governance.signature_for(prepared.tenant)
+            )
         ):
             self._plan_prepared(prepared)
             prepared.replans += 1
@@ -486,7 +553,7 @@ class FederatedEngine:
         )
         return self._run_physical(
             bound, physical, prepared.max_staleness, advance_clock, degraded_ok,
-            reuse_artifacts, deadline_at=deadline_at,
+            reuse_artifacts, deadline_at=deadline_at, tenant=prepared.tenant,
         )
 
     def rerun_physical(
@@ -564,6 +631,12 @@ class FederatedEngine:
             self.metrics.counter("reopt.wasted_seconds").inc(
                 report.reopt_wasted_seconds
             )
+        if report.governed_tenant is not None:
+            self.metrics.counter("governance.queries_policed").inc()
+        if report.rows_filtered_by_rls:
+            self.metrics.counter("governance.rows_filtered_by_rls").inc(
+                report.rows_filtered_by_rls
+            )
         self.metrics.histogram("query.completeness").observe(report.completeness)
         if report.fragments_total:
             self.metrics.counter("pruning.fragments_pruned").inc(
@@ -575,23 +648,36 @@ class FederatedEngine:
         if report.operators is not None:
             self._record_operator_metrics(report.operators)
 
-    def _apply_rewrites(self, plan: PlanNode, bindings, binding_fields) -> PlanNode:
+    def _apply_rewrites(
+        self, plan: PlanNode, bindings, binding_fields, tenant: str | None = None
+    ) -> PlanNode:
         """The standard rewrite pipeline, applied after pushdown in build_plan.
 
         Order matters: MATCH conjuncts must leave the residual filter before
-        site-filter pushdown claims them as ordinary row predicates, and
-        aggregate splitting only fires once absorbed filters expose an
-        aggregation sitting directly on its scan.
+        site-filter pushdown claims them as ordinary row predicates;
+        governance injects after the filter passes (so it can hoist user
+        predicates off masked columns) but before projection pruning (whose
+        column sets must include hoisted site filters); and aggregate
+        splitting only fires once absorbed filters expose an aggregation
+        sitting directly on its scan.
         """
-        pipeline = RewritePipeline(
+        passes = [
+            TextIndexRewrite(self._text_targets(bindings)),
+            SiteFilterPushdown(binding_fields),
+        ]
+        if self.governance is not None:
+            governance_pass = self.governance.injection_pass(
+                tenant, binding_fields
+            )
+            if governance_pass is not None:
+                passes.append(governance_pass)
+        passes.extend(
             [
-                TextIndexRewrite(self._text_targets(bindings)),
-                SiteFilterPushdown(binding_fields),
                 ProjectionPruning(binding_fields),
                 AggregateSplitting(),
             ]
         )
-        return pipeline.run(plan)
+        return RewritePipeline(passes).run(plan)
 
     def _text_targets(self, bindings: dict[str, str]) -> dict[str, TextIndexTarget]:
         """What the text-index rewrite may target, per binding."""
@@ -645,6 +731,7 @@ class FederatedEngine:
         sql: str,
         max_staleness: float | None = None,
         analyze: bool = False,
+        tenant: str | None = None,
     ) -> str:
         """Render the physical plan for ``sql``.
 
@@ -659,7 +746,7 @@ class FederatedEngine:
         if analyze:
             statement = parse_sql(sql)
             result = self._execute_statement(
-                statement, max_staleness, advance_clock=False
+                statement, max_staleness, advance_clock=False, tenant=tenant
             )
             return self.render_analyze(result)
 
@@ -669,7 +756,7 @@ class FederatedEngine:
             bindings[join.table.binding] = join.table.name
         binding_fields = self.catalog.binding_fields(bindings)
         plan = build_plan(statement, binding_fields)
-        plan = self._apply_rewrites(plan, bindings, binding_fields)
+        plan = self._apply_rewrites(plan, bindings, binding_fields, tenant)
         physical = self.optimizer.optimize(plan, None, max_staleness)
         self._annotate_text_filters(plan, physical)
 
@@ -760,9 +847,18 @@ class FederatedEngine:
                 )
                 detail = f"fragments [{placed}]{describe_pruning(assignment)}"
             extras = ""
-            if node.pushdown:
+            # RLS conjuncts live in the ordinary pushdown list (that is how
+            # they prune and price); attribute them to the policy in the
+            # rendering instead of listing them twice.
+            user_pushdown = node.pushdown
+            if node.governance is not None and node.governance.rls_pushed:
+                user_pushdown = [
+                    p for p in node.pushdown
+                    if p not in node.governance.rls_pushed
+                ]
+            if user_pushdown:
                 predicates = ", ".join(
-                    f"{p.column} {p.op} {p.value!r}" for p in node.pushdown
+                    f"{p.column} {p.op} {p.value!r}" for p in user_pushdown
                 )
                 extras += f" pushdown({predicates})"
             if node.site_filters:
@@ -774,6 +870,23 @@ class FederatedEngine:
                 extras += f" columns({', '.join(sorted(node.needed_columns))})"
             if assignment.text_filter is not None:
                 extras += f" text-index{assignment.text_filter!r}"
+            if node.governance is not None:
+                from repro.federation.physical import describe_expr
+
+                rls_parts = [
+                    f"{p.column} {p.op} {p.value!r}"
+                    for p in node.governance.rls_pushed
+                ]
+                rls_parts.extend(
+                    describe_expr(c) for c in node.governance.rls_residual
+                )
+                if rls_parts:
+                    extras += (
+                        f" rls(tenant={node.governance.tenant}: "
+                        f"{', '.join(rls_parts)})"
+                    )
+                for column in sorted(node.governance.masks):
+                    extras += f" mask({column})"
             return [f"{pad}scan {node.table} as {node.binding}: {detail}{extras}"]
         label = {
             FilterNode: "filter",
@@ -792,13 +905,14 @@ class FederatedEngine:
             lines.extend(self._explain_node(child, physical, depth + 1))
         return lines
 
-    def _rewrite_subqueries(self, expr, max_staleness, advance_clock):
+    def _rewrite_subqueries(self, expr, max_staleness, advance_clock, tenant=None):
         """Replace ``IN (SELECT ...)`` with the materialized value list."""
         if expr is None:
             return None
         if isinstance(expr, InSubquery):
             inner = self._execute_statement(
-                expr.subquery, max_staleness, advance_clock=advance_clock
+                expr.subquery, max_staleness, advance_clock=advance_clock,
+                tenant=tenant,
             )
             if len(inner.table.schema) != 1:
                 raise QueryError(
@@ -811,13 +925,19 @@ class FederatedEngine:
         if isinstance(expr, BinaryOp):
             return BinaryOp(
                 expr.op,
-                self._rewrite_subqueries(expr.left, max_staleness, advance_clock),
-                self._rewrite_subqueries(expr.right, max_staleness, advance_clock),
+                self._rewrite_subqueries(
+                    expr.left, max_staleness, advance_clock, tenant
+                ),
+                self._rewrite_subqueries(
+                    expr.right, max_staleness, advance_clock, tenant
+                ),
             )
         if isinstance(expr, UnaryOp):
             return UnaryOp(
                 expr.op,
-                self._rewrite_subqueries(expr.operand, max_staleness, advance_clock),
+                self._rewrite_subqueries(
+                    expr.operand, max_staleness, advance_clock, tenant
+                ),
             )
         return expr
 

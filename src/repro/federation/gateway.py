@@ -53,19 +53,28 @@ from repro.sql.sqltext import (
 class PlanCache:
     """LRU cache of prepared-statement templates, keyed by normalized SQL.
 
-    The key is ``(normalize_sql(sql), max_staleness, coordinator)``: two
-    spellings of the same statement -- different comments, whitespace,
-    keyword case -- share one template, while options that change *what
-    plan is built* key separately: the staleness bound shapes access-path
-    choice, and a pinned coordinator is baked into the template's site
-    assignments (two sessions pinning different coordinators must never
-    share one plan).  Options that are bound per-*execution* rather than
-    per-plan stay out of the key on purpose: ``degraded_ok`` and the
-    tenant are threaded through :meth:`WorkloadManager.submit` at dispatch
-    and never touch the template, and ``columnar`` is an engine-level
-    execution mode, so splitting the key on any of them would only
-    depress the hit rate without changing semantics.  Entries are never
-    served stale: revalidation against the catalog version lives in
+    The key is ``(normalize_sql(sql), max_staleness, coordinator,
+    policy_signature)``: two spellings of the same statement -- different
+    comments, whitespace, keyword case -- share one template, while options
+    that change *what plan is built* key separately: the staleness bound
+    shapes access-path choice, a pinned coordinator is baked into the
+    template's site assignments (two sessions pinning different
+    coordinators must never share one plan), and a *governed* tenant's
+    policy signature is baked into the plan itself (RLS predicates and
+    masks compile into the template's scans, so two tenants with different
+    policies must never share one plan either).  The signature is the
+    content hash of the tenant's policy, not the tenant name: ungoverned
+    tenants all key on ``None`` and keep sharing (adding governance for
+    some tenants costs the rest nothing), tenants with byte-identical
+    policies share soundly, and a manifest edit changes the signature so
+    the edited tenant's next statement misses to a freshly-governed plan.
+    Options that are bound per-*execution* rather than per-plan stay out
+    of the key on purpose: ``degraded_ok`` is threaded through
+    :meth:`WorkloadManager.submit` at dispatch and never touches the
+    template, and ``columnar`` is an engine-level execution mode, so
+    splitting the key on either would only depress the hit rate without
+    changing semantics.  Entries are never served stale: revalidation
+    against the catalog version *and* the policy signature lives in
     :meth:`FederatedEngine.execute`, so the cache only manages identity
     and eviction.
     """
@@ -81,7 +90,7 @@ class PlanCache:
         self.engine = engine
         self.capacity = capacity
         self.metrics = metrics or engine.metrics
-        self._entries: "OrderedDict[tuple[str, float | None, str | None], PreparedStatement]" = (
+        self._entries: "OrderedDict[tuple[str, float | None, str | None, str | None], PreparedStatement]" = (
             OrderedDict()
         )
         self.hits = 0
@@ -96,9 +105,14 @@ class PlanCache:
         sql: str,
         max_staleness: float | None = None,
         coordinator: str | None = None,
+        tenant: str | None = None,
     ) -> PreparedStatement:
         """The cached template for ``sql``, preparing (and caching) on miss."""
-        key = (normalize_sql(sql), max_staleness, coordinator)
+        governance = getattr(self.engine, "governance", None)
+        signature = (
+            governance.signature_for(tenant) if governance is not None else None
+        )
+        key = (normalize_sql(sql), max_staleness, coordinator, signature)
         entry = self._entries.get(key)
         if entry is not None:
             self._entries.move_to_end(key)
@@ -106,7 +120,8 @@ class PlanCache:
             self.metrics.counter("gateway.plan_cache.hits").inc()
             return entry
         entry = self.engine.prepare(
-            sql, max_staleness=max_staleness, coordinator=coordinator
+            sql, max_staleness=max_staleness, coordinator=coordinator,
+            tenant=tenant,
         )
         # Count the miss only once the statement proves preparable, so
         # unpreparable statements (textual-binding fallback) don't depress
@@ -206,7 +221,8 @@ class GatewaySession:
         workload = self.gateway.workload
         try:
             prepared = self.gateway.plan_cache.get_or_prepare(
-                sql, max_staleness=max_staleness, coordinator=self.coordinator
+                sql, max_staleness=max_staleness, coordinator=self.coordinator,
+                tenant=self.tenant,
             )
         except SqlParseError:
             if not count_placeholders(sql):

@@ -38,6 +38,7 @@ from repro.core.schema import DataType, Field, Schema
 from repro.core.values import Money
 from repro.federation import columnar
 from repro.federation.catalog import FederationCatalog, Fragment
+from repro.federation.governance import apply_masks as apply_column_masks
 from repro.federation.health import RetryPolicy, SiteHealthTracker
 from repro.federation.views import MaterializedView
 from repro.sql.ast import (
@@ -238,6 +239,11 @@ class ExecutionReport:
     queue_wait_seconds: float = 0.0
     tenant: str | None = None
     scheduler: str | None = None
+    # Governance enforcement (stamped by the engine when the plan carried
+    # compiled policy annotations): which tenant's policy governed the plan
+    # and how many rows site-side residual RLS predicates dropped.
+    governed_tenant: str | None = None
+    rows_filtered_by_rls: int = 0
     # Live fragment-scan outputs, for the engine's semantic cache to store.
     scan_tables: dict[str, ScanCapture] = field(default_factory=dict)
     # Stage-artifact reuse accounting (see repro.federation.artifacts):
@@ -564,6 +570,14 @@ class SiteScan(SiteOperator):
                     combined, now, self.stats.seconds
                 )
 
+        # Governance enforcement happens *after* the capture: cached regions
+        # keep raw rows under their predicate key (every consumer scan
+        # re-applies its own residual RLS and masks right here, so rows a
+        # policy hides still never leave the site pipeline), and *before*
+        # the columnar transpose so masked values flow through the same
+        # kernels as any other column.
+        table_batches = self._apply_governance(ctx, table_batches)
+
         ctx.report.rows_fetched += sum(len(t) for _, t, _ in table_batches)
         self.stats.detail = self._describe(assignment)
         binding = assignment.binding
@@ -871,6 +885,58 @@ class SiteScan(SiteOperator):
             filtered_batches.append((site, filtered, elapsed))
         return filtered_batches
 
+    def _apply_governance(
+        self,
+        ctx: ExecContext,
+        table_batches: list[tuple[str, Table, float]],
+    ) -> list[tuple[str, Table, float]]:
+        """Residual RLS then column masks, per batch, as charged site work.
+
+        Pushed RLS conjuncts already ran inside the access path (source
+        pushdown / view / cache residual application); what remains here is
+        the policy work the optimizers priced as ordinary row volume:
+        row-wise evaluation of non-pushable RLS conjuncts on *raw* values,
+        then masking at the scan's output.  New tables are built instead of
+        mutating inputs -- the semantic-cache capture may hold the same
+        Table object.
+        """
+        governance = self.scan.governance
+        if governance is None:
+            return table_batches
+        residual = (
+            conjoin(list(governance.rls_residual))
+            if governance.rls_residual
+            else None
+        )
+        out: list[tuple[str, Table, float]] = []
+        for site, table, elapsed in table_batches:
+            if residual is not None:
+                kept = [
+                    values
+                    for values in table.rows
+                    if evaluate(
+                        residual,
+                        row_env(
+                            self.scan.binding, table.schema, values,
+                            ctx.ambiguous,
+                        ),
+                    )
+                ]
+                ctx.report.rows_filtered_by_rls += len(table.rows) - len(kept)
+                work = ctx.charge_site(site, len(table.rows))
+                self.stats.seconds += work
+                elapsed += work
+                filtered = Table(table.schema, validate=False)
+                filtered.rows = kept
+                table = filtered
+            if governance.masks:
+                work = ctx.charge_site(site, len(table.rows))
+                self.stats.seconds += work
+                elapsed += work
+                table = apply_column_masks(table, governance.masks)
+            out.append((site, table, elapsed))
+        return out
+
     def _describe(self, assignment: ScanAssignment) -> str:
         if assignment.kind == "view":
             detail = f"view {assignment.view.name} @ {assignment.view.site_name}"
@@ -881,13 +947,30 @@ class SiteScan(SiteOperator):
                 f"{c.fragment.fragment_id}@{c.site_name}" for c in assignment.choices
             )
             detail = f"fragments [{placed}]{describe_pruning(assignment)}"
-        if self.scan.pushdown:
+        governance = self.scan.governance
+        pushdown = self.scan.pushdown
+        if governance is not None and governance.rls_pushed:
+            pushdown = [p for p in pushdown if p not in governance.rls_pushed]
+        if pushdown:
             predicates = ", ".join(
-                f"{p.column} {p.op} {p.value!r}" for p in self.scan.pushdown
+                f"{p.column} {p.op} {p.value!r}" for p in pushdown
             )
             detail += f" pushdown({predicates})"
         if assignment.text_filter is not None:
             detail += f" text-index{assignment.text_filter!r}"
+        if governance is not None:
+            rls_parts = [
+                f"{p.column} {p.op} {p.value!r}" for p in governance.rls_pushed
+            ]
+            rls_parts.extend(
+                describe_expr(conjunct) for conjunct in governance.rls_residual
+            )
+            if rls_parts:
+                detail += (
+                    f" rls(tenant={governance.tenant}: {', '.join(rls_parts)})"
+                )
+            for column in sorted(governance.masks):
+                detail += f" mask({column})"
         for event in self._failover_events:
             detail += f" [{event}]"
         return f"{self.scan.table} as {self.scan.binding}: {detail}"

@@ -326,6 +326,31 @@ class WorkloadManager:
             self._counter(owner.name, "rejected").inc()
             raise QueryRejectedError(owner.name, owner.queue_limit)
 
+        # Governance admission rides the same shedding path as the bounded
+        # queue: rate limits (a deterministic token bucket on the sim clock)
+        # and exhausted cost budgets reject here, before a handle exists; a
+        # budget declared ``on_exhausted: degrade`` admits the query with
+        # degraded answers forced instead.
+        force_degraded = False
+        governance = getattr(self.engine, "governance", None)
+        if governance is not None:
+            if prepared is not None and (
+                getattr(prepared, "policy_signature", None)
+                != governance.signature_for(owner.name)
+            ):
+                raise QueryError(
+                    f"prepared statement was planned for tenant "
+                    f"{prepared.tenant!r} under a different governance "
+                    f"policy; prepare it for tenant {owner.name!r}"
+                )
+            try:
+                admission = governance.admit(owner.name, self.loop.clock.now())
+            except QueryRejectedError:
+                owner.rejected += 1
+                self._counter(owner.name, "rejected").inc()
+                raise
+            force_degraded = admission == "degrade"
+
         handle = QueryHandle(
             seq=next(self._seq),
             sql=sql if sql is not None else prepared.sql,
@@ -336,7 +361,7 @@ class WorkloadManager:
             max_staleness=(
                 max_staleness if prepared is None else prepared.max_staleness
             ),
-            degraded_ok=degraded_ok,
+            degraded_ok=degraded_ok or force_degraded,
             prepared=prepared,
             params=tuple(params),
         )
@@ -409,6 +434,7 @@ class WorkloadManager:
                     advance_clock=False,
                     degraded_ok=handle.degraded_ok,
                     deadline_at=self._deadline_at(handle),
+                    tenant=owner.name,
                 )
         except ContentIntegrationError as error:
             self._finish(handle, error=error)
@@ -598,6 +624,7 @@ class WorkloadManager:
                     degraded_ok=subscriber.degraded_ok,
                     reuse_artifacts=False,
                     deadline_at=self._deadline_at(subscriber),
+                    tenant=subscriber.tenant.name,
                 )
         except ContentIntegrationError as error:
             self._finish(subscriber, error=error)

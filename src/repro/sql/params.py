@@ -45,6 +45,7 @@ from repro.sql.planner import (
     LimitNode,
     PlanNode,
     ProjectNode,
+    ScanGovernance,
     ScanNode,
     SortNode,
 )
@@ -226,6 +227,17 @@ def bind_plan(node: PlanNode, values: Sequence[Any]) -> PlanNode:
     (see module docstring), so their list is shallow-copied.
     """
     if isinstance(node, ScanNode):
+        governance = None
+        if node.governance is not None:
+            # Policy expressions never contain parameters (manifests hold
+            # concrete values), but the lists must not be shared with the
+            # prepared template.
+            governance = ScanGovernance(
+                node.governance.tenant,
+                rls_pushed=list(node.governance.rls_pushed),
+                rls_residual=list(node.governance.rls_residual),
+                masks=dict(node.governance.masks),
+            )
         return ScanNode(
             node.table,
             node.binding,
@@ -237,6 +249,7 @@ def bind_plan(node: PlanNode, values: Sequence[Any]) -> PlanNode:
                 else None
             ),
             text_filter=node.text_filter,
+            governance=governance,
         )
     if isinstance(node, FilterNode):
         return FilterNode(

@@ -56,6 +56,26 @@ class PlanNode:
 
 
 @dataclass
+class ScanGovernance:
+    """Per-tenant policy work compiled into one scan.
+
+    Written by :class:`repro.sql.rewrite.GovernanceInjection`: row-level
+    security conjuncts that were pushable land in the scan's ordinary
+    ``pushdown`` list (and are echoed in ``rls_pushed`` so EXPLAIN can
+    attribute them), the rest stay here as ``rls_residual`` expressions the
+    owning site evaluates row-wise *before* masking; ``masks`` maps column
+    name to mask style applied at the scan's output.  The annotation rides
+    the logical plan, so the optimizers price policy work like any other
+    site work and the artifact hash can fold it into the stage identity.
+    """
+
+    tenant: str
+    rls_pushed: list[Predicate] = field(default_factory=list)
+    rls_residual: list[Expr] = field(default_factory=list)
+    masks: dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
 class ScanNode(PlanNode):
     """Read one base table (through whatever source the catalog maps it to).
 
@@ -67,7 +87,8 @@ class ScanNode(PlanNode):
       evaluated row-wise at the site (a physical ``SiteFilter`` operator);
     * ``needed_columns`` -- the only columns any later operator reads
       (``None`` means all; a physical ``SiteProject`` operator);
-    * ``text_filter`` -- a ``(column, query)`` text-index access path.
+    * ``text_filter`` -- a ``(column, query)`` text-index access path;
+    * ``governance`` -- compiled per-tenant RLS / mask policy, if any.
     """
 
     table: str
@@ -76,6 +97,7 @@ class ScanNode(PlanNode):
     site_filters: list[Expr] = field(default_factory=list)
     needed_columns: set[str] | None = None
     text_filter: tuple[str, str] | None = None
+    governance: ScanGovernance | None = None
 
 
 @dataclass

@@ -15,7 +15,10 @@ testable in isolation, and extensible:
 * :class:`ProjectionPruning` -- scans record the only columns any later
   operator reads, so sites ship narrower rows;
 * :class:`AggregateSplitting` -- single-table aggregations decompose into
-  site-local partials merged at the coordinator.
+  site-local partials merged at the coordinator;
+* :class:`GovernanceInjection` -- per-tenant row-level-security predicates
+  and column masks compile into scan annotations, so policy enforcement is
+  priced and pruned like any other site work.
 
 Passes mutate scan annotations in place and may restructure filters; they
 never change query answers (see ``tests/test_equivalence_properties.py``).
@@ -23,17 +26,23 @@ never change query answers (see ``tests/test_equivalence_properties.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.connect.source import Predicate
+from repro.core.errors import QueryError
 from repro.sql.ast import (
     AGGREGATE_FUNCTIONS,
+    Between,
+    BinaryOp,
     Column,
     Expr,
     FuncCall,
+    InList,
+    Like,
     Literal,
     Star,
+    UnaryOp,
     columns_in,
 )
 from repro.sql.planner import (
@@ -43,6 +52,7 @@ from repro.sql.planner import (
     JoinNode,
     PlanNode,
     ProjectNode,
+    ScanGovernance,
     ScanNode,
     _as_pushable,
     _binding_of_column,
@@ -346,3 +356,191 @@ class AggregateSplitting(RewritePass):
         if node.having is not None:
             collect(node.having)
         return list(calls.values())
+
+
+@dataclass(frozen=True)
+class GovernanceRule:
+    """Compiled policy for one (tenant, table): what the injector applies.
+
+    ``row_filter`` is the parsed RLS predicate with *bare* column names
+    (the injector qualifies them to each scan's binding); ``masks`` pairs
+    column names with mask styles.  Built by
+    :class:`repro.federation.governance.GovernanceRegistry` so this module
+    stays free of federation imports.
+    """
+
+    tenant: str
+    table: str
+    row_filter: Expr | None = None
+    masks: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass
+class GovernanceInjection(RewritePass):
+    """Compile per-tenant RLS predicates and column masks into scans.
+
+    The governed answer is, by definition, the query evaluated over each
+    governed table replaced by ``mask(sigma_RLS(T))``: RLS conjuncts see raw
+    (pre-mask) values, masks apply at the scan's output, and the tenant's
+    own predicates on masked columns see masked values.  Three consequences
+    shape the rewrite:
+
+    * pushable RLS conjuncts join ``scan.pushdown`` -- they prune zone maps,
+      scope semantic-cache regions, and are priced by selectivity exactly
+      like user predicates; non-pushable conjuncts become ``rls_residual``
+      expressions the site evaluates row-wise before masking.  RLS pushes
+      below LEFT JOINs too: the policy filters the table *before* the join,
+      so the null-supplying exclusion that protects user predicates does
+      not apply.
+    * user pushdown predicates on masked columns are *hoisted back* into
+      ``site_filters`` (which run post-mask), since the source would
+      otherwise compare raw values the tenant never sees.
+    * a text-index access path over a masked column is demoted to the
+      scalar ``match`` fallback for the same reason.
+    """
+
+    name = "governance"
+
+    rules: dict[str, GovernanceRule] = field(default_factory=dict)
+    binding_fields: dict[str, set[str]] = field(default_factory=dict)
+
+    def run(self, plan: PlanNode) -> PlanNode:
+        for scan in scans_in(plan):
+            rule = self.rules.get(scan.table)
+            if rule is None or scan.governance is not None:
+                continue
+            self._govern(scan, rule)
+        return plan
+
+    def _govern(self, scan: ScanNode, rule: GovernanceRule) -> None:
+        fields = self.binding_fields.get(scan.binding, set())
+        masks: dict[str, str] = {}
+        for column_name, style in rule.masks:
+            if column_name not in fields:
+                raise QueryError(
+                    f"governance policy for tenant {rule.tenant!r} masks "
+                    f"unknown column {column_name!r} of table {rule.table!r}"
+                )
+            masks[column_name] = style
+        self._hoist_masked_pushdown(scan, masks)
+        self._demote_masked_text_filter(scan, masks)
+        governance = ScanGovernance(rule.tenant, masks=masks)
+        if rule.row_filter is not None:
+            for conjunct in split_conjuncts(rule.row_filter):
+                qualified = _qualify_policy_expr(
+                    conjunct, scan.binding, fields, rule
+                )
+                pushable = _as_pushable(qualified)
+                if pushable is not None:
+                    column, op, value = pushable
+                    predicate = Predicate(column.name, op, value)
+                    scan.pushdown.append(predicate)
+                    governance.rls_pushed.append(predicate)
+                else:
+                    governance.rls_residual.append(qualified)
+        scan.governance = governance
+
+    def _hoist_masked_pushdown(
+        self, scan: ScanNode, masks: dict[str, str]
+    ) -> None:
+        if not masks:
+            return
+        kept: list[Predicate] = []
+        for predicate in scan.pushdown:
+            if predicate.column in masks:
+                # The tenant's predicate must see the *masked* value, so it
+                # becomes a post-mask site filter instead of source pushdown.
+                scan.site_filters.append(
+                    BinaryOp(
+                        predicate.op,
+                        Column(predicate.column, qualifier=scan.binding),
+                        Literal(predicate.value),
+                    )
+                )
+            else:
+                kept.append(predicate)
+        scan.pushdown[:] = kept
+
+    def _demote_masked_text_filter(
+        self, scan: ScanNode, masks: dict[str, str]
+    ) -> None:
+        if scan.text_filter is None or scan.text_filter[0] not in masks:
+            return
+        column_name, query_text = scan.text_filter
+        scan.text_filter = None
+        scan.site_filters.append(
+            FuncCall(
+                "match",
+                (Column(column_name, qualifier=scan.binding), Literal(query_text)),
+            )
+        )
+
+
+def _qualify_policy_expr(
+    expr: Expr, binding: str, fields: set[str], rule: GovernanceRule
+) -> Expr:
+    """A copy of a policy expression with columns qualified to ``binding``.
+
+    Fails closed: a policy referencing a column the table does not have (or
+    a construct a row filter cannot contain) is a query-time error, never a
+    silently unenforced filter.
+    """
+    if isinstance(expr, Column):
+        if expr.qualifier is not None and expr.qualifier != rule.table:
+            raise QueryError(
+                f"governance policy for tenant {rule.tenant!r} on table "
+                f"{rule.table!r} references foreign column {expr.qualified!r}"
+            )
+        if expr.name not in fields:
+            raise QueryError(
+                f"governance policy for tenant {rule.tenant!r} filters "
+                f"unknown column {expr.name!r} of table {rule.table!r}"
+            )
+        return Column(expr.name, qualifier=binding)
+    if isinstance(expr, Literal):
+        return expr
+    if isinstance(expr, BinaryOp):
+        return BinaryOp(
+            expr.op,
+            _qualify_policy_expr(expr.left, binding, fields, rule),
+            _qualify_policy_expr(expr.right, binding, fields, rule),
+        )
+    if isinstance(expr, UnaryOp):
+        return UnaryOp(
+            expr.op, _qualify_policy_expr(expr.operand, binding, fields, rule)
+        )
+    if isinstance(expr, FuncCall):
+        return FuncCall(
+            expr.name,
+            tuple(
+                _qualify_policy_expr(arg, binding, fields, rule)
+                for arg in expr.args
+            ),
+            expr.star,
+        )
+    if isinstance(expr, InList):
+        return InList(
+            _qualify_policy_expr(expr.operand, binding, fields, rule),
+            tuple(
+                _qualify_policy_expr(item, binding, fields, rule)
+                for item in expr.items
+            ),
+            expr.negated,
+        )
+    if isinstance(expr, Between):
+        return Between(
+            _qualify_policy_expr(expr.operand, binding, fields, rule),
+            _qualify_policy_expr(expr.low, binding, fields, rule),
+            _qualify_policy_expr(expr.high, binding, fields, rule),
+            expr.negated,
+        )
+    if isinstance(expr, Like):
+        return Like(
+            _qualify_policy_expr(expr.operand, binding, fields, rule),
+            expr.pattern,
+            expr.negated,
+        )
+    raise QueryError(
+        f"governance policy for tenant {rule.tenant!r} on table "
+        f"{rule.table!r} uses an unsupported row-filter construct: {expr!r}"
+    )

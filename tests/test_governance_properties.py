@@ -1,0 +1,291 @@
+"""Property tests for governance: policy equivalence and tenant isolation.
+
+The load-bearing correctness claim of compiled governance is *semantic
+transparency*: pushing RLS predicates and column masks into the plan
+(where pushdown, pruning, caching and the optimizers can see and price
+them) must not change the answer.  The oracle here is a second,
+governance-free federation whose table content is literally
+``mask(sigma_RLS(T))`` -- the governed engine over raw data must return
+bit-identical rows to the plain engine over pre-enforced data, for
+arbitrary policies and query shapes.
+
+The second claim is *isolation*: under an adversarial interleaving of
+governed and ungoverned tenants over one shared engine -- with the
+semantic cache and the artifact store both switched on, and degraded
+partial answers allowed -- no row outside a tenant's RLS region and no
+unmasked value of a masked column ever reaches that tenant's cursor.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DataType, Field, Schema, Table
+from repro.core.errors import QueryError
+from repro.federation import (
+    ArtifactStore,
+    FederatedEngine,
+    FederationCatalog,
+    SemanticCache,
+)
+from repro.federation.governance import GovernanceRegistry, mask_value
+from repro.sim import SimClock
+
+REGIONS = ("US", "EU", "APAC")
+
+SCHEMA = Schema(
+    "accounts",
+    (
+        Field("id", DataType.STRING),
+        Field("region", DataType.STRING),
+        Field("secret", DataType.STRING),
+        Field("amount", DataType.INTEGER),
+    ),
+)
+
+
+def base_rows(count=30):
+    return [
+        (f"a{i:03d}", REGIONS[i % 3], f"pin-{i:04d}", (i * 7) % 50)
+        for i in range(count)
+    ]
+
+
+def load_catalog(rows):
+    catalog = FederationCatalog(SimClock())
+    for i in range(4):
+        catalog.make_site(f"s{i}")
+    catalog.load_fragmented(
+        Table(SCHEMA, rows), 2, [["s0", "s1"], ["s2", "s3"]]
+    )
+    return catalog
+
+
+# A policy is drawn as (SQL row_filter, python predicate, masks dict) so the
+# oracle can enforce it on the python side without re-implementing SQL.
+ROW_FILTERS = [
+    (None, lambda row: True),
+    ("region = 'EU'", lambda row: row[1] == "EU"),
+    ("region <> 'US'", lambda row: row[1] != "US"),
+    ("amount < 25", lambda row: row[3] < 25),
+    (
+        "region = 'EU' and amount >= 10",
+        lambda row: row[1] == "EU" and row[3] >= 10,
+    ),
+    ("region in ('US', 'APAC')", lambda row: row[1] in ("US", "APAC")),
+]
+
+MASK_CHOICES = [
+    {},
+    {"secret": "redact"},
+    {"secret": "hash"},
+    {"secret": "null"},
+    {"secret": "last4"},
+    {"secret": "redact", "id": "hash"},
+]
+
+QUERIES = [
+    "select * from accounts",
+    "select id, amount from accounts where amount < 30",
+    "select region, secret from accounts where region <> 'APAC'",
+    "select count(*) from accounts",
+    "select region, count(*) as n from accounts group by region",
+    "select sum(amount) from accounts where amount >= 5",
+    "select id from accounts where secret = 'pin-0003'",
+    "select id from accounts where secret = '***'",
+]
+
+policies = st.tuples(
+    st.sampled_from(ROW_FILTERS), st.sampled_from(MASK_CHOICES)
+).filter(lambda drawn: drawn[0][0] is not None or drawn[1])
+
+
+def enforce(rows, keep, masks):
+    """The oracle's pre-enforced content: ``mask(sigma_RLS(rows))``."""
+    columns = {f.name: i for i, f in enumerate(SCHEMA.fields)}
+    out = []
+    for row in rows:
+        if not keep(row):
+            continue
+        row = list(row)
+        for column, style in masks.items():
+            at = columns[column]
+            row[at] = mask_value(style, row[at])
+        out.append(tuple(row))
+    return out
+
+
+class TestPolicyEquivalence:
+    @settings(max_examples=40, deadline=None)
+    @given(policy=policies, sql=st.sampled_from(QUERIES))
+    def test_governed_equals_plain_engine_over_enforced_data(
+        self, policy, sql
+    ):
+        (row_filter, keep), masks = policy
+        rows = base_rows()
+        spec = {}
+        if row_filter is not None:
+            spec["row_filter"] = row_filter
+        if masks:
+            spec["masks"] = dict(masks)
+        manifest = {
+            "version": 1,
+            "tenants": {"tenant": {"tables": {"accounts": spec}}},
+        }
+        governed_engine = FederatedEngine(
+            load_catalog(rows), governance=GovernanceRegistry(manifest)
+        )
+        oracle_engine = FederatedEngine(
+            load_catalog(enforce(rows, keep, masks))
+        )
+        governed = governed_engine.query(sql, tenant="tenant").table
+        oracle = oracle_engine.query(sql).table
+        assert governed.schema.field_names == oracle.schema.field_names
+        assert sorted(governed.rows, key=repr) == sorted(
+            oracle.rows, key=repr
+        )
+
+    @settings(max_examples=15, deadline=None)
+    @given(policy=policies, sql=st.sampled_from(QUERIES))
+    def test_equivalence_survives_cache_and_artifacts(self, policy, sql):
+        # Same oracle, but the governed engine also runs warm: the second
+        # execution may be served from the semantic cache or the artifact
+        # store, and must still match the cold pre-enforced answer.
+        (row_filter, keep), masks = policy
+        rows = base_rows()
+        spec = {}
+        if row_filter is not None:
+            spec["row_filter"] = row_filter
+        if masks:
+            spec["masks"] = dict(masks)
+        manifest = {
+            "version": 1,
+            "tenants": {"tenant": {"tables": {"accounts": spec}}},
+        }
+        catalog = load_catalog(rows)
+        governed_engine = FederatedEngine(
+            catalog,
+            cache=SemanticCache(catalog.clock),
+            artifacts=ArtifactStore(catalog.clock),
+            governance=GovernanceRegistry(manifest),
+        )
+        oracle_engine = FederatedEngine(
+            load_catalog(enforce(rows, keep, masks))
+        )
+        oracle = sorted(oracle_engine.query(sql).table.rows, key=repr)
+        cold = governed_engine.query(sql, tenant="tenant").table
+        warm = governed_engine.query(sql, tenant="tenant").table
+        assert sorted(cold.rows, key=repr) == oracle
+        assert sorted(warm.rows, key=repr) == oracle
+
+
+LEAKAGE_MANIFEST = {
+    "version": 1,
+    "tenants": {
+        "eu-desk": {
+            "tables": {
+                "accounts": {
+                    "row_filter": "region = 'EU'",
+                    "masks": {"secret": "redact"},
+                }
+            }
+        },
+        "us-desk": {
+            "tables": {"accounts": {"row_filter": "region = 'US'"}}
+        },
+    },
+}
+
+# What each governed tenant is allowed to observe, per column.
+ALLOWED = {
+    "eu-desk": {"region": {"EU"}, "secret": {"***"}},
+    "us-desk": {"region": {"US"}, "secret": None},  # secret unmasked, US rows
+}
+
+
+def assert_no_leak(tenant, table, raw_rows):
+    names = table.schema.field_names
+    allowed = ALLOWED[tenant]
+    keep_region = allowed["region"]
+    us_secrets = {
+        row[2] for row in raw_rows if row[1] not in keep_region
+    }
+    for row in table.rows:
+        env = dict(zip(names, row))
+        if "region" in env:
+            assert env["region"] in keep_region, (tenant, row)
+        if "secret" in env:
+            if allowed["secret"] is not None:
+                assert env["secret"] in allowed["secret"], (tenant, row)
+            else:
+                # Unmasked secrets are fine, but only the tenant's own rows'.
+                assert env["secret"] not in us_secrets, (tenant, row)
+
+
+class TestCrossTenantLeakage:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        actions=st.lists(
+            st.tuples(
+                st.sampled_from(["eu-desk", "us-desk", None]),
+                st.sampled_from(
+                    [
+                        "select * from accounts",
+                        "select region, secret from accounts",
+                        "select id, region, secret from accounts "
+                        "where amount < 40",
+                        "select region, secret from accounts "
+                        "where region <> 'APAC'",
+                    ]
+                ),
+            ),
+            min_size=2,
+            max_size=8,
+        )
+    )
+    def test_interleaved_tenants_never_leak(self, actions):
+        # One shared engine, cache and artifacts on: every governed answer
+        # in an arbitrary interleaving stays inside the tenant's manifest,
+        # no matter what earlier tenants populated the caches with.
+        rows = base_rows()
+        catalog = load_catalog(rows)
+        engine = FederatedEngine(
+            catalog,
+            cache=SemanticCache(catalog.clock),
+            artifacts=ArtifactStore(catalog.clock),
+            governance=GovernanceRegistry(LEAKAGE_MANIFEST),
+        )
+        full = sorted(r for r, in
+                      engine.query("select id from accounts").table.rows)
+        for tenant, sql in actions:
+            table = engine.query(sql, tenant=tenant).table
+            if tenant is None:
+                continue  # the open query only seeds the caches
+            assert_no_leak(tenant, table, rows)
+        # Governed traffic must not have poisoned the open view either.
+        assert sorted(
+            r for r, in engine.query("select id from accounts").table.rows
+        ) == full
+
+    def test_degraded_partial_answers_stay_governed(self):
+        # A partial answer (missing fragments accepted via degraded_ok) must
+        # be a subset of the governed answer -- failure handling cannot
+        # bypass RLS or masking.
+        rows = base_rows()
+        catalog = load_catalog(rows)
+        engine = FederatedEngine(
+            catalog, governance=GovernanceRegistry(LEAKAGE_MANIFEST)
+        )
+        whole = engine.query(
+            "select * from accounts", tenant="eu-desk"
+        ).table
+        for site in ("s2", "s3"):
+            catalog.site(site).up = False
+        try:
+            partial = engine.query(
+                "select * from accounts", tenant="eu-desk", degraded_ok=True
+            )
+        except QueryError:
+            return  # nothing servable at all: a refusal cannot leak
+        assert partial.report.completeness <= 1.0
+        assert set(partial.table.rows) <= set(whole.rows)
+        assert_no_leak("eu-desk", partial.table, rows)
